@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-paper report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) examples/full_report.py --scale ci --out REPORT.md
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/algorithm_explorer.py
+	$(PYTHON) examples/performance_study.py --dims 4096 8192 --threads 1 12
+	$(PYTHON) examples/autotune_and_analyze.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/out build dist *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,77 @@
+"""Ablation benches backing the paper's design choices (§3.2, §2.4, §6).
+
+Each regenerates a small table quantifying one design decision:
+parallelization strategy, recursion depth, lambda choice, aspect-ratio
+matching, and the Fig-2 schedule itself.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.tables import format_table
+from repro.experiments.ablations import (
+    run_aspect_ratio_study,
+    run_lambda_sweep,
+    run_steps_ablation,
+    run_strategy_ablation,
+)
+from repro.experiments.fig2_schedule import format_fig2, run_fig2
+
+
+def test_strategy_ablation(benchmark, out_dir):
+    rows = benchmark.pedantic(run_strategy_ablation, rounds=1, iterations=1)
+    text = format_table(
+        ["strategy", "seconds", "vs hybrid"],
+        [[r.strategy, f"{r.seconds:.3f}", f"{r.relative_to_hybrid:.3f}x"]
+         for r in rows],
+        title="Ablation: hybrid vs BFS vs DFS (<4,4,4>:46, n=8192, 6 threads)",
+    )
+    emit(out_dir, "ablation_strategy.txt", text)
+    by = {r.strategy: r.relative_to_hybrid for r in rows}
+    assert by["hybrid"] <= by["bfs"] and by["hybrid"] <= by["dfs"]
+
+
+def test_steps_ablation(benchmark, out_dir):
+    rows = benchmark.pedantic(
+        run_steps_ablation, kwargs=dict(n=16384, max_steps=2),
+        rounds=1, iterations=1,
+    )
+    text = format_table(
+        ["steps", "seconds", "speedup", "error bound"],
+        [[r.steps, f"{r.seconds:.3f}", f"{r.speedup_vs_classical * 100:+.1f}%",
+          f"{r.error_bound:.1e}"] for r in rows],
+        title="Ablation: recursion depth (<4,4,4>:46, n=16384, 1 thread)",
+    )
+    emit(out_dir, "ablation_steps.txt", text)
+    assert rows[1].error_bound > rows[0].error_bound
+
+
+def test_lambda_sweep(benchmark, out_dir):
+    points = benchmark.pedantic(
+        run_lambda_sweep, kwargs=dict(n=128, exponent_span=5),
+        rounds=1, iterations=1,
+    )
+    text = format_table(
+        ["lambda", "rel error"],
+        [[f"{p.lam:.2e}", f"{p.error:.2e}"] for p in points],
+        title="Ablation: the lambda error valley (bini322, float32)",
+    )
+    emit(out_dir, "ablation_lambda.txt", text)
+    errs = [p.error for p in points]
+    assert min(errs) < errs[0] and min(errs) < errs[-1]
+
+
+def test_aspect_ratio_study(benchmark, out_dir):
+    rows = benchmark.pedantic(run_aspect_ratio_study, rounds=1, iterations=1)
+    text = format_table(
+        ["algorithm", "seconds", "speedup"],
+        [[r.algorithm, f"{r.seconds:.3f}",
+          f"{r.speedup_vs_classical * 100:+.1f}%"] for r in rows],
+        title="Extension (§6): aspect-ratio matching on a 8192x4096x4096 product",
+    )
+    emit(out_dir, "ablation_aspect.txt", text)
+
+
+def test_fig2_schedule(out_dir):
+    emit(out_dir, "fig2.txt", format_fig2(run_fig2()))

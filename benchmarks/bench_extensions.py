@@ -1,0 +1,108 @@
+"""Benches for the extension studies (beyond the paper's figures).
+
+Each regenerates one extension table: precision sweep, roofline
+placement, failure-injection tolerance curve, algorithm-selection map,
+CSE addition savings, and a schedule Gantt trace.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, emit
+
+from repro.algorithms.analysis import catalog_report
+from repro.algorithms.catalog import get_algorithm
+from repro.bench.tables import format_table
+from repro.experiments.extensions import (
+    format_precision_study,
+    format_roofline_study,
+    run_conv_study,
+    run_precision_study,
+    run_roofline_study,
+)
+from repro.experiments.hardware import (
+    format_hardware_sensitivity,
+    run_hardware_sensitivity,
+)
+from repro.experiments.robustness import (
+    format_error_tolerance_study,
+    run_error_tolerance_study,
+)
+from repro.parallel.autotune import selection_table
+from repro.parallel.tracing import render_gantt, trace_schedule
+
+
+def test_precision_study(benchmark, out_dir):
+    points = benchmark.pedantic(run_precision_study, rounds=1, iterations=1)
+    emit(out_dir, "ext_precision.txt", format_precision_study(points))
+
+
+def test_roofline_study(benchmark, out_dir):
+    points = benchmark.pedantic(run_roofline_study, rounds=1, iterations=1)
+    emit(out_dir, "ext_roofline.txt", format_roofline_study(points))
+    # §3.4 quantified: 12-thread addition share bound exceeds sequential
+    by = {(p.algorithm, p.threads): p for p in points}
+    assert (by[("smirnov444", 12)].addition_time_share_bound
+            > by[("smirnov444", 1)].addition_time_share_bound)
+
+
+def test_error_tolerance_study(benchmark, out_dir):
+    if bench_scale() == "paper":
+        kwargs = dict(epochs=10, n_train=10_000, n_test=2_000, batch_size=300)
+    else:
+        kwargs = dict(epochs=4, n_train=1_500, n_test=300, batch_size=150)
+    points = benchmark.pedantic(
+        run_error_tolerance_study, kwargs=kwargs, rounds=1, iterations=1,
+    )
+    emit(out_dir, "ext_tolerance.txt", format_error_tolerance_study(points))
+
+
+def test_conv_study(benchmark, out_dir):
+    result = benchmark.pedantic(
+        run_conv_study,
+        kwargs=dict(epochs=2, n_train=600, n_test=150),
+        rounds=1, iterations=1,
+    )
+    text = format_table(
+        ["metric", "value"],
+        [["APA conv test accuracy", f"{result.test_accuracy:.3f}"],
+         ["classical conv test accuracy", f"{result.classical_accuracy:.3f}"],
+         ["simulated im2col speedup", f"{result.simulated_speedup_im2col * 100:+.1f}%"]],
+        title=f"Extension: APA in convolutional layers ({result.algorithm})",
+    )
+    emit(out_dir, "ext_conv.txt", text)
+
+
+def test_algorithm_selection_map(benchmark, out_dir):
+    table = benchmark.pedantic(
+        selection_table,
+        kwargs=dict(dims=(512, 1024, 2048, 4096, 8192),
+                    threads_list=(1, 6, 12)),
+        rounds=1, iterations=1,
+    )
+    rows = [[n, threads, sel.algorithm,
+             f"{sel.speedup_vs_classical * 100:+.1f}%"]
+            for (n, threads), sel in sorted(table.items(), key=lambda x: (x[0][1], x[0][0]))]
+    text = format_table(["n", "threads", "best algorithm", "speedup"], rows,
+                        title="Extension: algorithm-selection map (Fig 3 as a decision table)")
+    emit(out_dir, "ext_selection.txt", text)
+    assert table[(512, 1)].algorithm == "classical"
+    assert table[(8192, 12)].algorithm == "smirnov442"
+
+
+def test_cse_savings_report(benchmark, out_dir):
+    text = benchmark.pedantic(catalog_report, rounds=1, iterations=1)
+    emit(out_dir, "ext_catalog_report.txt", text)
+
+
+def test_hardware_sensitivity(benchmark, out_dir):
+    points = benchmark.pedantic(run_hardware_sensitivity, rounds=1,
+                                iterations=1)
+    emit(out_dir, "ext_hardware.txt", format_hardware_sensitivity(points))
+    by = {(p.machine, p.algorithm): p.speedup for p in points}
+    assert by[("high-bandwidth", "smirnov444")] > by[("xeon-e5-2620", "smirnov444")]
+
+
+def test_schedule_trace(out_dir):
+    alg = get_algorithm("smirnov444")
+    text = render_gantt(trace_schedule(alg, 8192, 8192, 8192, threads=12))
+    emit(out_dir, "ext_trace_444_12threads.txt", text)

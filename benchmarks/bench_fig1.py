@@ -1,0 +1,41 @@
+"""Fig 1 — relative Frobenius error of APA algorithms on random inputs.
+
+Regenerates the error-vs-dimension series with tuned lambda for every
+Table-1 algorithm and benchmarks the Fig-1 measurement protocol on the
+paper's anchor rule (Bini <3,2,2>).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import bench_scale, emit
+
+from repro.algorithms.catalog import PAPER_ALGORITHMS, get_algorithm
+from repro.core.apa_matmul import apa_matmul
+from repro.experiments.fig1_error import FIG1_DIMS_PAPER, format_fig1, run_fig1
+
+
+def _dims() -> tuple[int, ...]:
+    return FIG1_DIMS_PAPER if bench_scale() == "paper" else (128, 256)
+
+
+def test_fig1_regenerate(benchmark, out_dir):
+    points = benchmark.pedantic(
+        run_fig1, kwargs=dict(dims=_dims(), algorithms=PAPER_ALGORITHMS),
+        rounds=1, iterations=1,
+    )
+    emit(out_dir, "fig1.txt", format_fig1(points))
+    # The paper's headline: the theory bound upper-bounds the tuned
+    # measurements.  The bound hides an O(1) constant, so allow a small
+    # slack factor on top of the pure 2**(-d sigma/(sigma+phi)) term.
+    assert all(p.error <= 1.6 * p.bound for p in points)
+
+
+def test_fig1_single_product_protocol(benchmark):
+    """One tuned-lambda APA product at n=256 — the unit of Fig 1."""
+    alg = get_algorithm("bini322")
+    rng = np.random.default_rng(0)
+    A = rng.random((256, 256)).astype(np.float32)
+    B = rng.random((256, 256)).astype(np.float32)
+    C = benchmark(apa_matmul, A, B, alg)
+    assert C.shape == (256, 256)

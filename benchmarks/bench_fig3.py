@@ -1,0 +1,63 @@
+"""Fig 3 — standalone matmul performance at 1/6/12 threads.
+
+Regenerates all three panels from the calibrated machine model (the
+series the paper plots as effective GFLOPS vs dimension) and asserts the
+paper's who-wins shape.  The benchmarked computations are (a) the
+simulator itself and (b) a real reduced-size product through the threaded
+executor, which is what a multicore host would time at full scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import bench_scale, emit
+
+from repro.algorithms.catalog import get_algorithm
+from repro.experiments.fig3_matmul_perf import (
+    FIG3_DIMS_PAPER,
+    format_fig3,
+    run_fig3,
+)
+from repro.parallel.executor import threaded_apa_matmul
+
+
+def _dims() -> tuple[int, ...]:
+    return FIG3_DIMS_PAPER if bench_scale() == "paper" else (2048, 4096, 8192)
+
+
+@pytest.mark.parametrize("threads", [1, 6, 12])
+def test_fig3_panel(benchmark, out_dir, threads):
+    points = benchmark.pedantic(
+        run_fig3, kwargs=dict(threads=threads, dims=_dims()),
+        rounds=1, iterations=1,
+    )
+    emit(out_dir, f"fig3_{threads}threads.txt", format_fig3(points))
+    at_8192 = {p.algorithm: p for p in points if p.n == 8192}
+    best = max(p.speedup_vs_classical for p in at_8192.values())
+    if threads == 1:
+        assert 0.20 <= best <= 0.36          # paper: up to 28%
+    elif threads == 6:
+        assert 0.15 <= best <= 0.30          # paper: up to 25%
+    else:
+        assert at_8192["smirnov442"].speedup_vs_classical >= 0.10  # paper: 21%
+
+
+def test_fig3_real_executor_product(benchmark):
+    """Wall-clock one hybrid-scheduled <4,4,4>:49 product (real code
+    path; dims reduced for CI — scale up on a multicore host)."""
+    n = 2048 if bench_scale() == "paper" else 512
+    rng = np.random.default_rng(0)
+    A = rng.random((n, n)).astype(np.float32)
+    B = rng.random((n, n)).astype(np.float32)
+    alg = get_algorithm("strassen444")
+    C = benchmark(threaded_apa_matmul, A, B, alg, 4)
+    assert np.allclose(C, A @ B, rtol=1e-3, atol=1e-3)
+
+
+def test_fig3_classical_gemm_baseline(benchmark):
+    n = 2048 if bench_scale() == "paper" else 512
+    rng = np.random.default_rng(0)
+    A = rng.random((n, n)).astype(np.float32)
+    B = rng.random((n, n)).astype(np.float32)
+    benchmark(np.matmul, A, B)

@@ -1,0 +1,41 @@
+"""Benches for the convolution-native Winograd path and the reference
+blocked gemm (extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import bench_scale
+
+from repro.linalg.blocked_gemm import BlockedGemm
+from repro.nn.winograd import direct_conv2d_valid, winograd_conv2d_3x3
+
+
+@pytest.fixture(scope="module")
+def conv_operands():
+    rng = np.random.default_rng(0)
+    c = 16 if bench_scale() == "paper" else 8
+    x = rng.standard_normal((4, c, 32, 32)).astype(np.float32)
+    w = rng.standard_normal((c, c, 3, 3)).astype(np.float32)
+    return x, w
+
+
+def test_winograd_conv(benchmark, conv_operands):
+    x, w = conv_operands
+    y = benchmark(winograd_conv2d_3x3, x, w)
+    assert y.shape[2] == 30
+
+
+def test_direct_conv(benchmark, conv_operands):
+    x, w = conv_operands
+    benchmark(direct_conv2d_valid, x, w)
+
+
+def test_blocked_gemm_reference(benchmark):
+    rng = np.random.default_rng(0)
+    n = 512 if bench_scale() == "paper" else 256
+    A = rng.random((n, n)).astype(np.float32)
+    B = rng.random((n, n)).astype(np.float32)
+    gemm = BlockedGemm(mc=64, kc=128, nc=256)
+    C = benchmark(gemm, A, B)
+    assert np.allclose(C, A @ B, rtol=1e-4, atol=1e-4)

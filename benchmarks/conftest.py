@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module regenerates one table or figure of the paper via
+its :mod:`repro.experiments` driver, prints the same rows/series the paper
+reports, and saves them under ``benchmarks/out/``.  The pytest-benchmark
+fixture times the representative computation of each experiment.
+
+Environment knob: set ``REPRO_BENCH_SCALE=paper`` to run the drivers at
+full paper scale (hours of compute for the training figures); the default
+``ci`` scale keeps every bench under a few seconds while exercising the
+identical code paths.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "ci")
+    if scale not in ("ci", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'ci' or 'paper', got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: Path, name: str, text: str) -> None:
+    """Print a figure/table and persist it."""
+    print()
+    print(text)
+    (out_dir / name).write_text(text + "\n")

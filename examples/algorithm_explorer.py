@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Tour of the algorithm machinery: verify, transform, generate, search.
+
+Run:  python examples/algorithm_explorer.py
+
+Shows the library's symbolic layer at work:
+
+1. symbolic verification of every real algorithm in the catalog (exact
+   rational arithmetic — a passing report is a proof);
+2. building new algorithms from old via the paper's §6 transforms
+   (permutation, tensor product, stacking);
+3. the code generator's output for Bini's rule (paper §3);
+4. ALS numerically rediscovering a rank-7 <2,2,2> algorithm — the route
+   by which the Smirnov-class rules of Table 1 were found.
+"""
+
+import numpy as np
+
+from repro.algorithms.bini import bini322_algorithm
+from repro.algorithms.catalog import get_algorithm, list_algorithms
+from repro.algorithms.search import discover_algorithm
+from repro.algorithms.strassen import strassen_algorithm
+from repro.algorithms.transforms import permute, stack_m, tensor_product
+from repro.algorithms.verify import verify_algorithm
+from repro.codegen.generate import generate_source
+
+
+def main() -> None:
+    print("=== 1. symbolic verification of the real catalog ===")
+    for name in list_algorithms("real"):
+        alg = get_algorithm(name)
+        report = verify_algorithm(alg)
+        print(f"  {name:18s} {alg.signature():12s} phi={alg.phi}  "
+              f"{report.summary()}")
+
+    print("\n=== 2. composing new algorithms ===")
+    bini = bini322_algorithm()
+    strassen = strassen_algorithm()
+    for alg in (
+        permute(bini, (1, 2, 0), name="bini-rotated"),
+        tensor_product(bini, strassen, name="bini(x)strassen"),
+        stack_m(bini, bini, name="bini-stacked"),
+    ):
+        report = verify_algorithm(alg)
+        print(f"  {alg.name:18s} {alg.signature():12s} "
+              f"speedup {alg.speedup_percent:5.1f}%  {report.summary()}")
+
+    print("\n=== 3. generated code for Bini's <3,2,2> rule (excerpt) ===")
+    source = generate_source(bini)
+    for line in source.splitlines()[:30]:
+        print("  " + line)
+    print("  ...")
+
+    print("\n=== 4. ALS rediscovers Strassen's rank ===")
+    result = discover_algorithm(2, 2, 2, 7, restarts=8, iters=800, seed=0)
+    print(f"  rank-7 <2,2,2> search: residual {result.residual:.2e}, "
+          f"converged={result.converged}")
+    result5 = discover_algorithm(2, 2, 2, 5, restarts=2, iters=150, seed=0)
+    print(f"  rank-5 (impossible) search: residual {result5.residual:.2e} "
+          "— correctly stalls, no such algorithm exists")
+
+
+if __name__ == "__main__":
+    main()

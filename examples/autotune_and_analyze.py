@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Decide, inspect, and explain: the practical workflow.
+
+Run:  python examples/autotune_and_analyze.py
+
+A downstream user's session end to end:
+
+1. *Which algorithm should my product use?* — the selection map over
+   sizes and thread counts, with an error budget;
+2. *Why does that one win?* — the per-algorithm analytics report and the
+   schedule trace (a Gantt view of the hybrid strategy, showing the
+   12-thread remainder products that kill ``<4,4,4>``);
+3. *What changes on other hardware?* — the machine-balance sensitivity
+   study (the paper's §6 GPU argument, quantified).
+"""
+
+from repro.algorithms.analysis import analyze_algorithm
+from repro.algorithms.catalog import get_algorithm
+from repro.experiments.hardware import (
+    format_hardware_sensitivity,
+    run_hardware_sensitivity,
+)
+from repro.parallel.autotune import select_algorithm, selection_table
+from repro.parallel.tracing import render_gantt, trace_schedule
+
+
+def main() -> None:
+    print("=== 1. algorithm selection map (max_error 2e-2) ===")
+    table = selection_table(dims=(512, 2048, 8192), threads_list=(1, 6, 12),
+                            max_error=2e-2)
+    for (n, threads), sel in sorted(table.items(), key=lambda x: (x[0][1], x[0][0])):
+        print(f"  n={n:5d} p={threads:2d}: {sel.algorithm:12s} "
+              f"({sel.speedup_vs_classical * 100:+.1f}%, "
+              f"error <= {sel.error_bound:.0e})")
+
+    print("\n=== 2a. why: the winner's analytics ===")
+    winner = select_algorithm(8192, 8192, 8192, threads=12).algorithm
+    print(analyze_algorithm(winner, crossover=True).describe())
+
+    print("\n=== 2b. why <4,4,4> loses at 12 threads: the trace ===")
+    trace = trace_schedule(get_algorithm("smirnov444"), 8192, 8192, 8192,
+                           threads=12)
+    remainder = [s for s in trace.by_kind("mult") if s.threads == 12]
+    print(render_gantt(trace_schedule(get_algorithm("smirnov444"),
+                                      8192, 8192, 8192, threads=4)))
+    print(f"  at 12 threads, {len(remainder)} remainder products take "
+          f"{sum(s.duration for s in remainder) / trace.total * 100:.0f}% "
+          "of the timeline")
+
+    print("\n=== 3. hardware sensitivity ===")
+    print(format_hardware_sensitivity(run_hardware_sensitivity()))
+
+
+if __name__ == "__main__":
+    main()

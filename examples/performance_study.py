@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's performance figures from the machine model.
+
+Run:  python examples/performance_study.py [--dims 2048 4096 8192]
+                                           [--threads 1 6 12]
+
+Prints the Fig-3 panels (standalone matmul, effective GFLOPS), the Fig-6
+panels (MLP training time relative to classical), the strategy ablation,
+and — on a multicore host — optionally wall-clocks the real threaded
+executor for comparison (``--measure``).
+"""
+
+import argparse
+
+from repro.experiments.ablations import run_strategy_ablation
+from repro.experiments.fig3_matmul_perf import format_fig3, run_fig3
+from repro.experiments.fig6_mlp_training import format_fig6, run_fig6
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dims", type=int, nargs="*",
+                        default=[2048, 4096, 8192])
+    parser.add_argument("--threads", type=int, nargs="*", default=[1, 6, 12])
+    parser.add_argument("--algorithms", nargs="*",
+                        default=["bini322", "alekseev422", "smirnov442",
+                                 "smirnov444", "smirnov555"])
+    parser.add_argument("--measure", action="store_true",
+                        help="also wall-clock the real threaded executor "
+                             "(use on a multicore host; real algorithms only)")
+    args = parser.parse_args()
+
+    for threads in args.threads:
+        points = run_fig3(threads=threads, dims=tuple(args.dims),
+                          algorithms=tuple(args.algorithms))
+        print(format_fig3(points))
+        print()
+
+    if args.measure:
+        for threads in args.threads:
+            points = run_fig3(threads=threads, dims=tuple(args.dims),
+                              algorithms=tuple(args.algorithms),
+                              mode="measured")
+            print(format_fig3(points))
+            print()
+
+    for threads in args.threads:
+        points = run_fig6(threads=threads, widths=tuple(args.dims),
+                          algorithms=tuple(args.algorithms))
+        print(format_fig6(points))
+        print()
+
+    print("Strategy ablation (hybrid vs BFS vs DFS, <4,4,4> at n=8192, "
+          "6 threads):")
+    for row in run_strategy_ablation():
+        print(f"  {row.strategy:7s} {row.seconds:7.3f}s  "
+              f"{row.relative_to_hybrid:.3f}x hybrid")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""APA and exact bilinear matrix-multiplication algorithms.
+
+The paper's §2 encodes every algorithm as a set of *triplets* of coefficient
+matrices ``(U, V, W)`` whose entries are Laurent polynomials in the APA
+parameter ``lambda``.  This subpackage provides:
+
+- :mod:`repro.algorithms.spec` — the :class:`BilinearAlgorithm` container
+  and its derived properties (rank, sigma, phi, speedup, nnz, error bound);
+- :mod:`repro.algorithms.verify` — exact symbolic verification against the
+  matmul tensor, extraction of the error order ``sigma`` and the leading
+  error tensor ``E``;
+- construction modules (:mod:`classical`, :mod:`strassen`, :mod:`bini`,
+  :mod:`smirnov`) and algebraic :mod:`transforms` (permutation, tensor
+  product, direct sum);
+- :mod:`repro.algorithms.catalog` — the named registry mirroring the
+  paper's Table 1;
+- :mod:`repro.algorithms.search` — a numerical ALS decomposition finder.
+"""
+
+from repro.algorithms.spec import AlgorithmLike, BilinearAlgorithm
+from repro.algorithms.verify import VerificationReport, verify_algorithm
+from repro.algorithms.catalog import get_algorithm, list_algorithms, TABLE1
+
+__all__ = [
+    "AlgorithmLike",
+    "BilinearAlgorithm",
+    "VerificationReport",
+    "verify_algorithm",
+    "get_algorithm",
+    "list_algorithms",
+    "TABLE1",
+]

@@ -1,0 +1,131 @@
+"""Per-algorithm analytics: everything a user wants to know in one report.
+
+Collects, for any catalog entry, the quantities that decide whether to
+use it: dims/rank/speedup, error parameters and floors per precision,
+coefficient sparsity, naive vs CSE-optimized addition counts, workspace
+overhead, and the sequential crossover dimension on the modelled machine.
+Feeds the CLI ``info`` command and the catalog report table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.tables import format_table
+
+__all__ = ["AlgorithmReport", "analyze_algorithm", "catalog_report"]
+
+
+@dataclass(frozen=True)
+class AlgorithmReport:
+    name: str
+    signature: str
+    is_exact: bool
+    is_surrogate: bool
+    speedup_percent: float
+    sigma: int
+    phi: int
+    error_f32: float
+    error_f64: float
+    nnz: tuple[int, int, int]
+    additions_naive: int
+    additions_cse: int | None  # None for surrogates (no coefficients)
+    workspace_overhead: float  # x classical footprint at n=4096
+    crossover_seq: int | None
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.name} {self.signature}"
+            + (" [exact]" if self.is_exact else "")
+            + (" [surrogate]" if self.is_surrogate else ""),
+            f"  ideal speedup : {self.speedup_percent:.0f}% per step",
+            f"  error params  : sigma={self.sigma} phi={self.phi}",
+            f"  error floors  : {self.error_f32:.1e} (f32), "
+            f"{self.error_f64:.1e} (f64)",
+            f"  nonzeros      : U={self.nnz[0]} V={self.nnz[1]} W={self.nnz[2]}",
+            f"  additions     : {self.additions_naive} naive"
+            + (f", {self.additions_cse} with CSE"
+               if self.additions_cse is not None else " (modelled)"),
+            f"  workspace     : +{self.workspace_overhead * 100:.0f}% of the "
+            "classical footprint (n=4096, 1 step)",
+            "  seq crossover : "
+            + (f"n ~ {self.crossover_seq}" if self.crossover_seq
+               else "never below 32768"),
+        ]
+        return "\n".join(lines)
+
+
+def analyze_algorithm(algorithm, crossover: bool = True,
+                      cse_max_rank: int = 200) -> AlgorithmReport:
+    """Build the full report for one algorithm (catalog object or name).
+
+    CSE is greedy-quadratic in the coefficient count, so it is skipped
+    (reported as ``None``) above ``cse_max_rank`` — run it explicitly via
+    :mod:`repro.codegen.cse` for the XL tensor-product rules.
+    """
+    if isinstance(algorithm, str):
+        from repro.algorithms.catalog import get_algorithm
+
+        algorithm = get_algorithm(algorithm)
+
+    from repro.core.memory import workspace_bytes
+
+    additions_cse = None
+    if not algorithm.is_surrogate and algorithm.rank <= cse_max_rank:
+        from repro.codegen.cse import eliminate_common_subexpressions
+
+        additions_cse = (
+            eliminate_common_subexpressions(algorithm.U).additions
+            + eliminate_common_subexpressions(algorithm.V).additions
+            + eliminate_common_subexpressions(algorithm.W.T).additions
+        )
+
+    au, av, aw = algorithm.addition_counts()
+    est = workspace_bytes(algorithm, 4096, 4096, 4096)
+
+    crossover_n = None
+    if crossover:
+        from repro.parallel.autotune import crossover_dimension
+
+        crossover_n = crossover_dimension(algorithm.name, threads=1)
+
+    sigma = 1 if algorithm.is_exact else algorithm.sigma
+    return AlgorithmReport(
+        name=algorithm.name,
+        signature=algorithm.signature(),
+        is_exact=algorithm.is_exact,
+        is_surrogate=algorithm.is_surrogate,
+        speedup_percent=algorithm.speedup_percent,
+        sigma=sigma,
+        phi=algorithm.phi,
+        error_f32=algorithm.error_bound(d=23),
+        error_f64=algorithm.error_bound(d=52),
+        nnz=algorithm.nnz(),
+        additions_naive=au + av + aw,
+        additions_cse=additions_cse,
+        workspace_overhead=est.overhead_vs_classical(4096, 4096, 4096),
+        crossover_seq=crossover_n,
+    )
+
+
+def catalog_report(names=None, crossover: bool = False) -> str:
+    """One-row-per-algorithm summary table of the whole catalog."""
+    from repro.algorithms.catalog import list_algorithms
+
+    names = names or list_algorithms("all")
+    rows = []
+    for name in names:
+        r = analyze_algorithm(name, crossover=crossover)
+        rows.append([
+            r.name, r.signature, f"{r.speedup_percent:.0f}%",
+            r.sigma, r.phi, f"{r.error_f32:.0e}",
+            r.additions_naive,
+            r.additions_cse if r.additions_cse is not None else "-",
+            "surrogate" if r.is_surrogate else
+            ("exact" if r.is_exact else "APA"),
+        ])
+    return format_table(
+        ["name", "dims:rank", "speedup", "sigma", "phi", "err@f32",
+         "adds", "adds(CSE)", "kind"],
+        rows, title="Catalog report",
+    )

@@ -1,0 +1,80 @@
+"""Bini's APA ``<3,2,2>`` rank-10 algorithm (paper §2.2) and relatives.
+
+This is the rule reproduced verbatim in the paper, with one correction: the
+paper text (as provided) lists ``M10 = (lam*A31 + A32)(B12 - lam*B22)``,
+which is identical in its B-part to ``M9`` and does not verify.  Symbolic
+re-derivation — enforcing ``C21 = A21*B11 + A22*B21 + O(lam)``,
+``C31 = lam**-1 (-M8 + M10)`` = ``A31*B11 + A32*B21 + O(lam)`` — yields
+
+    M10 = (lam*A31 + A32) * (B11 + lam*B21)
+
+with which the whole rule satisfies eq. (1) with sigma = 1 and phi = 1
+(our verifier proves this over exact rational arithmetic).
+
+The algorithm's structure — two overlapping rank-5 *partial* 2x2 products
+sharing the middle row of A — also yields a construction for stacking rules
+along the first dimension; see :func:`repro.algorithms.transforms.stack_m`.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.dsl import L, Li, rule_to_algorithm
+from repro.algorithms.spec import BilinearAlgorithm
+
+__all__ = ["bini322_algorithm"]
+
+
+def bini322_algorithm() -> BilinearAlgorithm:
+    """Bini, Capovani, Romani & Lotti's ``<3,2,2>`` rank-10 APA rule.
+
+    M1  = (A11 + A22)(lam*B11 + B22)     C11 = lam**-1 (M1 + M2 - M3 + M4)
+    M2  = A22 (-B21 - B22)               C12 = lam**-1 (-M3 + M5)
+    M3  = A11 B22                        C21 = M4 + M6 - M10
+    M4  = (lam*A12 + A22)(-lam*B11 + B21)  C22 = M1 - M5 + M9
+    M5  = (A11 + lam*A12)(lam*B12 + B22) C31 = lam**-1 (-M8 + M10)
+    M6  = (A21 + A32)(B11 + lam*B22)     C32 = lam**-1 (M6 + M7 - M8 + M9)
+    M7  = A21 (-B11 - B12)
+    M8  = A32 B11
+    M9  = (A21 + lam*A31)(B12 - lam*B22)
+    M10 = (lam*A31 + A32)(B11 + lam*B21)   [corrected; see module docstring]
+
+    Error: ``C_hat = A @ B + lam * E + O(lam**2)`` with, e.g.,
+    ``E11 = -A12 * B11`` (paper reports the magnitude entry A12*B11).
+    """
+    a = [
+        {(0, 0): 1, (1, 1): 1},          # M1: A11 + A22
+        {(1, 1): 1},                     # M2: A22
+        {(0, 0): 1},                     # M3: A11
+        {(0, 1): L, (1, 1): 1},          # M4: lam A12 + A22
+        {(0, 0): 1, (0, 1): L},          # M5: A11 + lam A12
+        {(1, 0): 1, (2, 1): 1},          # M6: A21 + A32
+        {(1, 0): 1},                     # M7: A21
+        {(2, 1): 1},                     # M8: A32
+        {(1, 0): 1, (2, 0): L},          # M9: A21 + lam A31
+        {(2, 0): L, (2, 1): 1},          # M10: lam A31 + A32
+    ]
+    b = [
+        {(0, 0): L, (1, 1): 1},          # M1: lam B11 + B22
+        {(1, 0): -1, (1, 1): -1},        # M2: -B21 - B22
+        {(1, 1): 1},                     # M3: B22
+        {(0, 0): -L, (1, 0): 1},         # M4: -lam B11 + B21
+        {(0, 1): L, (1, 1): 1},          # M5: lam B12 + B22
+        {(0, 0): 1, (1, 1): L},          # M6: B11 + lam B22
+        {(0, 0): -1, (0, 1): -1},        # M7: -B11 - B12
+        {(0, 0): 1},                     # M8: B11
+        {(0, 1): 1, (1, 1): -L},         # M9: B12 - lam B22
+        {(0, 0): 1, (1, 0): L},          # M10: B11 + lam B21 (corrected)
+    ]
+    c = {
+        (0, 0): {0: Li, 1: Li, 2: -Li, 3: Li},
+        (0, 1): {2: -Li, 4: Li},
+        (1, 0): {3: 1, 5: 1, 9: -1},
+        (1, 1): {0: 1, 4: -1, 8: 1},
+        (2, 0): {7: -Li, 9: Li},
+        (2, 1): {5: Li, 6: Li, 7: -Li, 8: Li},
+    }
+    return rule_to_algorithm(
+        "bini322", 3, 2, 2, a, b, c,
+        source="Bini, Capovani, Romani, Lotti 1979 (IPL 8:5); rule as in "
+               "Ballard et al. 2021 §2.2 with corrected M10",
+    )

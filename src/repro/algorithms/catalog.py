@@ -1,0 +1,229 @@
+"""The named algorithm registry mirroring the paper's Table 1.
+
+Two kinds of entries:
+
+- **real** algorithms, constructed (and symbolically verifiable) from the
+  paper's Bini rule, Strassen, and the algebraic transforms — these have
+  full Laurent coefficient matrices and run through the generic executor;
+- **surrogate** algorithms (:mod:`repro.algorithms.smirnov`) carrying the
+  exact Table-1 metadata for the rules whose coefficients are not
+  recoverable offline.
+
+``TABLE1`` lists the paper's table rows in order; :func:`get_algorithm`
+resolves any catalog name.  Construction is lazy and cached — building the
+tensor-product algorithms costs a little symbolic work that most callers
+never need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algorithms.bini import bini322_algorithm
+from repro.algorithms.classical import classical_algorithm
+from repro.algorithms.smirnov import SurrogateAlgorithm
+from repro.algorithms.spec import AlgorithmLike
+from repro.algorithms.strassen import strassen_algorithm, strassen_winograd_algorithm
+from repro.algorithms.transforms import permute, stack_m, tensor_product
+
+__all__ = ["get_algorithm", "list_algorithms", "TABLE1", "Table1Row", "PAPER_ALGORITHMS"]
+
+
+# ----------------------------------------------------------------------
+# real constructions
+# ----------------------------------------------------------------------
+
+
+def _bini232():
+    return permute(bini322_algorithm(), (1, 0, 2), name="bini232")
+
+
+def _bini223():
+    return permute(bini322_algorithm(), (1, 2, 0), name="bini223")
+
+
+def _strassen_squared():
+    return tensor_product(
+        strassen_algorithm(), strassen_algorithm(), name="strassen444"
+    )
+
+
+def _bini_x_strassen():
+    return tensor_product(
+        bini322_algorithm(), strassen_algorithm(), name="bini322xstrassen"
+    )
+
+
+def _bini_x_bini():
+    return tensor_product(bini322_algorithm(), bini322_algorithm(), name="bini322sq")
+
+
+def _pad422():
+    return tensor_product(
+        classical_algorithm(2, 1, 1), strassen_algorithm(), name="strassen422"
+    )
+
+
+def _bini_stack522():
+    return stack_m(bini322_algorithm(), strassen_algorithm(), name="bini522")
+
+
+def _strassen_cubed():
+    return tensor_product(
+        strassen_algorithm(), _strassen_squared(), name="strassen888"
+    )
+
+
+def _bini_x_strassen444():
+    return tensor_product(
+        bini322_algorithm(), _strassen_squared(), name="bini322xstrassen444"
+    )
+
+
+_REAL_FACTORIES: dict[str, Callable[[], AlgorithmLike]] = {
+    "classical222": lambda: classical_algorithm(2, 2, 2),
+    "classical333": lambda: classical_algorithm(3, 3, 3),
+    "strassen222": strassen_algorithm,
+    "winograd222": strassen_winograd_algorithm,
+    "bini322": bini322_algorithm,
+    "bini232": _bini232,
+    "bini223": _bini223,
+    # <4,4,4>:49 exact — Strassen applied twice in one rule
+    "strassen444": _strassen_squared,
+    # <6,4,4>:70 APA, phi=1 — Bini (x) Strassen
+    "bini322xstrassen": _bini_x_strassen,
+    # <9,4,4>:100 APA, phi=2 — Bini (x) Bini (auto-graded tensor product)
+    "bini322sq": _bini_x_bini,
+    # <4,2,2>:14 exact — <2,1,1> (x) Strassen
+    "strassen422": _pad422,
+    # <5,2,2>:17 APA — Bini stacked on Strassen rows
+    "bini522": _bini_stack522,
+    # <8,8,8>:343 exact — Strassen applied three times in one rule (49%)
+    "strassen888": _strassen_cubed,
+    # <12,8,8>:490 APA, phi=1 — the strongest fully-coefficiented rule in
+    # the catalog: 57% theoretical speedup at Bini's 3.5e-4 error floor
+    "bini322xstrassen444": _bini_x_strassen444,
+}
+
+
+# ----------------------------------------------------------------------
+# surrogate constructions (paper Table 1 rows with unavailable coefficients)
+# ----------------------------------------------------------------------
+
+_SURROGATE_SPECS: dict[str, dict] = {
+    "alekseev422": dict(m=4, n=2, k=2, _rank=13, _phi=2,
+                        ref="[1] Alekseev & Smirnov 2013"),
+    "smirnov332": dict(m=3, n=3, k=2, _rank=14, _phi=3, ref="[25] Smirnov 2013"),
+    "smirnov522": dict(m=5, n=2, k=2, _rank=16, _phi=3, ref="[25] Smirnov 2013"),
+    "smirnov333": dict(m=3, n=3, k=3, _rank=20, _phi=6, ref="[25] Smirnov 2013"),
+    "schonhage333": dict(m=3, n=3, k=3, _rank=21, _phi=2,
+                         ref="[23] Schönhage 1981"),
+    "smirnov722": dict(m=7, n=2, k=2, _rank=22, _phi=5, error_prefactor=0.25,
+                       ref="[27] Smirnov 2015"),
+    "smirnov442": dict(m=4, n=4, k=2, _rank=24, _phi=3, ref="[29] Smirnov 2016"),
+    "smirnov433": dict(m=4, n=3, k=3, _rank=27, _phi=3, ref="[28] Smirnov 2016"),
+    "smirnov552": dict(m=5, n=5, k=2, _rank=37, _phi=3, ref="[29] Smirnov 2016"),
+    "smirnov444": dict(m=4, n=4, k=4, _rank=46, _phi=3, ref="[26] Smirnov 2014"),
+    "smirnov555": dict(m=5, n=5, k=5, _rank=90, _phi=3, error_prefactor=0.25,
+                       ref="[30] Smirnov 2018"),
+}
+
+
+def _surrogate_factory(name: str) -> Callable[[], AlgorithmLike]:
+    spec = _SURROGATE_SPECS[name]
+
+    def build() -> AlgorithmLike:
+        return SurrogateAlgorithm(
+            name=name,
+            source="surrogate from Table-1 metadata (see DESIGN.md §2)",
+            **spec,
+        )
+
+    return build
+
+
+_FACTORIES: dict[str, Callable[[], AlgorithmLike]] = dict(_REAL_FACTORIES)
+for _name in _SURROGATE_SPECS:
+    _FACTORIES[_name] = _surrogate_factory(_name)
+
+_CACHE: dict[str, AlgorithmLike] = {}
+
+
+def get_algorithm(name: str) -> AlgorithmLike:
+    """Resolve a catalog name to an (cached) algorithm instance.
+
+    Raises ``KeyError`` with the available names when unknown.
+    """
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(_FACTORIES)}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = _FACTORIES[name]()
+    return _CACHE[name]
+
+
+def list_algorithms(kind: str = "all") -> list[str]:
+    """Names in the catalog, optionally filtered.
+
+    ``kind`` is one of ``'all'``, ``'real'`` (full coefficients),
+    ``'surrogate'``, ``'apa'``, ``'exact'``, ``'table1'`` (the paper's
+    evaluation set, in table order).
+    """
+    if kind == "all":
+        return sorted(_FACTORIES)
+    if kind == "real":
+        return sorted(_REAL_FACTORIES)
+    if kind == "surrogate":
+        return sorted(_SURROGATE_SPECS)
+    if kind == "table1":
+        return [row.name for row in TABLE1]
+    if kind in ("apa", "exact"):
+        names = []
+        for name in sorted(_FACTORIES):
+            alg = get_algorithm(name)
+            if (kind == "apa") == (not alg.is_exact):
+                names.append(name)
+        return names
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1 (expected values, for assertions)."""
+
+    ref: str
+    name: str
+    dims: tuple[int, int, int]
+    rank: int
+    speedup_percent: int | None  # None for the classical row ("-")
+    sigma: int
+    phi: int
+    error: float  # at d=23, one recursive step
+
+
+TABLE1: tuple[Table1Row, ...] = (
+    Table1Row("-", "classical222", (2, 2, 2), 8, None, 1, 0, 1.2e-7),
+    Table1Row("[6]", "bini322", (3, 2, 2), 10, 20, 1, 1, 3.5e-4),
+    Table1Row("[1]", "alekseev422", (4, 2, 2), 13, 23, 1, 2, 4.9e-3),
+    Table1Row("[25]", "smirnov332", (3, 3, 2), 14, 29, 1, 3, 1.9e-2),
+    Table1Row("[25]", "smirnov522", (5, 2, 2), 16, 25, 1, 3, 1.9e-2),
+    Table1Row("[25]", "smirnov333", (3, 3, 3), 20, 35, 1, 6, 1.0e-1),
+    Table1Row("[23]", "schonhage333", (3, 3, 3), 21, 29, 1, 2, 4.9e-3),
+    Table1Row("[27]", "smirnov722", (7, 2, 2), 22, 27, 1, 5, 7.0e-2),
+    Table1Row("[29]", "smirnov442", (4, 4, 2), 24, 33, 1, 3, 1.9e-2),
+    Table1Row("[28]", "smirnov433", (4, 3, 3), 27, 33, 1, 3, 1.9e-2),
+    Table1Row("[29]", "smirnov552", (5, 5, 2), 37, 35, 1, 3, 1.9e-2),
+    Table1Row("[26]", "smirnov444", (4, 4, 4), 46, 39, 1, 3, 1.9e-2),
+    Table1Row("[30]", "smirnov555", (5, 5, 5), 90, 39, 1, 3, 1.9e-2),
+)
+
+#: The algorithm set used throughout the paper's evaluation figures
+#: (every Table-1 row except the classical baseline).
+PAPER_ALGORITHMS: tuple[str, ...] = tuple(row.name for row in TABLE1[1:])

@@ -1,0 +1,49 @@
+"""The classical (rank ``m*n*k``) algorithm for any dims.
+
+Included both as the baseline row of Table 1 and because the execution
+engine treats "classical" uniformly with fast algorithms (it is simply the
+trivial rank-``mnk`` decomposition of the matmul tensor, with phi = 0 and no
+approximation error).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.spec import BilinearAlgorithm, coeff_matrix
+from repro.linalg.laurent import Laurent
+from repro.linalg.tensor import a_index, b_index, c_index
+
+__all__ = ["classical_algorithm"]
+
+
+def classical_algorithm(m: int, n: int, k: int) -> BilinearAlgorithm:
+    """Build the exact rank-``m*n*k`` classical rule for ``<m, n, k>``.
+
+    Multiplication ``(i, l, j)`` computes ``A[i, l] * B[l, j]`` and
+    contributes with coefficient 1 to ``C[i, j]``.
+    """
+    r = m * n * k
+    U = coeff_matrix(m * n, r)
+    V = coeff_matrix(n * k, r)
+    W = coeff_matrix(m * k, r)
+    one = Laurent.one()
+    col = 0
+    for i in range(m):
+        for l in range(n):
+            for j in range(k):
+                U[a_index(i, l, m, n), col] = one
+                V[b_index(l, j, n, k), col] = one
+                W[c_index(i, j, m, k), col] = one
+                col += 1
+    alg = BilinearAlgorithm(
+        name=f"classical{m}{n}{k}",
+        m=m,
+        n=n,
+        k=k,
+        U=U,
+        V=V,
+        W=W,
+        source="classical definition of matrix multiplication",
+    )
+    alg._sigma = 0
+    alg._exact = True
+    return alg

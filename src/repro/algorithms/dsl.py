@@ -1,0 +1,101 @@
+"""A tiny rule DSL mirroring how papers present bilinear algorithms.
+
+Papers write algorithms as a list of products of linear combinations::
+
+    M1 = (A11 + A22) * (lam*B11 + B22)
+    ...
+    C11 = lam**-1 * (M1 + M2 - M3 + M4)
+
+Transcribing that into flat ``(U, V, W)`` coefficient matrices by hand is
+error-prone, so :func:`rule_to_algorithm` accepts the rule in a structured
+form that visually matches the paper text:
+
+- ``a_combos[i]`` — mapping ``(row, col) -> coeff`` for the A-side linear
+  combination of multiplication ``M_{i+1}``;
+- ``b_combos[i]`` — same for the B side;
+- ``c_combos[(row, col)]`` — mapping ``mult_index -> coeff`` giving the
+  linear combination of products forming that output entry.
+
+Coefficients may be ints, floats, Fractions, or Laurent polynomials; the
+helpers :data:`L`, :data:`Li` (``lambda`` and ``lambda**-1``) keep rules
+readable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algorithms.spec import BilinearAlgorithm, coeff_matrix
+from repro.linalg.laurent import Laurent
+from repro.linalg.tensor import a_index, b_index, c_index
+
+__all__ = ["L", "Li", "rule_to_algorithm"]
+
+#: The monomial ``lambda`` — for writing rules like ``{(0, 0): L}``.
+L = Laurent.lam(1)
+#: The monomial ``lambda**-1``.
+Li = Laurent.lam(-1)
+
+
+def _as_laurent(value) -> Laurent:
+    return value if isinstance(value, Laurent) else Laurent.const(value)
+
+
+def rule_to_algorithm(
+    name: str,
+    m: int,
+    n: int,
+    k: int,
+    a_combos: list[Mapping[tuple[int, int], object]],
+    b_combos: list[Mapping[tuple[int, int], object]],
+    c_combos: Mapping[tuple[int, int], Mapping[int, object]],
+    source: str = "",
+) -> BilinearAlgorithm:
+    """Assemble a :class:`BilinearAlgorithm` from paper-style combinations.
+
+    ``a_combos`` and ``b_combos`` must have equal length ``r`` (the rank).
+    Multiplication indices in ``c_combos`` are **zero-based**.  Matrix
+    indices are zero-based ``(row, col)`` — the paper's ``A11`` is
+    ``(0, 0)``.
+    """
+    r = len(a_combos)
+    if len(b_combos) != r:
+        raise ValueError(
+            f"rank mismatch: {r} A-combinations vs {len(b_combos)} B-combinations"
+        )
+    if r < 1:
+        raise ValueError("an algorithm needs at least one multiplication")
+
+    U = coeff_matrix(m * n, r)
+    V = coeff_matrix(n * k, r)
+    W = coeff_matrix(m * k, r)
+
+    for i, combo in enumerate(a_combos):
+        if not combo:
+            raise ValueError(f"multiplication M{i + 1} has an empty A combination")
+        for (row, col), coeff in combo.items():
+            U[a_index(row, col, m, n), i] = _as_laurent(coeff)
+
+    for i, combo in enumerate(b_combos):
+        if not combo:
+            raise ValueError(f"multiplication M{i + 1} has an empty B combination")
+        for (row, col), coeff in combo.items():
+            V[b_index(row, col, n, k), i] = _as_laurent(coeff)
+
+    seen_outputs = set()
+    for (row, col), contributions in c_combos.items():
+        q = c_index(row, col, m, k)
+        seen_outputs.add(q)
+        for mult, coeff in contributions.items():
+            if not (0 <= mult < r):
+                raise ValueError(
+                    f"output C{row + 1}{col + 1} references M{mult + 1}, "
+                    f"but rank is {r}"
+                )
+            W[q, mult] = _as_laurent(coeff)
+
+    if len(seen_outputs) != m * k:
+        missing = m * k - len(seen_outputs)
+        raise ValueError(f"{missing} output entries have no combination")
+
+    return BilinearAlgorithm(name=name, m=m, n=n, k=k, U=U, V=V, W=W, source=source)

@@ -1,0 +1,116 @@
+"""Serialization of bilinear algorithms (interchange format).
+
+Open-source fast-matmul collections (Benson & Ballard's repository, the
+source of the paper's framework) exchange algorithms as coefficient
+files.  We provide a JSON schema carrying exact coefficients: every
+Laurent coefficient is a list of ``[exponent, numerator, denominator]``
+triples, so round-trips are lossless and files are diffable.
+
+Schema (version 1)::
+
+    {
+      "format": "repro-bilinear", "version": 1,
+      "name": "...", "m": 3, "n": 2, "k": 2, "rank": 10,
+      "source": "...",
+      "U": [[row, col, [[exp, num, den], ...]], ...],   # nonzeros only
+      "V": [...], "W": [...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.spec import BilinearAlgorithm, coeff_matrix
+from repro.linalg.laurent import Laurent
+
+__all__ = ["to_json", "from_json", "save_algorithm", "load_algorithm"]
+
+_FORMAT = "repro-bilinear"
+_VERSION = 1
+
+
+def _encode_matrix(M: np.ndarray) -> list:
+    entries = []
+    for (row, col), coeff in np.ndenumerate(M):
+        if not coeff:
+            continue
+        terms = [[exp, c.numerator, c.denominator]
+                 for exp, c in sorted(coeff.terms.items())]
+        entries.append([int(row), int(col), terms])
+    return entries
+
+
+def _decode_matrix(entries: list, rows: int, cols: int) -> np.ndarray:
+    M = coeff_matrix(rows, cols)
+    for row, col, terms in entries:
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise ValueError(f"entry ({row},{col}) out of range {rows}x{cols}")
+        M[row, col] = Laurent(
+            {int(exp): Fraction(int(num), int(den)) for exp, num, den in terms}
+        )
+    return M
+
+
+def to_json(alg: BilinearAlgorithm, indent: int | None = None) -> str:
+    """Serialize a (real) algorithm to the interchange JSON."""
+    if alg.is_surrogate:
+        raise ValueError(f"surrogate {alg.name!r} has no coefficients to save")
+    doc = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "name": alg.name,
+        "m": alg.m,
+        "n": alg.n,
+        "k": alg.k,
+        "rank": alg.rank,
+        "source": alg.source,
+        "U": _encode_matrix(alg.U),
+        "V": _encode_matrix(alg.V),
+        "W": _encode_matrix(alg.W),
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def from_json(text: str) -> BilinearAlgorithm:
+    """Parse the interchange JSON back into an algorithm.
+
+    Validates the header and shapes; symbolic re-verification is the
+    caller's choice (files may legitimately carry work-in-progress
+    rules), but :func:`load_algorithm` verifies by default.
+    """
+    doc = json.loads(text)
+    if doc.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} file")
+    if doc.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {doc.get('version')!r}")
+    m, n, k, rank = (int(doc[key]) for key in ("m", "n", "k", "rank"))
+    return BilinearAlgorithm(
+        name=str(doc["name"]),
+        m=m, n=n, k=k,
+        U=_decode_matrix(doc["U"], m * n, rank),
+        V=_decode_matrix(doc["V"], n * k, rank),
+        W=_decode_matrix(doc["W"], m * k, rank),
+        source=str(doc.get("source", "")),
+    )
+
+
+def save_algorithm(alg: BilinearAlgorithm, path: str | Path) -> Path:
+    """Write an algorithm file (pretty-printed)."""
+    path = Path(path)
+    path.write_text(to_json(alg, indent=2) + "\n")
+    return path
+
+
+def load_algorithm(path: str | Path, verify: bool = True) -> BilinearAlgorithm:
+    """Read an algorithm file; symbolically verify unless told not to."""
+    alg = from_json(Path(path).read_text())
+    if verify:
+        from repro.algorithms.verify import assert_valid
+
+        assert_valid(alg)
+    return alg

@@ -1,0 +1,273 @@
+"""Partial matrix multiplication — the construction behind Bini's rule.
+
+Bini, Capovani, Lotti & Romani (1979) did not find their ``<3,2,2>:10``
+algorithm directly: they found a rank-5 *partial* algorithm that
+approximately computes three of the four entry-products of a 2x2 product
+(one input entry unused), and glued two copies along a shared row of
+``A``.  This module makes that construction executable and checkable:
+
+- a :class:`PartialTarget` names the subset of the matmul tensor an
+  algorithm must reproduce (which ``A`` entries exist, which ``C``
+  entries are owed which products);
+- :func:`verify_partial` proves a triplet set against a partial target
+  over exact rational arithmetic (same standard as the full verifier);
+- :func:`bini_partial_upper` / :func:`bini_partial_lower` are the two
+  rank-5 halves of Bini's rule, each verified against its target;
+- :func:`assemble_bini322` glues them and (verifiably) reproduces the
+  catalog's full ``<3,2,2>:10`` rule.
+
+Beyond its historical interest, the partial machinery is the natural
+representation for algorithms with structured-zero operands (triangular
+A), which is where these cores apply directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.spec import BilinearAlgorithm, coeff_matrix
+from repro.linalg.laurent import Laurent
+from repro.linalg.tensor import a_index, b_index, c_index, matmul_tensor, triple_product_tensor
+
+__all__ = [
+    "PartialTarget",
+    "verify_partial",
+    "bini_partial_upper",
+    "bini_partial_lower",
+    "assemble_bini322",
+]
+
+L = Laurent.lam(1)
+Li = Laurent.lam(-1)
+
+
+@dataclass(frozen=True)
+class PartialTarget:
+    """A subset of the ``<m,n,k>`` matmul tensor to be computed.
+
+    ``products`` lists the required scalar products as
+    ``((i, l), (l, j))`` index pairs, i.e. ``A[i,l] * B[l,j]`` must appear
+    (with coefficient 1) in ``C[i,j]``.  Products not listed must appear
+    with coefficient 0 at lambda**0.  ``forbidden_a`` lists ``A`` entries
+    the algorithm may not read at all (Bini's upper core never touches
+    the lower-left entry).
+    """
+
+    m: int
+    n: int
+    k: int
+    products: frozenset
+    forbidden_a: frozenset = frozenset()
+
+    @classmethod
+    def make(cls, m, n, k, products, forbidden_a=()):
+        return cls(m=m, n=n, k=k,
+                   products=frozenset(products),
+                   forbidden_a=frozenset(forbidden_a))
+
+    def target_tensor(self) -> np.ndarray:
+        """The partial tensor: 1 at required products, 0 elsewhere."""
+        T = np.zeros((self.m * self.n, self.n * self.k, self.m * self.k),
+                     dtype=np.int8)
+        for (i, l), (l2, j) in self.products:
+            if l != l2:
+                raise ValueError(f"product ((A{i}{l}),(B{l2}{j})) is not a "
+                                 "matmul term")
+            T[a_index(i, l, self.m, self.n),
+              b_index(l, j, self.n, self.k),
+              c_index(i, j, self.m, self.k)] = 1
+        return T
+
+
+@dataclass(frozen=True)
+class PartialReport:
+    valid: bool
+    sigma: int
+    failures: tuple[str, ...]
+
+
+def verify_partial(U: np.ndarray, V: np.ndarray, W: np.ndarray,
+                   target: PartialTarget) -> PartialReport:
+    """Prove a triplet set computes exactly the target's products.
+
+    Conditions: (1) forbidden ``A`` rows of ``U`` are identically zero,
+    (2) no negative lambda powers survive the contraction, (3) the
+    lambda**0 term equals the partial target tensor everywhere.
+    """
+    failures: list[str] = []
+    for (i, l) in target.forbidden_a:
+        row = a_index(i, l, target.m, target.n)
+        if any(U[row, t] for t in range(U.shape[1])):
+            failures.append(f"forbidden A entry ({i},{l}) is read")
+
+    T = target.target_tensor()
+    S = triple_product_tensor(U, V, W)
+    sigma = 0
+    for idx in np.ndindex(S.shape):
+        diff = S[idx] - Laurent.const(int(T[idx]))
+        if diff.is_zero():
+            continue
+        lo = diff.min_exponent()
+        if lo <= 0:
+            failures.append(f"entry {idx}: lambda**{lo} term {diff.coeff(lo)}")
+            continue
+        sigma = lo if sigma == 0 else min(sigma, lo)
+    return PartialReport(valid=not failures, sigma=sigma,
+                         failures=tuple(failures))
+
+
+def bini_partial_upper() -> tuple[np.ndarray, np.ndarray, np.ndarray, PartialTarget]:
+    """Bini's rank-5 partial core on a 2x2 problem, upper form.
+
+    Never reads ``A21``.  Computes (approximately, sigma = 1):
+
+        C11 = A11 B11 + A12 B21        (complete)
+        C12 = A11 B12 + A12 B22        (complete)
+        C21 = A22 B21                  (the A-column-2 part only)
+        C22 = A22 B22                  (the A-column-2 part only)
+
+    These are multiplications M1-M5 of the full rule with row indices
+    (1, 2) mapped onto the 2x2 block.
+    """
+    # A combos over a 2x2 A (row-major: A11,A12,A21,A22 -> 0..3)
+    a = [
+        {(0, 0): Laurent.one(), (1, 1): Laurent.one()},   # A11 + A22
+        {(1, 1): Laurent.one()},                          # A22
+        {(0, 0): Laurent.one()},                          # A11
+        {(0, 1): L, (1, 1): Laurent.one()},               # lam A12 + A22
+        {(0, 0): Laurent.one(), (0, 1): L},               # A11 + lam A12
+    ]
+    b = [
+        {(0, 0): L, (1, 1): Laurent.one()},               # lam B11 + B22
+        {(1, 0): Laurent.const(-1), (1, 1): Laurent.const(-1)},
+        {(1, 1): Laurent.one()},                          # B22
+        {(0, 0): -L, (1, 0): Laurent.one()},              # -lam B11 + B21
+        {(0, 1): L, (1, 1): Laurent.one()},               # lam B12 + B22
+    ]
+    c = {
+        (0, 0): {0: Li, 1: Li, 2: -Li, 3: Li},
+        (0, 1): {2: -Li, 4: Li},
+        (1, 0): {3: 1},            # M4 ~ A22 B21 + O(lam)
+        (1, 1): {0: 1, 4: -1},     # M1 - M5 ~ A22 B22 + O(lam)
+    }
+    U = coeff_matrix(4, 5)
+    V = coeff_matrix(4, 5)
+    W = coeff_matrix(4, 5)
+    for t, combo in enumerate(a):
+        for (i, j), coeff in combo.items():
+            U[a_index(i, j, 2, 2), t] = coeff
+    for t, combo in enumerate(b):
+        for (i, j), coeff in combo.items():
+            V[b_index(i, j, 2, 2), t] = coeff
+    for (i, j), contrib in c.items():
+        for t, coeff in contrib.items():
+            W[c_index(i, j, 2, 2), t] = coeff if isinstance(coeff, Laurent) \
+                else Laurent.const(coeff)
+    target = PartialTarget.make(
+        2, 2, 2,
+        products=[
+            ((0, 0), (0, 0)), ((0, 1), (1, 0)),   # C11 complete
+            ((0, 0), (0, 1)), ((0, 1), (1, 1)),   # C12 complete
+            ((1, 1), (1, 0)),                     # C21: A22 B21 only
+            ((1, 1), (1, 1)),                     # C22: A22 B22 only
+        ],
+        forbidden_a=[(1, 0)],
+    )
+    return U, V, W, target
+
+
+def bini_partial_lower() -> tuple[np.ndarray, np.ndarray, np.ndarray, PartialTarget]:
+    """The mirrored rank-5 core (multiplications M6-M10 of the full rule).
+
+    Never reads ``A12`` (of its own 2x2 block).  Computes C21, C22
+    completely and the A-column-1 parts of C11, C12.
+    """
+    a = [
+        {(0, 0): Laurent.one(), (1, 1): Laurent.one()},   # A11 + A22 (M6)
+        {(0, 0): Laurent.one()},                          # A11        (M7)
+        {(1, 1): Laurent.one()},                          # A22        (M8)
+        {(0, 0): Laurent.one(), (1, 0): L},               # A11 + lam A21 (M9)
+        {(1, 0): L, (1, 1): Laurent.one()},               # lam A21 + A22 (M10)
+    ]
+    b = [
+        {(0, 0): Laurent.one(), (1, 1): L},               # B11 + lam B22
+        {(0, 0): Laurent.const(-1), (0, 1): Laurent.const(-1)},
+        {(0, 0): Laurent.one()},                          # B11
+        {(0, 1): Laurent.one(), (1, 1): -L},              # B12 - lam B22
+        {(0, 0): Laurent.one(), (1, 0): L},               # B11 + lam B21
+    ]
+    c = {
+        (0, 0): {0: 1, 4: -1},     # M6 - M10 ~ A11 B11 + O(lam)
+        (0, 1): {3: 1},            # M9 ~ A11 B12 + O(lam)
+        (1, 0): {2: -Li, 4: Li},
+        (1, 1): {0: Li, 1: Li, 2: -Li, 3: Li},
+    }
+    U = coeff_matrix(4, 5)
+    V = coeff_matrix(4, 5)
+    W = coeff_matrix(4, 5)
+    for t, combo in enumerate(a):
+        for (i, j), coeff in combo.items():
+            U[a_index(i, j, 2, 2), t] = coeff
+    for t, combo in enumerate(b):
+        for (i, j), coeff in combo.items():
+            V[b_index(i, j, 2, 2), t] = coeff
+    for (i, j), contrib in c.items():
+        for t, coeff in contrib.items():
+            W[c_index(i, j, 2, 2), t] = coeff if isinstance(coeff, Laurent) \
+                else Laurent.const(coeff)
+    target = PartialTarget.make(
+        2, 2, 2,
+        products=[
+            ((0, 0), (0, 0)),                     # C11: A11 B11 only
+            ((0, 0), (0, 1)),                     # C12: A11 B12 only
+            ((1, 0), (0, 0)), ((1, 1), (1, 0)),   # C21 complete
+            ((1, 0), (0, 1)), ((1, 1), (1, 1)),   # C22 complete
+        ],
+        forbidden_a=[(0, 1)],
+    )
+    return U, V, W, target
+
+
+def assemble_bini322(name: str = "bini322_assembled") -> BilinearAlgorithm:
+    """Glue the two partial cores into the full ``<3,2,2>:10`` rule.
+
+    The upper core acts on rows (1, 2) of the 3-row ``A``; the lower core
+    on rows (2, 3).  Row 2's products are split between them: the upper
+    core supplies the ``A[2,2]`` column, the lower core the ``A[2,1]``
+    column (reading the shared row through its own index map).  The
+    result must verify as a full APA algorithm — the test suite checks it
+    matches the catalog rule's error structure.
+    """
+    m, n, k = 3, 2, 2
+    U = coeff_matrix(m * n, 10)
+    V = coeff_matrix(n * k, 10)
+    W = coeff_matrix(m * k, 10)
+
+    uU, uV, uW, _ = bini_partial_upper()
+    lU, lV, lW, _ = bini_partial_lower()
+
+    def place(block_U, block_V, block_W, row_map, col_offset):
+        for t in range(5):
+            for i2 in range(2):
+                for j2 in range(2):
+                    cu = block_U[a_index(i2, j2, 2, 2), t]
+                    if cu:
+                        U[a_index(row_map[i2], j2, m, n), col_offset + t] = cu
+                    cw = block_W[c_index(i2, j2, 2, 2), t]
+                    if cw:
+                        W[c_index(row_map[i2], j2, m, k), col_offset + t] = \
+                            W[c_index(row_map[i2], j2, m, k), col_offset + t] + cw
+            for s in range(4):
+                cv = block_V[s, t]
+                if cv:
+                    V[s, col_offset + t] = cv
+
+    place(uU, uV, uW, row_map={0: 0, 1: 1}, col_offset=0)
+    place(lU, lV, lW, row_map={0: 1, 1: 2}, col_offset=5)
+
+    return BilinearAlgorithm(
+        name=name, m=m, n=n, k=k, U=U, V=V, W=W,
+        source="assembled from Bini's two rank-5 partial cores",
+    )

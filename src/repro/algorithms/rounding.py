@@ -1,0 +1,157 @@
+"""Turn numerical ALS factors into exact, verified algorithms.
+
+ALS (:mod:`repro.algorithms.search`) produces *floating-point* factor
+matrices.  Published fast algorithms have small rational coefficients, so
+a converged ALS solution usually sits near an exact one; this module
+recovers it:
+
+1. :func:`normalize_factors` rescales each rank-1 term so its largest
+   ``U``/``V`` coefficients are +-1 (the scale freedom
+   ``(aU) x (bV) x (W/(ab))`` is fixed arbitrarily by ALS);
+2. :func:`round_factors` snaps every coefficient to the nearest small
+   rational from a menu (0, +-1, +-1/2, ...);
+3. :func:`factors_to_algorithm` packages the snapped factors as a
+   :class:`~repro.algorithms.spec.BilinearAlgorithm` and runs the exact
+   symbolic verifier — only a *proof-carrying* algorithm is returned.
+
+Caveat (and why Smirnov's papers spend most of their effort here): the
+matmul tensor has a large continuous symmetry group — any
+``(P, Q, R) in GL x GL x GL`` acting on the three factor modes maps a
+decomposition to another decomposition — so a *generic* converged ALS run
+lands on a random orbit point with irrational-looking coefficients.
+Rounding then correctly refuses.  Recovering a rational representative
+requires an orbit-sparsification search, which is out of scope; the
+pipeline certifies solutions that are already near a rational point
+(e.g. ALS runs warm-started there, or hand-perturbed published factors)
+and is exercised that way in the tests.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.algorithms.search import ALSResult
+from repro.algorithms.spec import BilinearAlgorithm, coeff_matrix
+from repro.algorithms.verify import verify_algorithm
+from repro.linalg.laurent import Laurent
+
+__all__ = [
+    "DEFAULT_MENU",
+    "normalize_factors",
+    "round_factors",
+    "factors_to_algorithm",
+    "als_to_algorithm",
+]
+
+#: Coefficient values seen in published exact algorithms.
+DEFAULT_MENU: tuple[Fraction, ...] = tuple(
+    Fraction(n, d) for n in (-4, -3, -2, -1, 0, 1, 2, 3, 4) for d in (1, 2, 4)
+)
+
+
+def normalize_factors(
+    U: np.ndarray, V: np.ndarray, W: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fix the per-column scale freedom of a CP decomposition.
+
+    Each column ``t`` is rescaled so that ``max|U[:, t]| = max|V[:, t]| = 1``
+    with the compensating scale pushed into ``W`` — after which exact
+    algorithms with +-1-dominated combinations (Strassen, Bini, ...) have
+    coefficients on the rational menu.
+    """
+    U, V, W = U.copy(), V.copy(), W.copy()
+    for t in range(U.shape[1]):
+        su = np.abs(U[:, t]).max()
+        sv = np.abs(V[:, t]).max()
+        if su == 0 or sv == 0:
+            continue
+        U[:, t] /= su
+        V[:, t] /= sv
+        W[:, t] *= su * sv
+    return U, V, W
+
+
+def round_factors(
+    U: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+    menu: tuple[Fraction, ...] = DEFAULT_MENU,
+    tolerance: float = 0.12,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Snap every coefficient to the nearest menu rational.
+
+    Raises ``ValueError`` when any coefficient is farther than
+    ``tolerance`` from every menu value — the factors are then not close
+    enough to an exact algorithm to certify.
+    """
+    menu_f = np.array([float(q) for q in menu])
+
+    def snap(M: np.ndarray) -> np.ndarray:
+        out = np.empty(M.shape, dtype=object)
+        for idx, value in np.ndenumerate(M):
+            j = int(np.argmin(np.abs(menu_f - value)))
+            if abs(menu_f[j] - value) > tolerance:
+                raise ValueError(
+                    f"coefficient {value:.4f} at {idx} is not within "
+                    f"{tolerance} of any menu rational"
+                )
+            out[idx] = menu[j]
+        return out
+
+    return snap(U), snap(V), snap(W)
+
+
+def factors_to_algorithm(
+    U_exact: np.ndarray,
+    V_exact: np.ndarray,
+    W_exact: np.ndarray,
+    m: int,
+    n: int,
+    k: int,
+    name: str = "discovered",
+) -> BilinearAlgorithm:
+    """Package exact rational factors and *prove* them correct.
+
+    Raises ``ValueError`` (from the verifier) if the snapped factors do
+    not decompose the matmul tensor — no unverified algorithm escapes.
+    """
+    r = U_exact.shape[1]
+    U = coeff_matrix(m * n, r)
+    V = coeff_matrix(n * k, r)
+    W = coeff_matrix(m * k, r)
+    for M_out, M_in in ((U, U_exact), (V, V_exact), (W, W_exact)):
+        for idx, q in np.ndenumerate(M_in):
+            if q:
+                M_out[idx] = Laurent.const(q)
+    alg = BilinearAlgorithm(
+        name=name, m=m, n=n, k=k, U=U, V=V, W=W,
+        source="numerically discovered (ALS) and exactly verified",
+    )
+    report = verify_algorithm(alg)
+    if not report.valid or not report.is_exact:
+        raise ValueError(
+            f"snapped factors do not form an exact algorithm: {report.summary()}"
+        )
+    return alg
+
+
+def als_to_algorithm(
+    result: ALSResult,
+    m: int,
+    n: int,
+    k: int,
+    name: str = "discovered",
+    menu: tuple[Fraction, ...] = DEFAULT_MENU,
+    tolerance: float = 0.12,
+) -> BilinearAlgorithm:
+    """Full pipeline: normalize, snap, package, verify."""
+    if not result.converged:
+        raise ValueError(
+            "ALS did not converge; rounding a stalled solution cannot "
+            "produce an exact algorithm"
+        )
+    U, V, W = normalize_factors(result.U, result.V, result.W)
+    U_q, V_q, W_q = round_factors(U, V, W, menu=menu, tolerance=tolerance)
+    return factors_to_algorithm(U_q, V_q, W_q, m, n, k, name=name)

@@ -1,0 +1,156 @@
+"""Numerical discovery of fast matmul rules via ALS (extension, §2.1).
+
+The Smirnov-class algorithms of Table 1 were found by numerical
+optimization over tensor decompositions.  This module implements the
+workhorse of that approach — alternating least squares (ALS) on the
+matmul tensor — both to document the route by which such algorithms are
+discovered and as a working tool for small cases:
+
+- rank ``m*n*k`` (classical) decompositions converge from random starts;
+- rank-7 ``<2,2,2>`` (Strassen-rank) decompositions are routinely found
+  with a few random restarts;
+- lower (border) ranks show the characteristic ALS signature of APA
+  algorithms: the residual stalls at a nonzero floor while factor norms
+  blow up — numerical evidence of *border* rank below rank.
+
+ALS update (for U, cyclically): with the Khatri-Rao product
+``Z = khatri_rao(W, V)``, solve the ridge system
+``U (Z^T Z + reg I) = T_(1) Z``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linalg.tensor import matmul_tensor
+
+__all__ = ["ALSResult", "khatri_rao", "als_decompose", "discover_algorithm"]
+
+
+def khatri_rao(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Column-wise Kronecker product of ``(I, r)`` and ``(J, r)`` -> ``(I*J, r)``."""
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[1]:
+        raise ValueError("khatri_rao needs matching column counts")
+    r = A.shape[1]
+    return (A[:, None, :] * B[None, :, :]).reshape(-1, r)
+
+
+@dataclass
+class ALSResult:
+    """Factors and convergence record of one ALS run."""
+
+    U: np.ndarray
+    V: np.ndarray
+    W: np.ndarray
+    residuals: list[float]
+    converged: bool
+
+    @property
+    def residual(self) -> float:
+        return self.residuals[-1]
+
+    @property
+    def max_factor_norm(self) -> float:
+        return max(
+            float(np.abs(self.U).max()),
+            float(np.abs(self.V).max()),
+            float(np.abs(self.W).max()),
+        )
+
+
+def _unfoldings(T: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    I, J, K = T.shape
+    T1 = T.reshape(I, J * K)                      # rows: mode 1
+    T2 = T.transpose(1, 0, 2).reshape(J, I * K)   # rows: mode 2
+    T3 = T.transpose(2, 0, 1).reshape(K, I * J)   # rows: mode 3
+    return T1, T2, T3
+
+
+def als_decompose(
+    T: np.ndarray,
+    rank: int,
+    iters: int = 500,
+    tol: float = 1e-10,
+    reg: float = 1e-9,
+    rng: np.random.Generator | None = None,
+    init_scale: float = 0.5,
+) -> ALSResult:
+    """One ALS run on an order-3 tensor from a random start.
+
+    ``reg`` is a small ridge term keeping the normal equations solvable
+    when factors become collinear (which they do near border-rank
+    decompositions).  Residual is the relative Frobenius norm
+    ``||T - [[U,V,W]]|| / ||T||``.
+    """
+    if T.ndim != 3:
+        raise ValueError("T must be an order-3 tensor")
+    if rank < 1:
+        raise ValueError("rank must be >= 1")
+    if iters < 1:
+        raise ValueError("iters must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    T = T.astype(np.float64)
+    I, J, K = T.shape
+    T1, T2, T3 = _unfoldings(T)
+    t_norm = np.linalg.norm(T)
+    if t_norm == 0:
+        raise ValueError("zero tensor")
+
+    U = rng.normal(0, init_scale, (I, rank))
+    V = rng.normal(0, init_scale, (J, rank))
+    W = rng.normal(0, init_scale, (K, rank))
+
+    def solve(unfolded: np.ndarray, P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        Z = khatri_rao(P, Q)  # rows ordered to match the unfolding columns
+        G = (P.T @ P) * (Q.T @ Q) + reg * np.eye(rank)
+        return np.linalg.solve(G, Z.T @ unfolded.T).T
+
+    residuals: list[float] = []
+    converged = False
+    for _ in range(iters):
+        # Unfolding column orders: T1 columns iterate (j, k) with j outer,
+        # so Z must be khatri_rao(V, W); similarly for the others.
+        U = solve(T1, V, W)
+        V = solve(T2, U, W)
+        W = solve(T3, U, V)
+        approx = U @ khatri_rao(V, W).T
+        res = float(np.linalg.norm(T1 - approx) / t_norm)
+        residuals.append(res)
+        if res < tol:
+            converged = True
+            break
+        if len(residuals) > 10 and abs(residuals[-10] - res) < 1e-14:
+            break  # stalled
+    return ALSResult(U=U, V=V, W=W, residuals=residuals, converged=converged)
+
+
+def discover_algorithm(
+    m: int,
+    n: int,
+    k: int,
+    rank: int,
+    restarts: int = 10,
+    iters: int = 500,
+    tol: float = 1e-8,
+    seed: int = 0,
+) -> ALSResult:
+    """Search for a rank-``rank`` decomposition of ``T<m,n,k>``.
+
+    Returns the best run over ``restarts`` random initializations.  A
+    ``converged`` result with integer-looking factors is a *bona fide*
+    fast algorithm; a stalled result with exploding factor norms is the
+    border-rank signature (an APA algorithm lives at that rank).
+    """
+    T = matmul_tensor(m, n, k).astype(np.float64)
+    best: ALSResult | None = None
+    for attempt in range(restarts):
+        rng = np.random.default_rng(seed + attempt)
+        result = als_decompose(T, rank, iters=iters, tol=tol, rng=rng)
+        if best is None or result.residual < best.residual:
+            best = result
+        if best.converged:
+            break
+    assert best is not None
+    return best

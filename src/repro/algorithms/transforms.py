@@ -1,0 +1,299 @@
+"""Algebraic transforms on bilinear algorithms.
+
+The matmul tensor's symmetries let one published rule generate a family
+(paper §6: "an algorithm for dimensions <m,n,k> can be translated into an
+algorithm for <n,m,k> and any other reordering").  We implement:
+
+- :func:`rotate` — cyclic symmetry ``<m,n,k> -> <n,k,m>`` (rank preserved);
+- :func:`transpose_dual` — ``C = A B  <=>  C^T = B^T A^T`` giving
+  ``<m,n,k> -> <k,n,m>`` (rank preserved);
+- :func:`permute` — any of the 6 orderings, composed from the above;
+- :func:`tensor_product` — the Kronecker construction
+  ``<m1,n1,k1>:r1 (x) <m2,n2,k2>:r2 = <m1 m2, n1 n2, k1 k2>:r1 r2``
+  (how Strassen's rule becomes ``<4,4,4>:49``, and how APA rules compose
+  with phi adding);
+- :func:`stack_m` — direct sum along the first dimension
+  ``<m1,n,k>:r1 (+) <m2,n,k>:r2 = <m1+m2,n,k>:r1+r2``;
+- :func:`substitute_lambda` — regrade ``lambda -> lambda**t``.
+
+Every transform preserves validity; the test suite re-verifies all outputs
+symbolically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.spec import BilinearAlgorithm, coeff_matrix
+from repro.linalg.laurent import Laurent
+
+__all__ = [
+    "rotate",
+    "transpose_dual",
+    "permute",
+    "tensor_product",
+    "stack_m",
+    "substitute_lambda",
+]
+
+
+def _transpose_rows(M: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Permute the row indexing of a flat (rows*cols, r) coefficient matrix
+    from row-major over ``rows x cols`` to row-major over ``cols x rows``
+    (i.e. transpose the matrix shape the rows encode)."""
+    r = M.shape[1]
+    out = np.empty((rows * cols, r), dtype=object)
+    for i in range(rows):
+        for j in range(cols):
+            out[j * rows + i, :] = M[i * cols + j, :]
+    return out
+
+
+def rotate(alg: BilinearAlgorithm, name: str | None = None) -> BilinearAlgorithm:
+    """Cyclic symmetry: an ``<m,n,k>`` rule becomes an ``<n,k,m>`` rule.
+
+    If ``(U, V, W)`` decomposes ``T<m,n,k>`` then ``(V, W', U')`` decomposes
+    ``T<n,k,m>``, where the primes transpose the matrix shape each flat row
+    index encodes (``W`` rows go from C-as-``m x k`` to B'-as-``k x m``;
+    ``U`` rows from A-as-``m x n`` to C'-as-``n x m``).
+    """
+    m, n, k = alg.m, alg.n, alg.k
+    new = BilinearAlgorithm(
+        name=name or f"{alg.name}_rot",
+        m=n,
+        n=k,
+        k=m,
+        U=alg.V.copy(),
+        V=_transpose_rows(alg.W, m, k),
+        W=_transpose_rows(alg.U, m, n),
+        source=f"cyclic rotation of {alg.name}",
+    )
+    return new
+
+
+def transpose_dual(alg: BilinearAlgorithm, name: str | None = None) -> BilinearAlgorithm:
+    """Transpose duality: an ``<m,n,k>`` rule becomes a ``<k,n,m>`` rule.
+
+    From ``C = A B  <=>  C^T = B^T A^T``: the new A' is the old ``B``
+    transposed, the new B' the old ``A`` transposed, and the new C' the old
+    ``C`` transposed.
+    """
+    m, n, k = alg.m, alg.n, alg.k
+    return BilinearAlgorithm(
+        name=name or f"{alg.name}_T",
+        m=k,
+        n=n,
+        k=m,
+        U=_transpose_rows(alg.V, n, k),
+        V=_transpose_rows(alg.U, m, n),
+        W=_transpose_rows(alg.W, m, k),
+        source=f"transpose dual of {alg.name}",
+    )
+
+
+#: Shortest generator words for each permutation of the dim roles.
+#: A permutation ``p`` means: new dims = (dims[p[0]], dims[p[1]], dims[p[2]]).
+#: ``rotate`` realizes (1,2,0); ``transpose_dual`` realizes (2,1,0).
+_PERM_WORDS: dict[tuple[int, int, int], tuple[str, ...]] = {
+    (0, 1, 2): (),
+    (1, 2, 0): ("rot",),
+    (2, 0, 1): ("rot", "rot"),
+    (2, 1, 0): ("t",),
+    (1, 0, 2): ("t", "rot"),
+    (0, 2, 1): ("rot", "t"),
+}
+
+
+def permute(
+    alg: BilinearAlgorithm,
+    perm: tuple[int, int, int],
+    name: str | None = None,
+) -> BilinearAlgorithm:
+    """Reorder the dims of ``alg`` by ``perm``.
+
+    ``perm = (p0, p1, p2)`` produces an algorithm for dims
+    ``(alg.dims[p0], alg.dims[p1], alg.dims[p2])`` with the same rank,
+    sigma, and phi.
+    """
+    if sorted(perm) != [0, 1, 2]:
+        raise ValueError(f"perm must be a permutation of (0,1,2), got {perm}")
+    word = _PERM_WORDS.get(tuple(perm))
+    if word is None:  # unreachable given the validation above
+        raise ValueError(f"unsupported permutation {perm}")
+    out = alg
+    for step in word:
+        out = rotate(out) if step == "rot" else transpose_dual(out)
+    expected = tuple(alg.dims[p] for p in perm)
+    if out.dims != expected:
+        raise AssertionError(
+            f"permutation produced dims {out.dims}, expected {expected} "
+            "(generator-word table is inconsistent)"
+        )
+    out.name = name or f"{alg.name}_p{''.join(map(str, perm))}"
+    out.source = f"dims permutation {perm} of {alg.name}"
+    return out
+
+
+def tensor_product(
+    alg1: BilinearAlgorithm,
+    alg2: BilinearAlgorithm,
+    name: str | None = None,
+    regrade: bool | str = "auto",
+) -> BilinearAlgorithm:
+    """Kronecker (tensor) product of two rules.
+
+    The combined rule multiplies ``<m1 m2, n1 n2, k1 k2>`` with rank
+    ``r1 * r2``: index ``A`` rows as ``i = i1 * m2 + i2`` (and similarly
+    all other axes), and set
+
+        U[(i, l), (t1, t2)] = U1[(i1, l1), t1] * U2[(i2, l2), t2]
+
+    Grading of two APA factors: the naive product has the two error
+    series sharing powers of lambda, which *could* let negative powers
+    survive or the lambda**0 term drift; substituting
+    ``lambda -> lambda**t`` in the second factor separates them at the
+    cost of inflating phi (``phi = phi1 + t*phi2``).  ``regrade='auto'``
+    (default) builds the cheap ungraded product first and keeps it when
+    the exact verifier certifies it (it usually does — the error terms of
+    independent factors do not conspire), falling back to the safe
+    regrade otherwise.  ``True``/``False`` force either behaviour.
+    """
+    m1, n1, k1 = alg1.dims
+    m2, n2, k2 = alg2.dims
+    r1, r2 = alg1.rank, alg2.rank
+
+    both_apa = _uses_lambda(alg1) and _uses_lambda(alg2)
+    if regrade == "auto" and both_apa:
+        candidate = tensor_product(alg1, alg2, name=name, regrade=False)
+        from repro.algorithms.verify import verify_algorithm
+
+        report = verify_algorithm(candidate)
+        if report.valid and (report.is_exact or report.sigma >= 1):
+            return candidate
+        return tensor_product(alg1, alg2, name=name, regrade=True)
+
+    A2 = alg2
+    if regrade is True and both_apa:
+        span = _max_abs_exponent(alg1) + 1
+        A2 = substitute_lambda(alg2, span + 1)
+
+    def _kron(M1: np.ndarray, M2: np.ndarray, rows1: int, cols1: int,
+              rows2: int, cols2: int) -> np.ndarray:
+        rows, cols = rows1 * rows2, cols1 * cols2
+        out = coeff_matrix(rows * cols, r1 * r2)
+        for p1 in range(rows1 * cols1):
+            i1, l1 = divmod(p1, cols1)
+            for t1 in range(r1):
+                c1 = M1[p1, t1]
+                if not c1:
+                    continue
+                for p2 in range(rows2 * cols2):
+                    i2, l2 = divmod(p2, cols2)
+                    for t2 in range(r2):
+                        c2 = M2[p2, t2]
+                        if not c2:
+                            continue
+                        row = (i1 * rows2 + i2) * cols + (l1 * cols2 + l2)
+                        out[row, t1 * r2 + t2] = c1 * c2
+        return out
+
+    return BilinearAlgorithm(
+        name=name or f"{alg1.name}x{alg2.name}",
+        m=m1 * m2,
+        n=n1 * n2,
+        k=k1 * k2,
+        U=_kron(alg1.U, A2.U, m1, n1, m2, n2),
+        V=_kron(alg1.V, A2.V, n1, k1, n2, k2),
+        W=_kron(alg1.W, A2.W, m1, k1, m2, k2),
+        source=f"tensor product {alg1.name} (x) {alg2.name}",
+    )
+
+
+def stack_m(
+    alg1: BilinearAlgorithm,
+    alg2: BilinearAlgorithm,
+    name: str | None = None,
+) -> BilinearAlgorithm:
+    """Direct sum along the first dimension.
+
+    Both rules must share ``(n, k)``.  The combined rule computes the first
+    ``m1`` rows of ``C`` with ``alg1`` and the remaining ``m2`` rows with
+    ``alg2``, sharing nothing — rank is ``r1 + r2``.  This is how e.g. a
+    ``<5,2,2>`` rule is assembled from ``<3,2,2>`` and ``<2,2,2>`` pieces.
+    """
+    if (alg1.n, alg1.k) != (alg2.n, alg2.k):
+        raise ValueError(
+            f"stack_m requires matching (n,k): {alg1.dims} vs {alg2.dims}"
+        )
+    m1, n, k = alg1.dims
+    m2 = alg2.m
+    r1, r2 = alg1.rank, alg2.rank
+    m = m1 + m2
+    r = r1 + r2
+
+    U = coeff_matrix(m * n, r)
+    U[: m1 * n, :r1] = alg1.U
+    U[m1 * n :, r1:] = alg2.U
+
+    V = coeff_matrix(n * k, r)
+    V[:, :r1] = alg1.V
+    V[:, r1:] = alg2.V
+
+    W = coeff_matrix(m * k, r)
+    W[: m1 * k, :r1] = alg1.W
+    W[m1 * k :, r1:] = alg2.W
+
+    return BilinearAlgorithm(
+        name=name or f"{alg1.name}+{alg2.name}",
+        m=m,
+        n=n,
+        k=k,
+        U=U,
+        V=V,
+        W=W,
+        source=f"row stack of {alg1.name} and {alg2.name}",
+    )
+
+
+def substitute_lambda(
+    alg: BilinearAlgorithm, power: int, name: str | None = None
+) -> BilinearAlgorithm:
+    """Regrade the APA parameter: ``lambda -> lambda**power`` everywhere.
+
+    Validity is preserved (the error polynomial's exponents are scaled by
+    ``power``); sigma scales by ``power`` and so does phi.
+    """
+
+    def _sub(M: np.ndarray) -> np.ndarray:
+        out = np.empty_like(M)
+        for idx, entry in np.ndenumerate(M):
+            out[idx] = entry.substitute_power(power) if entry else Laurent.zero()
+        return out
+
+    return BilinearAlgorithm(
+        name=name or f"{alg.name}_lam{power}",
+        m=alg.m,
+        n=alg.n,
+        k=alg.k,
+        U=_sub(alg.U),
+        V=_sub(alg.V),
+        W=_sub(alg.W),
+        source=f"lambda -> lambda**{power} regrade of {alg.name}",
+    )
+
+
+def _uses_lambda(alg: BilinearAlgorithm) -> bool:
+    for M in (alg.U, alg.V, alg.W):
+        for entry in M.flat:
+            if entry and not entry.is_constant():
+                return True
+    return False
+
+
+def _max_abs_exponent(alg: BilinearAlgorithm) -> int:
+    worst = 0
+    for M in (alg.U, alg.V, alg.W):
+        for entry in M.flat:
+            if entry and not entry.is_zero():
+                worst = max(worst, abs(entry.min_exponent()), abs(entry.max_exponent()))
+    return worst

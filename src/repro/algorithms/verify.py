@@ -1,0 +1,157 @@
+"""Exact symbolic verification of bilinear algorithms.
+
+Given an algorithm's triplets ``(U, V, W)``, we form the Laurent-valued
+tensor
+
+    S[p, s, q](lambda) = sum_i U[p, i] * V[s, i] * W[q, i]
+
+and compare against the exact matmul tensor ``T``.  A valid APA algorithm
+(paper eq. (1)) satisfies, entrywise,
+
+    S = T + lambda**sigma * E + (higher powers of lambda)
+
+with **no negative powers surviving** the contraction (negative powers in
+individual coefficients must cancel — that cancellation is exactly what
+makes APA algorithms numerically delicate, quantified by ``phi``).
+
+The verifier is exact (rational arithmetic), so a passing report is a proof
+that the rule is a correct (approximate) matrix-multiplication algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linalg.laurent import Laurent
+from repro.linalg.tensor import matmul_tensor, triple_product_tensor
+
+__all__ = ["VerificationReport", "verify_algorithm", "assert_valid"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of symbolically verifying one algorithm.
+
+    Attributes
+    ----------
+    valid:
+        True when the contraction reproduces ``T`` at ``lambda**0`` with no
+        surviving negative powers.
+    is_exact:
+        True when the contraction equals ``T`` identically (error
+        polynomial is zero) — e.g. classical, Strassen.
+    sigma:
+        Smallest positive lambda-exponent carrying error (0 for exact
+        algorithms, by convention).
+    max_error_exponent:
+        Largest lambda-exponent appearing in the error polynomial
+        (0 for exact algorithms).
+    error_leading:
+        The leading error tensor ``E`` (object array of Fractions shaped
+        like ``T``); ``None`` for exact algorithms.
+    failures:
+        Human-readable descriptions of each violated condition (empty when
+        valid).
+    """
+
+    valid: bool
+    is_exact: bool
+    sigma: int
+    max_error_exponent: int
+    error_leading: np.ndarray | None
+    failures: tuple[str, ...]
+
+    def summary(self) -> str:
+        status = "EXACT" if self.is_exact else (
+            f"APA sigma={self.sigma}" if self.valid else "INVALID"
+        )
+        text = status
+        if self.failures:
+            text += " — " + "; ".join(self.failures[:5])
+            if len(self.failures) > 5:
+                text += f" (+{len(self.failures) - 5} more)"
+        return text
+
+
+def verify_algorithm(alg) -> VerificationReport:
+    """Symbolically verify a :class:`BilinearAlgorithm`.
+
+    Also back-fills the algorithm's cached ``sigma`` / exactness so
+    subsequent property access is free.
+    """
+    m, n, k = alg.m, alg.n, alg.k
+    T = matmul_tensor(m, n, k)
+    S = triple_product_tensor(alg.U, alg.V, alg.W)
+
+    failures: list[str] = []
+    sigma: int | None = None
+    max_exp = 0
+    error_entries: dict[tuple[int, int, int], Laurent] = {}
+
+    for idx in np.ndindex(S.shape):
+        diff = S[idx] - Laurent.const(int(T[idx]))
+        if diff.is_zero():
+            continue
+        lo = diff.min_exponent()
+        hi = diff.max_exponent()
+        if lo <= 0:
+            # Either negative powers survived, or the lambda**0 term does
+            # not match T — both are hard failures.
+            const = diff.coeff(0)
+            if lo < 0:
+                failures.append(
+                    f"entry {idx}: uncancelled lambda**{lo} term {diff.coeff(lo)}"
+                )
+            if const:
+                failures.append(
+                    f"entry {idx}: lambda**0 term off by {const} from T={int(T[idx])}"
+                )
+            # When lo <= 0 but all offending terms were reported, positive
+            # part may still exist; track it for completeness.
+            pos = [e for e in diff.terms if e > 0]
+            if pos:
+                sigma = min(sigma, min(pos)) if sigma is not None else min(pos)
+                max_exp = max(max_exp, max(pos))
+            continue
+        sigma = lo if sigma is None else min(sigma, lo)
+        max_exp = max(max_exp, hi)
+        error_entries[idx] = diff
+
+    valid = not failures
+    is_exact = valid and sigma is None
+
+    error_leading = None
+    if valid and not is_exact:
+        error_leading = np.empty(S.shape, dtype=object)
+        error_leading[...] = 0
+        for idx, diff in error_entries.items():
+            error_leading[idx] = diff.coeff(sigma)
+
+    report = VerificationReport(
+        valid=valid,
+        is_exact=is_exact,
+        sigma=0 if is_exact else (sigma or 0),
+        max_error_exponent=max_exp,
+        error_leading=error_leading,
+        failures=tuple(failures),
+    )
+
+    # Back-fill the algorithm's caches (best effort — surrogates and
+    # foreign objects without the private fields are left alone).
+    if valid and hasattr(alg, "_sigma"):
+        alg._sigma = report.sigma
+        alg._exact = report.is_exact
+    return report
+
+
+def assert_valid(alg) -> VerificationReport:
+    """Verify and raise ``ValueError`` with details when invalid."""
+    report = verify_algorithm(alg)
+    if not report.valid:
+        raise ValueError(
+            f"algorithm {alg.name!r} {alg.signature()} failed verification: "
+            + report.summary()
+        )
+    return report

@@ -1,0 +1,14 @@
+"""Benchmark plumbing: timers, metrics, and table/series formatting."""
+
+from repro.bench.timing import measure, MeasuredTime
+from repro.bench.metrics import effective_gflops, relative_frobenius_error
+from repro.bench.tables import format_table, to_csv
+
+__all__ = [
+    "measure",
+    "MeasuredTime",
+    "effective_gflops",
+    "relative_frobenius_error",
+    "format_table",
+    "to_csv",
+]

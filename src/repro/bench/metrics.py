@@ -1,0 +1,34 @@
+"""Metrics used by the paper's evaluation.
+
+- *effective GFLOPS* (Fig 3): ``1e-9 * 2 n^3 / time`` — normalized to the
+  classical flop count so algorithms doing different amounts of work are
+  comparable on one axis;
+- *relative Frobenius error* (Fig 1): ``||C - C_hat||_F / ||C||_F``
+  against a float64 classical reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["effective_gflops", "relative_frobenius_error"]
+
+
+def effective_gflops(M: int, N: int, K: int, seconds: float) -> float:
+    """The Fig-3 y-axis: classical-equivalent GFLOPS."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    if min(M, N, K) < 1:
+        raise ValueError("dims must be positive")
+    return 2.0 * M * N * K / seconds / 1e9
+
+
+def relative_frobenius_error(C_hat: np.ndarray, C_ref: np.ndarray) -> float:
+    """The Fig-1 y-axis, with the reference promoted to float64."""
+    if C_hat.shape != C_ref.shape:
+        raise ValueError(f"shape mismatch {C_hat.shape} vs {C_ref.shape}")
+    ref = C_ref.astype(np.float64, copy=False)
+    norm = np.linalg.norm(ref)
+    if norm == 0:
+        raise ValueError("reference product is zero; relative error undefined")
+    return float(np.linalg.norm(C_hat.astype(np.float64) - ref) / norm)

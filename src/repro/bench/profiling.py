@@ -1,0 +1,63 @@
+"""Profiling helpers — "no optimization without measuring".
+
+Thin, dependency-free wrappers around :mod:`cProfile` for the workflow
+the HPC guides prescribe: profile a realistic call, find the hot
+functions, only then optimize.  Used interactively and by the examples;
+the report is parsed into structured rows so tests can assert on it.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+
+__all__ = ["HotSpot", "profile_call"]
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One row of a profile: where time went."""
+
+    function: str
+    calls: int
+    cumulative_seconds: float
+    internal_seconds: float
+
+
+def profile_call(fn, *args, top: int = 10, **kwargs):
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, hotspots)`` with the ``top`` functions by
+    cumulative time.  Keep the call around ~a second for a stable
+    profile (guides: 10s is ideal; sub-second is fine for smoke use).
+    """
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative")
+
+    hotspots: list[HotSpot] = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    ):
+        filename, line, name = func
+        label = f"{filename.rsplit('/', 1)[-1]}:{line}({name})"
+        hotspots.append(HotSpot(
+            function=label,
+            calls=int(nc),
+            cumulative_seconds=float(ct),
+            internal_seconds=float(tt),
+        ))
+        if len(hotspots) >= top:
+            break
+    return result, hotspots

@@ -1,0 +1,52 @@
+"""Plain-text table and CSV emission for experiment drivers."""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+__all__ = ["format_table", "to_csv"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width ASCII table, right-aligned numeric columns."""
+    if not headers:
+        raise ValueError("headers required")
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[j]) for j, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Minimal CSV emission (no quoting needs in our numeric tables)."""
+    buf = io.StringIO()
+    buf.write(",".join(str(h) for h in headers) + "\n")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width mismatch")
+        buf.write(",".join(_cell(v) for v in row) + "\n")
+    return buf.getvalue()

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``          — the algorithm catalog with Table-1 properties
+``verify NAME``   — symbolically verify a (real) catalog algorithm
+``info NAME``     — full analytics report (adds, CSE, workspace, crossover)
+``codegen NAME``  — print the generated Python for an algorithm
+``table1``        — regenerate Table 1
+``fig N``         — regenerate a figure (1-7)
+``matmul``        — run one APA product and report the error
+``save/load``     — algorithm file round-trip
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="APA fast matrix multiplication (ICPP'21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="catalog with Table-1 properties")
+
+    p = sub.add_parser("verify", help="symbolically verify an algorithm")
+    p.add_argument("name")
+
+    p = sub.add_parser("info", help="full analytics report for an algorithm")
+    p.add_argument("name")
+    p.add_argument("--crossover", action="store_true",
+                   help="also compute the sequential crossover dimension")
+
+    p = sub.add_parser("codegen", help="print generated Python code")
+    p.add_argument("name")
+
+    sub.add_parser("table1", help="regenerate Table 1")
+
+    p = sub.add_parser("fig", help="regenerate a figure")
+    p.add_argument("number", type=int, choices=[1, 2, 3, 4, 5, 6, 7])
+    p.add_argument("--threads", type=int, default=1,
+                   help="thread count for the performance figures")
+
+    p = sub.add_parser("matmul", help="one APA product, error report")
+    p.add_argument("name")
+    p.add_argument("--n", type=int, default=512)
+    p.add_argument("--steps", type=int, default=1)
+    p.add_argument("--dtype", choices=["float32", "float64"],
+                   default="float32")
+
+    p = sub.add_parser("save", help="write an algorithm file")
+    p.add_argument("name")
+    p.add_argument("path")
+
+    p = sub.add_parser("load", help="read + verify an algorithm file")
+    p.add_argument("path")
+    return parser
+
+
+def _cmd_list(out) -> int:
+    from repro.algorithms.catalog import get_algorithm, list_algorithms
+
+    print(f"{'name':18s} {'dims:rank':12s} {'speedup':>8s} {'sigma':>5s} "
+          f"{'phi':>3s} {'error@23':>9s}  kind", file=out)
+    for name in list_algorithms("all"):
+        alg = get_algorithm(name)
+        kind = "surrogate" if alg.is_surrogate else (
+            "exact" if alg.is_exact else "APA"
+        )
+        print(f"{name:18s} {alg.signature():12s} "
+              f"{alg.speedup_percent:7.0f}% {alg.sigma:5d} {alg.phi:3d} "
+              f"{alg.error_bound(23):9.1e}  {kind}", file=out)
+    return 0
+
+
+def _cmd_verify(name: str, out) -> int:
+    from repro.algorithms.catalog import get_algorithm
+    from repro.algorithms.verify import verify_algorithm
+
+    alg = get_algorithm(name)
+    if alg.is_surrogate:
+        print(f"{name} is a metadata surrogate — nothing to verify "
+              "(see DESIGN.md)", file=out)
+        return 1
+    report = verify_algorithm(alg)
+    print(f"{name} {alg.signature()}: {report.summary()}", file=out)
+    return 0 if report.valid else 1
+
+
+def _cmd_fig(number: int, threads: int, out) -> int:
+    from repro import experiments as ex
+
+    if number == 1:
+        print(ex.format_fig1(ex.run_fig1()), file=out)
+    elif number == 2:
+        print(ex.format_fig2(ex.run_fig2()), file=out)
+    elif number == 3:
+        print(ex.format_fig3(ex.run_fig3(threads=threads)), file=out)
+    elif number == 4:
+        print(ex.format_fig4(), file=out)
+    elif number == 5:
+        print(ex.format_fig5(ex.run_fig5(
+            algorithms=("bini322", "schonhage333", "smirnov444"))), file=out)
+    elif number == 6:
+        print(ex.format_fig6(ex.run_fig6(threads=threads)), file=out)
+    else:
+        print(ex.format_fig7(ex.run_fig7()), file=out)
+    return 0
+
+
+def _cmd_matmul(args, out) -> int:
+    from repro.algorithms.catalog import get_algorithm
+    from repro.core.apa_matmul import apa_matmul
+    from repro.core.lam import optimal_lambda, precision_bits
+
+    alg = get_algorithm(args.name)
+    dtype = np.dtype(args.dtype)
+    rng = np.random.default_rng(0)
+    A = rng.random((args.n, args.n)).astype(dtype)
+    B = rng.random((args.n, args.n)).astype(dtype)
+    C = apa_matmul(A, B, alg, steps=args.steps)
+    ref = A.astype(np.float64) @ B.astype(np.float64)
+    err = float(np.linalg.norm(C - ref) / np.linalg.norm(ref))
+    d = precision_bits(dtype)
+    print(f"{args.name} {alg.signature()} n={args.n} steps={args.steps} "
+          f"{args.dtype}", file=out)
+    print(f"lambda*={optimal_lambda(alg, d=d, steps=args.steps):.2e} "
+          f"rel_error={err:.2e} bound={alg.error_bound(d=d, steps=args.steps):.2e}",
+          file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "verify":
+        return _cmd_verify(args.name, out)
+    if args.command == "info":
+        from repro.algorithms.analysis import analyze_algorithm
+
+        print(analyze_algorithm(args.name, crossover=args.crossover).describe(),
+              file=out)
+        return 0
+    if args.command == "codegen":
+        from repro.algorithms.catalog import get_algorithm
+        from repro.codegen.generate import generate_source
+
+        print(generate_source(get_algorithm(args.name)), file=out)
+        return 0
+    if args.command == "table1":
+        from repro.experiments.table1_properties import format_table1
+
+        print(format_table1(), file=out)
+        return 0
+    if args.command == "fig":
+        return _cmd_fig(args.number, args.threads, out)
+    if args.command == "matmul":
+        return _cmd_matmul(args, out)
+    if args.command == "save":
+        from repro.algorithms.catalog import get_algorithm
+        from repro.algorithms.io import save_algorithm
+
+        path = save_algorithm(get_algorithm(args.name), args.path)
+        print(f"wrote {path}", file=out)
+        return 0
+    if args.command == "load":
+        from repro.algorithms.io import load_algorithm
+
+        alg = load_algorithm(args.path)
+        print(f"loaded {alg.name} {alg.signature()} (verified)", file=out)
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

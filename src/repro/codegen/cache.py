@@ -1,0 +1,34 @@
+"""Compile-and-memoize layer over the code generator."""
+
+from __future__ import annotations
+
+from repro.codegen.generate import generate_source
+
+__all__ = ["compile_algorithm", "clear_cache"]
+
+_CACHE: dict[str, object] = {}
+
+
+def compile_algorithm(alg, func_name: str | None = None, cse: bool = False):
+    """Compile the generated source and return the matmul callable.
+
+    Compiled functions are memoized per (algorithm, cse); the returned
+    callable has signature ``fn(A, B, lam=1.0, gemm=None)``.
+    """
+    key = f"{alg.name}:{func_name or ''}:{int(cse)}"
+    if key in _CACHE:
+        return _CACHE[key]
+    name = func_name or f"apa_mm_{alg.name}"
+    source = generate_source(alg, func_name=name, cse=cse)
+    namespace: dict = {}
+    code = compile(source, filename=f"<codegen:{alg.name}>", mode="exec")
+    exec(code, namespace)
+    fn = namespace[name]
+    fn.__source__ = source  # keep the source inspectable for debugging
+    _CACHE[key] = fn
+    return fn
+
+
+def clear_cache() -> None:
+    """Drop all memoized compiled functions (mainly for tests)."""
+    _CACHE.clear()

@@ -1,0 +1,34 @@
+"""Execution engine: run APA algorithms on NumPy operands.
+
+- :mod:`repro.core.lam` — theory-optimal and empirically tuned choices of
+  the APA parameter ``lambda`` (paper §2.3);
+- :mod:`repro.core.apa_matmul` — the generic recursive executor for true
+  :class:`~repro.algorithms.spec.BilinearAlgorithm` objects (write-once
+  linear combinations + gemm sub-products, paper §3.2);
+- :mod:`repro.core.surrogate` — execution of metadata surrogates
+  (classical product + structured error at the modelled magnitude);
+- :mod:`repro.core.backend` — the pluggable matmul-backend protocol used
+  to inject APA products into neural-network layers.
+"""
+
+from repro.core.apa_matmul import apa_matmul
+from repro.core.backend import (
+    APABackend,
+    ClassicalBackend,
+    MatmulBackend,
+    make_backend,
+)
+from repro.core.lam import optimal_lambda, precision_bits, tune_lambda
+from repro.core.surrogate import surrogate_matmul
+
+__all__ = [
+    "apa_matmul",
+    "surrogate_matmul",
+    "optimal_lambda",
+    "tune_lambda",
+    "precision_bits",
+    "MatmulBackend",
+    "ClassicalBackend",
+    "APABackend",
+    "make_backend",
+]

@@ -1,0 +1,129 @@
+"""Pluggable matmul backends — the paper's "custom operator" boundary.
+
+The paper swaps TensorFlow's matmul for custom operators: a classical
+gemm-backed one (the fair baseline) and one per APA algorithm.  Our neural
+network layers take the same seam: anything satisfying
+:class:`MatmulBackend` can be injected into a
+:class:`~repro.nn.layers.Dense` layer, and it will be used for the
+forward product and both backward products.
+
+Backends also count invocations and flops so the timing harness can
+attribute training time to individual products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.apa_matmul import apa_matmul
+
+__all__ = ["MatmulBackend", "ClassicalBackend", "APABackend", "make_backend"]
+
+
+@runtime_checkable
+class MatmulBackend(Protocol):
+    """Anything that multiplies two 2-D arrays."""
+
+    name: str
+
+    def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass
+class _CallStats:
+    calls: int = 0
+    flops: int = 0
+
+    def record(self, A: np.ndarray, B: np.ndarray) -> None:
+        self.calls += 1
+        self.flops += 2 * A.shape[0] * A.shape[1] * B.shape[1]
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.flops = 0
+
+
+@dataclass
+class ClassicalBackend:
+    """The baseline: a direct call to BLAS gemm via ``np.matmul``.
+
+    Mirrors the paper's "custom classical operator that directly calls
+    gemm".
+    """
+
+    name: str = "classical"
+    stats: _CallStats = field(default_factory=_CallStats)
+
+    def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        self.stats.record(A, B)
+        return A @ B
+
+
+@dataclass
+class APABackend:
+    """Backend running one catalogued (APA or exact fast) algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        An :class:`~repro.algorithms.spec.AlgorithmLike` (real or
+        surrogate).
+    lam:
+        APA parameter; ``None`` picks the theory optimum per call from the
+        operand dtype.
+    steps:
+        Recursion depth of the rule.
+    min_dim:
+        Products whose smallest dimension is below this fall back to plain
+        gemm — fast rules only pay off above a size threshold (paper §3.3:
+        crossover near dimension 2000 for standalone products; the NN
+        experiments use the rule on the large hidden products only).  The
+        default 0 never falls back, which is what the paper's NN setup
+        does: the *network builder* decides which layers get the APA
+        operator.
+    """
+
+    algorithm: object
+    lam: float | None = None
+    steps: int = 1
+    min_dim: int = 0
+    name: str = ""
+    stats: _CallStats = field(default_factory=_CallStats)
+    fallback_calls: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"apa:{self.algorithm.name}"
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.min_dim < 0:
+            raise ValueError("min_dim must be >= 0")
+
+    def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        self.stats.record(A, B)
+        if self.min_dim and min(A.shape[0], A.shape[1], B.shape[1]) < self.min_dim:
+            self.fallback_calls += 1
+            return A @ B
+        return apa_matmul(A, B, self.algorithm, lam=self.lam, steps=self.steps)
+
+
+def make_backend(
+    algorithm_name: str | None,
+    lam: float | None = None,
+    steps: int = 1,
+    min_dim: int = 0,
+) -> MatmulBackend:
+    """Convenience factory: ``None``/'classical' → gemm, else catalog name."""
+    if algorithm_name is None or algorithm_name.startswith("classical"):
+        return ClassicalBackend()
+    from repro.algorithms.catalog import get_algorithm
+
+    return APABackend(
+        algorithm=get_algorithm(algorithm_name),
+        lam=lam,
+        steps=steps,
+        min_dim=min_dim,
+    )

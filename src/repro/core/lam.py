@@ -1,0 +1,108 @@
+"""Choosing the APA parameter ``lambda`` (paper §2.3).
+
+The numerical error of an APA algorithm has two opposing contributions:
+
+- the *approximation* error, ``O(lambda**sigma)`` — shrinks as ``lambda``
+  shrinks;
+- the *roundoff* error, ``O(2**-d * lambda**-(s*phi))`` — grows as
+  ``lambda`` shrinks, because coefficients carry negative powers up to
+  ``phi`` per recursive step.
+
+Balancing the two (Bini, Lotti & Romani 1980) gives the optimum
+``lambda* = Theta(2**(-d / (sigma + s*phi)))`` and minimum error
+``O(2**(-d*sigma / (sigma + s*phi)))``.  The paper picks the best of the
+five powers of two nearest the theory optimum empirically; we implement
+both the closed form and that tuner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["precision_bits", "optimal_lambda", "lambda_candidates", "tune_lambda"]
+
+
+def precision_bits(dtype) -> int:
+    """Fractional bits ``d`` of the significand for a float dtype.
+
+    23 for float32, 52 for float64 (the ``2**-d`` working precisions the
+    paper uses).
+    """
+    dt = np.dtype(dtype)
+    if dt == np.float32:
+        return 23
+    if dt == np.float64:
+        return 52
+    if dt == np.float16:
+        return 10
+    raise ValueError(f"unsupported floating dtype {dt}")
+
+
+def optimal_lambda(algorithm, d: int = 23, steps: int = 1) -> float:
+    """Theory-optimal ``lambda`` rounded to a power of two.
+
+    Exact algorithms have no lambda dependence; 1.0 is returned so callers
+    can pass it through unconditionally.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if d <= 0:
+        raise ValueError("precision bits d must be positive")
+    if algorithm.is_exact or algorithm.phi == 0:
+        return 1.0
+    sigma = max(algorithm.sigma, 1)
+    exponent = -d / (sigma + steps * algorithm.phi)
+    return float(2.0 ** round(exponent))
+
+
+def lambda_candidates(algorithm, d: int = 23, steps: int = 1, count: int = 5) -> list[float]:
+    """The ``count`` powers of two nearest the theory optimum (paper §2.3)."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    center = optimal_lambda(algorithm, d=d, steps=steps)
+    if center == 1.0:
+        return [1.0]
+    e0 = round(np.log2(center))
+    half = count // 2
+    lo = e0 - half
+    return [float(2.0**e) for e in range(lo, lo + count)]
+
+
+def tune_lambda(
+    algorithm,
+    n: int = 256,
+    d: int | None = None,
+    steps: int = 1,
+    count: int = 5,
+    dtype=np.float32,
+    rng: np.random.Generator | None = None,
+    matmul=None,
+) -> tuple[float, float]:
+    """Empirically pick the best of the nearest powers of two.
+
+    Multiplies uniform random ``n x n`` matrices with each candidate
+    ``lambda`` and returns ``(best_lambda, best_relative_error)`` measured
+    against the float64 classical product (the paper's Fig-1 protocol).
+
+    ``matmul`` defaults to :func:`repro.core.apa_matmul.apa_matmul` (or the
+    surrogate executor for surrogates); injectable for testing.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if d is None:
+        d = precision_bits(dtype)
+    if matmul is None:
+        from repro.core.apa_matmul import apa_matmul as matmul  # lazy: avoid cycle
+
+    A = rng.random((n, n)).astype(dtype)
+    B = rng.random((n, n)).astype(dtype)
+    C_ref = A.astype(np.float64) @ B.astype(np.float64)
+    ref_norm = np.linalg.norm(C_ref)
+
+    best_lam, best_err = 1.0, np.inf
+    for lam in lambda_candidates(algorithm, d=d, steps=steps, count=count):
+        C_hat = matmul(A, B, algorithm, lam=lam, steps=steps)
+        err = float(np.linalg.norm(C_hat.astype(np.float64) - C_ref) / ref_norm)
+        if err < best_err:
+            best_lam, best_err = lam, err
+    return best_lam, best_err

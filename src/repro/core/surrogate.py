@@ -1,0 +1,143 @@
+"""Numerical execution of metadata surrogates.
+
+A :class:`~repro.algorithms.smirnov.SurrogateAlgorithm` has no coefficient
+matrices, so it cannot run through the generic executor.  What the paper's
+experiments need from it numerically is a product with *APA-like error*:
+
+- **bilinear in the inputs** — the true APA error is
+  ``lambda * E(A, B) + O(lambda**2)`` where each entry of ``E`` is a
+  bilinear form in the entries of ``A`` and ``B`` (e.g. Bini's
+  ``E11 = -A12 B11``);
+- **relative magnitude** set by the algorithm's ``(sigma, phi)`` class:
+  ``~2**(-d*sigma/(sigma+s*phi))`` (paper Table 1), a small constant
+  factor below the bound in practice (Fig 1);
+- **deterministic** given the same operands (a rerun of an APA product
+  gives bitwise-identical error).
+
+We synthesize exactly that: a sign-modulated product
+``E = (sr * A) @ (B * sc)`` with fixed per-algorithm ±1 row/column sign
+patterns (a bilinear function of ``A`` and ``B`` that is uncorrelated with
+``C`` but matched in scale), rescaled to the target relative magnitude.
+
+``emulate_flops=True`` additionally performs the algorithm's true gemm
+profile (``r`` products of ``(M/m) x (N/n)`` by ``(N/n) x (K/k)`` blocks)
+into a scratch buffer, so wall-clock demos on real multicore hosts exercise
+a realistic compute profile; the scratch result is discarded.  Simulated
+performance figures do not use this path (they use the cost model), so it
+defaults off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.linalg.blocking import BlockPartition, split_blocks
+
+__all__ = ["surrogate_matmul", "structured_error"]
+
+
+def _sign_vector(seed_text: str, length: int) -> np.ndarray:
+    """Deterministic ±1 pattern derived from a text seed."""
+    digest = hashlib.sha256(seed_text.encode()).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    return rng.choice(np.array([-1.0, 1.0]), size=length)
+
+
+def structured_error(A: np.ndarray, B: np.ndarray, tag: str) -> np.ndarray:
+    """A bilinear, deterministic error matrix shaped like ``A @ B``.
+
+    ``E = (sr[:, None] * A) @ (B * sc[None, :])`` with ±1 sign patterns
+    seeded by ``tag``.  Bilinear in (A, B) like a true APA error tensor,
+    and of comparable Frobenius norm to the product itself for generic
+    inputs (callers rescale to the exact target magnitude).
+    """
+    sr = _sign_vector(tag + ":rows", A.shape[0])
+    sc = _sign_vector(tag + ":cols", B.shape[1])
+    return (sr[:, None] * A) @ (B * sc[None, :])
+
+
+def surrogate_matmul(
+    A: np.ndarray,
+    B: np.ndarray,
+    algorithm,
+    lam: float | None = None,
+    steps: int = 1,
+    d: int | None = None,
+    inject_error: bool = True,
+    emulate_flops: bool = False,
+) -> np.ndarray:
+    """Multiply ``A @ B`` emulating a surrogate APA algorithm.
+
+    ``lam`` scales the injected error relative to the tuned optimum: at the
+    optimal lambda the relative error equals the algorithm's
+    ``empirical_error_scale``; a lambda ``t`` times larger multiplies the
+    approximation term by ``t**sigma`` (approximation-dominated regime),
+    a smaller lambda grows the roundoff term by ``(1/t)**(s*phi)`` — the
+    same valley shape a true APA algorithm exhibits.
+    """
+    if A.ndim != 2 or B.ndim != 2:
+        raise ValueError("surrogate_matmul expects 2-D operands")
+    if A.shape[1] != B.shape[0]:
+        raise ValueError(f"inner dims mismatch: {A.shape} @ {B.shape}")
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+
+    from repro.core.lam import precision_bits
+
+    dtype = np.result_type(A.dtype, B.dtype)
+    if d is None:
+        d = precision_bits(dtype) if dtype.kind == "f" else 52
+
+    if emulate_flops:
+        _burn_flop_profile(A, B, algorithm, steps)
+
+    C = A @ B
+    if not inject_error:
+        return C
+
+    sigma, phi = algorithm.sigma, algorithm.phi
+    lam_opt = 2.0 ** (-d / (sigma + steps * phi))
+    rel = algorithm.empirical_error_scale(d=d, steps=steps)
+    if lam is not None and lam > 0 and lam != lam_opt:
+        ratio = lam / lam_opt
+        # Error valley: approximation term scales like lam**sigma, roundoff
+        # like lam**-(s*phi); total modelled as the max of the two branches.
+        rel = rel * max(ratio**sigma, ratio ** (-steps * phi))
+        rel = min(rel, 1.0)
+
+    E = structured_error(A, B, algorithm.name)
+    e_norm = np.linalg.norm(E)
+    c_norm = np.linalg.norm(C)
+    if e_norm == 0 or c_norm == 0:
+        return C
+    scale = rel * c_norm / e_norm
+    return (C + scale * E).astype(dtype, copy=False)
+
+
+def _burn_flop_profile(A: np.ndarray, B: np.ndarray, algorithm, steps: int) -> None:
+    """Perform the surrogate's true gemm profile into scratch buffers.
+
+    One recursive level: ``r`` products of ``(M/m, N/n) @ (N/n, K/k)``
+    blocks.  Levels beyond the first reuse the same recursion.  Results are
+    discarded — only the compute profile matters.
+    """
+    m, n, k = algorithm.m, algorithm.n, algorithm.k
+    plan = BlockPartition(
+        m, n, k, rows_a=A.shape[0], cols_a=A.shape[1], cols_b=B.shape[1], steps=steps
+    )
+    Ap, Bp = plan.prepare(A, B)
+
+    def level(Ab: np.ndarray, Bb: np.ndarray, depth: int) -> None:
+        a_grid = split_blocks(Ab, m, n)
+        b_grid = split_blocks(Bb, n, k)
+        Sa, Tb = a_grid[0][0], b_grid[0][0]
+        for _ in range(algorithm.rank):
+            if depth > 1:
+                level(Sa, Tb, depth - 1)
+            else:
+                np.matmul(Sa, Tb)
+
+    level(Ap, Bp, steps)

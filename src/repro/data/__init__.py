@@ -1,0 +1,17 @@
+"""Datasets and batching utilities.
+
+MNIST itself cannot be downloaded in this offline environment, so
+:mod:`repro.data.synth_mnist` generates a procedural stand-in with the
+same dimensionality, class count and difficulty band (see DESIGN.md §2).
+"""
+
+from repro.data.synth_mnist import load_synth_mnist, render_digit
+from repro.data.loaders import batch_iterator, one_hot, train_test_split
+
+__all__ = [
+    "load_synth_mnist",
+    "render_digit",
+    "batch_iterator",
+    "one_hot",
+    "train_test_split",
+]

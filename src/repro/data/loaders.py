@@ -1,0 +1,67 @@
+"""Batching and label utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["batch_iterator", "one_hot", "train_test_split"]
+
+
+def batch_iterator(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    shuffle: bool = True,
+    rng: np.random.Generator | None = None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` minibatches.
+
+    ``drop_last`` discards a trailing partial batch (useful when an
+    experiment wants constant matmul dimensions, as the paper's square
+    hidden products do).
+    """
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x/y sample counts differ")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    n = x.shape[0]
+    order = np.arange(n)
+    if shuffle:
+        (rng or np.random.default_rng(0)).shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and idx.shape[0] < batch_size:
+            return
+        yield x[idx], y[idx]
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
+    """Integer labels to one-hot rows."""
+    if labels.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError("label out of range")
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1
+    return out
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into ``(x_train, y_train, x_test, y_test)``."""
+    if not (0.0 < test_fraction < 1.0):
+        raise ValueError("test_fraction must be in (0, 1)")
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x/y sample counts differ")
+    n = x.shape[0]
+    order = (rng or np.random.default_rng(0)).permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]

@@ -1,0 +1,61 @@
+"""One driver per table/figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function returning structured results and
+a ``format_*`` helper printing the same rows/series the paper reports;
+the ``benchmarks/`` suite and ``examples/`` scripts are thin wrappers over
+these.  Paper-scale parameters are the defaults of the ``*_PAPER``
+constants; drivers accept reduced settings so the test suite can exercise
+every experiment quickly.
+"""
+
+from repro.experiments.table1_properties import run_table1, format_table1
+from repro.experiments.fig1_error import run_fig1, format_fig1
+from repro.experiments.fig2_schedule import run_fig2, format_fig2
+from repro.experiments.fig3_matmul_perf import run_fig3, format_fig3
+from repro.experiments.fig4_structure import run_fig4, format_fig4
+from repro.experiments.fig5_mnist_accuracy import run_fig5, format_fig5
+from repro.experiments.fig6_mlp_training import run_fig6, format_fig6
+from repro.experiments.fig7_vgg import run_fig7, format_fig7
+from repro.experiments.ablations import (
+    run_strategy_ablation,
+    run_steps_ablation,
+    run_lambda_sweep,
+    run_aspect_ratio_study,
+)
+from repro.experiments.extensions import (
+    run_precision_study,
+    format_precision_study,
+    run_conv_study,
+    run_roofline_study,
+    format_roofline_study,
+)
+from repro.experiments.robustness import (
+    run_error_tolerance_study,
+    format_error_tolerance_study,
+    run_bad_lambda_study,
+)
+from repro.experiments.hardware import (
+    run_hardware_sensitivity,
+    format_hardware_sensitivity,
+)
+
+__all__ = [
+    "run_table1", "format_table1",
+    "run_fig1", "format_fig1",
+    "run_fig2", "format_fig2",
+    "run_fig3", "format_fig3",
+    "run_fig4", "format_fig4",
+    "run_fig5", "format_fig5",
+    "run_fig6", "format_fig6",
+    "run_fig7", "format_fig7",
+    "run_strategy_ablation",
+    "run_steps_ablation",
+    "run_lambda_sweep",
+    "run_aspect_ratio_study",
+    "run_precision_study", "format_precision_study",
+    "run_conv_study",
+    "run_roofline_study", "format_roofline_study",
+    "run_error_tolerance_study", "format_error_tolerance_study",
+    "run_bad_lambda_study",
+    "run_hardware_sensitivity", "format_hardware_sensitivity",
+]

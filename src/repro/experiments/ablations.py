@@ -1,0 +1,178 @@
+"""Ablations and extension studies beyond the paper's figures.
+
+These back the design discussion of §3.2/§6 with data:
+
+- **strategy ablation** — hybrid vs BFS vs DFS simulated times (the
+  paper asserts hybrid dominates; here is the margin);
+- **recursion-steps ablation** — one vs two recursive steps: speedup
+  potential grows like ``(mnk/r)**s`` but phi grows like ``s*phi`` (error
+  floor rises) and sub-products shrink (efficiency falls);
+- **lambda sweep** — the error valley: approximation error on the right,
+  roundoff blow-up on the left, minimum near the theory optimum;
+- **aspect-ratio study** (§6) — on skewed products, the algorithm whose
+  dims match the problem's aspect ratio wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.catalog import get_algorithm
+from repro.bench.metrics import relative_frobenius_error
+from repro.core.apa_matmul import apa_matmul
+from repro.core.lam import optimal_lambda, precision_bits
+from repro.machine.spec import MachineSpec
+from repro.parallel.simulator import simulate_classical, simulate_fast
+from repro.parallel.strategy import STRATEGIES
+
+__all__ = [
+    "StrategyAblationRow",
+    "run_strategy_ablation",
+    "StepsAblationRow",
+    "run_steps_ablation",
+    "LambdaSweepPoint",
+    "run_lambda_sweep",
+    "AspectRatioRow",
+    "run_aspect_ratio_study",
+]
+
+
+@dataclass(frozen=True)
+class StrategyAblationRow:
+    algorithm: str
+    n: int
+    threads: int
+    strategy: str
+    seconds: float
+    relative_to_hybrid: float
+
+
+def run_strategy_ablation(
+    algorithm: str = "smirnov444",
+    n: int = 8192,
+    threads: int = 6,
+    spec: MachineSpec | None = None,
+) -> list[StrategyAblationRow]:
+    """Simulated time of each §3.2 strategy on one configuration."""
+    alg = get_algorithm(algorithm)
+    times = {
+        strategy: simulate_fast(
+            alg, n, n, n, threads=threads, strategy=strategy, spec=spec
+        ).total
+        for strategy in STRATEGIES
+    }
+    hybrid = times["hybrid"]
+    return [
+        StrategyAblationRow(algorithm, n, threads, s, t, t / hybrid)
+        for s, t in times.items()
+    ]
+
+
+@dataclass(frozen=True)
+class StepsAblationRow:
+    algorithm: str
+    n: int
+    steps: int
+    seconds: float
+    speedup_vs_classical: float
+    error_bound: float
+
+
+def run_steps_ablation(
+    algorithm: str = "smirnov444",
+    n: int = 8192,
+    threads: int = 1,
+    max_steps: int = 2,
+    d: int = 23,
+    spec: MachineSpec | None = None,
+) -> list[StepsAblationRow]:
+    """Speedup/error trade-off of recursion depth (§2.4: practical depth
+    is 1-2)."""
+    alg = get_algorithm(algorithm)
+    base = simulate_classical(n, n, n, threads=threads, spec=spec).total
+    rows = []
+    for steps in range(1, max_steps + 1):
+        t = simulate_fast(alg, n, n, n, threads=threads, steps=steps, spec=spec).total
+        rows.append(
+            StepsAblationRow(
+                algorithm, n, steps, t, base / t - 1.0,
+                alg.error_bound(d=d, steps=steps),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class LambdaSweepPoint:
+    algorithm: str
+    lam: float
+    error: float
+    lam_optimal: float
+
+
+def run_lambda_sweep(
+    algorithm: str = "bini322",
+    n: int = 256,
+    exponent_span: int = 6,
+    dtype=np.float32,
+    seed: int = 0,
+) -> list[LambdaSweepPoint]:
+    """Error vs lambda across powers of two around the theory optimum.
+
+    Shows the §2.3 valley: too large a lambda → approximation error
+    dominates; too small → roundoff (amplified by the lambda**-phi
+    coefficients) dominates.
+    """
+    alg = get_algorithm(algorithm)
+    d = precision_bits(dtype)
+    lam_opt = optimal_lambda(alg, d=d)
+    if lam_opt == 1.0:
+        raise ValueError(f"{algorithm!r} is exact; lambda sweep is meaningless")
+    rng = np.random.default_rng(seed)
+    A = rng.random((n, n)).astype(dtype)
+    B = rng.random((n, n)).astype(dtype)
+    C_ref = A.astype(np.float64) @ B.astype(np.float64)
+    e0 = round(np.log2(lam_opt))
+    points = []
+    for e in range(e0 - exponent_span, e0 + exponent_span + 1):
+        lam = float(2.0**e)
+        C_hat = apa_matmul(A, B, alg, lam=lam)
+        points.append(
+            LambdaSweepPoint(algorithm, lam,
+                             relative_frobenius_error(C_hat, C_ref), lam_opt)
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class AspectRatioRow:
+    algorithm: str
+    M: int
+    N: int
+    K: int
+    seconds: float
+    speedup_vs_classical: float
+
+
+def run_aspect_ratio_study(
+    M: int = 8192,
+    N: int = 4096,
+    K: int = 4096,
+    threads: int = 1,
+    algorithms: tuple[str, ...] = ("bini322", "bini232", "bini223"),
+    spec: MachineSpec | None = None,
+) -> list[AspectRatioRow]:
+    """§6: matching algorithm dims to the problem's aspect ratio.
+
+    Default problem is 2:1:1-skewed, so the ``<3,2,2>`` orientation of
+    Bini's rule should beat its ``<2,3,2>`` / ``<2,2,3>`` reorderings.
+    """
+    base = simulate_classical(M, N, K, threads=threads, spec=spec).total
+    rows = []
+    for name in algorithms:
+        alg = get_algorithm(name)
+        t = simulate_fast(alg, M, N, K, threads=threads, spec=spec).total
+        rows.append(AspectRatioRow(name, M, N, K, t, base / t - 1.0))
+    return rows

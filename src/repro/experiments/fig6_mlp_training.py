@@ -1,0 +1,80 @@
+"""Fig 6 — MLP training time relative to classical (§4.3).
+
+Protocol: 6-layer MLPs (4 hidden layers) in the ParaDnn fully connected
+style; hidden width swept 512..8192 with batch size matched to the width
+so hidden products are square; APA operators on the hidden products only.
+The y-axis is training time relative to the all-classical network
+(< 1 means the APA network trains faster).
+
+Headline shapes: at 1 thread all algorithms win for width >= 4096 with
+``<4,4,4>`` best (~25% at 8192); at 6 threads the best (``<4,4,2>`` /
+``<4,4,4>``) reach ~13%; at 12 threads most algorithms lose and only the
+remainder-free ``<4,4,2>`` is faster (up to ~7%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.catalog import PAPER_ALGORITHMS, get_algorithm
+from repro.bench.tables import format_table
+from repro.machine.spec import MachineSpec
+from repro.nn.timing import mlp_step_timing
+
+__all__ = ["Fig6Point", "run_fig6", "format_fig6", "FIG6_WIDTHS_PAPER"]
+
+FIG6_WIDTHS_PAPER: tuple[int, ...] = (512, 1024, 2048, 4096, 8192)
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    algorithm: str
+    hidden_size: int
+    threads: int
+    step_seconds: float
+    relative_time: float  # vs the all-classical network (1.0 = parity)
+
+
+def run_fig6(
+    threads: int = 1,
+    widths: tuple[int, ...] = FIG6_WIDTHS_PAPER,
+    algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
+    hidden_layers: int = 4,
+    spec: MachineSpec | None = None,
+) -> list[Fig6Point]:
+    """One panel of Fig 6 (``threads`` in {1, 6, 12})."""
+    points: list[Fig6Point] = []
+    for width in widths:
+        base = mlp_step_timing(
+            width, algorithm=None, hidden_layers=hidden_layers,
+            threads=threads, spec=spec,
+        ).total
+        points.append(Fig6Point("classical", width, threads, base, 1.0))
+        for name in algorithms:
+            alg = get_algorithm(name)
+            t = mlp_step_timing(
+                width, algorithm=alg, hidden_layers=hidden_layers,
+                threads=threads, spec=spec,
+            ).total
+            points.append(Fig6Point(name, width, threads, t, t / base))
+    return points
+
+
+def format_fig6(points: list[Fig6Point]) -> str:
+    threads = points[0].threads if points else 1
+    headers = ["algorithm", "hidden=batch", "step time (s)", "relative", "speedup"]
+    rows = [
+        [p.algorithm, p.hidden_size, f"{p.step_seconds:.4f}",
+         f"{p.relative_time:.3f}", f"{(1 / p.relative_time - 1) * 100:+.1f}%"]
+        for p in points
+    ]
+    return format_table(
+        headers, rows,
+        title=f"Fig 6 ({threads} threads): MLP training time relative to classical",
+    )
+
+
+if __name__ == "__main__":
+    for p in (1, 6, 12):
+        print(format_fig6(run_fig6(threads=p, widths=(2048, 8192))))
+        print()

@@ -1,0 +1,68 @@
+"""Fig 7 — per-batch training time of VGG-19's fully connected layers (§5).
+
+Protocol: the 25088-4096-4096-1000 FC head, classical vs the ``<4,4,2>``
+algorithm (the paper's pick for these layers), across batch sizes, at 1
+and 6 threads.  Paper headline: up to 15% speedup sequential, 10% with 6
+threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.catalog import get_algorithm
+from repro.bench.tables import format_table
+from repro.machine.spec import MachineSpec
+from repro.nn.timing import vgg_fc_step_timing
+
+__all__ = ["Fig7Point", "run_fig7", "format_fig7", "FIG7_BATCHES_PAPER"]
+
+#: The paper does not state its batch range; this sweep brackets the
+#: crossover (small batches make the weight-gradient product skinny and
+#: slow for the fast algorithm) and the reported 10-15% speedup region.
+FIG7_BATCHES_PAPER: tuple[int, ...] = (128, 256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    algorithm: str
+    batch: int
+    threads: int
+    step_seconds: float
+    speedup_vs_classical: float
+
+
+def run_fig7(
+    batches: tuple[int, ...] = FIG7_BATCHES_PAPER,
+    threads_list: tuple[int, ...] = (1, 6),
+    algorithm: str = "smirnov442",
+    spec: MachineSpec | None = None,
+) -> list[Fig7Point]:
+    alg = get_algorithm(algorithm)
+    points: list[Fig7Point] = []
+    for threads in threads_list:
+        for batch in batches:
+            base = vgg_fc_step_timing(batch, algorithm=None, threads=threads, spec=spec).total
+            fast = vgg_fc_step_timing(batch, algorithm=alg, threads=threads, spec=spec).total
+            points.append(Fig7Point("classical", batch, threads, base, 0.0))
+            points.append(
+                Fig7Point(algorithm, batch, threads, fast, base / fast - 1.0)
+            )
+    return points
+
+
+def format_fig7(points: list[Fig7Point]) -> str:
+    headers = ["algorithm", "batch", "threads", "per-batch time (s)", "speedup"]
+    rows = [
+        [p.algorithm, p.batch, p.threads, f"{p.step_seconds:.4f}",
+         f"{p.speedup_vs_classical * 100:+.1f}%"]
+        for p in points
+    ]
+    return format_table(
+        headers, rows,
+        title="Fig 7: VGG-19 fully connected layers, per-batch training time",
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig7(run_fig7(batches=(512, 2048))))

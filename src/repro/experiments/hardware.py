@@ -1,0 +1,108 @@
+"""Hardware sensitivity: how do the results move across machines? (§6)
+
+The paper closes by asking how APA algorithms would fare on other
+hardware (GPUs with "relatively higher memory bandwidth").  The machine
+model lets us answer the CPU version of that question quantitatively: we
+sweep the *machine balance* (flops available per byte of bandwidth) and
+watch the crossover dimension and peak speedup move.
+
+Presets:
+
+- ``paper_machine`` — the 2012 Sandy Bridge of §3.1 (32 GF/core, ~14
+  GB/s/core);
+- ``modern_server`` — an AVX-512-class core: far more flops per byte, so
+  the additions hurt more and the crossover moves right;
+- ``high_bandwidth`` — an HBM-like balance (the paper's GPU argument):
+  additions nearly free, crossover moves left and speedups approach the
+  ideal mnk/r.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.catalog import get_algorithm
+from repro.bench.tables import format_table
+from repro.machine.spec import MachineSpec, paper_machine
+from repro.parallel.simulator import simulate_classical, simulate_fast
+
+__all__ = [
+    "modern_server",
+    "high_bandwidth_machine",
+    "HardwarePoint",
+    "run_hardware_sensitivity",
+    "format_hardware_sensitivity",
+]
+
+
+def modern_server() -> MachineSpec:
+    """An AVX-512-class socket: ~4x the flops per core at similar
+    per-core bandwidth — a much more compute-rich balance."""
+    return MachineSpec(
+        name="modern-avx512",
+        sockets=2,
+        cores_per_socket=24,
+        peak_flops_core=140e9,
+        bw_core=12e9,
+        bw_socket=200e9,
+        gemm_half_dim_seq=350.0,
+        gemm_half_dim_socket=900.0,
+        gemm_half_dim_machine=3000.0,
+    )
+
+
+def high_bandwidth_machine() -> MachineSpec:
+    """An HBM-like balance (the paper's GPU argument, mapped to the CPU
+    model): bandwidth so high the additions are nearly free."""
+    base = paper_machine()
+    return base.with_params(
+        name="high-bandwidth",
+        bw_core=120e9,
+        bw_socket=450e9,
+    )
+
+
+@dataclass(frozen=True)
+class HardwarePoint:
+    machine: str
+    algorithm: str
+    n: int
+    threads: int
+    speedup: float
+    balance_flops_per_byte: float
+
+
+def run_hardware_sensitivity(
+    algorithms: tuple[str, ...] = ("smirnov444", "smirnov442", "bini322"),
+    n: int = 8192,
+    threads: int = 1,
+    machines: tuple[MachineSpec, ...] | None = None,
+) -> list[HardwarePoint]:
+    """Speedup of each algorithm on each machine at one configuration."""
+    machines = machines or (paper_machine(), modern_server(),
+                            high_bandwidth_machine())
+    points = []
+    for spec in machines:
+        base = simulate_classical(n, n, n, threads=threads, spec=spec).total
+        balance = spec.peak_flops(threads) / spec.bw_core / threads
+        for name in algorithms:
+            alg = get_algorithm(name)
+            fast = simulate_fast(alg, n, n, n, threads=threads, spec=spec).total
+            points.append(HardwarePoint(
+                machine=spec.name, algorithm=name, n=n, threads=threads,
+                speedup=base / fast - 1.0,
+                balance_flops_per_byte=balance,
+            ))
+    return points
+
+
+def format_hardware_sensitivity(points: list[HardwarePoint]) -> str:
+    rows = [[p.machine, f"{p.balance_flops_per_byte:.0f}", p.algorithm,
+             f"{p.speedup * 100:+.1f}%"] for p in points]
+    return format_table(
+        ["machine", "flops/byte", "algorithm", "speedup"],
+        rows,
+        title=(f"Hardware sensitivity (n={points[0].n}, "
+               f"{points[0].threads} thread(s)): higher bandwidth -> "
+               "closer to the ideal mnk/r speedup"),
+    )

@@ -1,0 +1,80 @@
+"""Table 1 — properties of the APA algorithms.
+
+Regenerates every column of the paper's Table 1 from our algorithm
+objects: dims, rank, ideal single-step speedup, sigma, phi, and the
+minimum error ``2**(-d*sigma/(sigma+phi))`` at single precision.  For
+real (fully-coefficiented) algorithms the sigma/phi values come out of
+symbolic verification; for surrogates they are the recorded Table-1
+metadata — either way the same computation path produces the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.catalog import TABLE1, get_algorithm
+from repro.bench.tables import format_table
+
+__all__ = ["Table1Result", "run_table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    name: str
+    ref: str
+    dims: tuple[int, int, int]
+    rank: int
+    speedup_percent: float
+    sigma: int
+    phi: int
+    error: float
+    is_surrogate: bool
+
+
+def run_table1(d: int = 23, steps: int = 1) -> list[Table1Result]:
+    """Compute the Table-1 rows from the catalog, in paper order."""
+    rows = []
+    for expected in TABLE1:
+        alg = get_algorithm(expected.name)
+        # The classical row reports sigma=1/phi=0 in the paper with error
+        # 2**-d; exact algorithms in our representation have no error
+        # polynomial, so map exactness onto the paper's convention.
+        sigma = 1 if alg.is_exact else alg.sigma
+        rows.append(
+            Table1Result(
+                name=expected.name,
+                ref=expected.ref,
+                dims=alg.dims,
+                rank=alg.rank,
+                speedup_percent=alg.speedup_percent,
+                sigma=sigma,
+                phi=alg.phi,
+                error=alg.error_bound(d=d, steps=steps),
+                is_surrogate=alg.is_surrogate,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Result] | None = None) -> str:
+    rows = rows if rows is not None else run_table1()
+    headers = ["Ref", "Dims", "Rank", "Speedup", "sigma", "phi", "Error", "Kind"]
+    table = []
+    for r in rows:
+        m, n, k = r.dims
+        speedup = "-" if r.speedup_percent <= 0 else f"{r.speedup_percent:.0f}%"
+        table.append([
+            r.ref,
+            f"<{m},{n},{k}>",
+            r.rank,
+            speedup,
+            r.sigma,
+            r.phi,
+            f"{r.error:.1e}",
+            "surrogate" if r.is_surrogate else "real",
+        ])
+    return format_table(headers, table, title="Table 1: Properties of APA algorithms")
+
+
+if __name__ == "__main__":
+    print(format_table1())

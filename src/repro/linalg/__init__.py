@@ -1,0 +1,32 @@
+"""Exact and numerical linear-algebra substrate.
+
+This subpackage provides the low-level machinery the rest of the library is
+built on:
+
+- :mod:`repro.linalg.laurent` — exact Laurent polynomials in the APA
+  parameter ``lambda`` over rational coefficients, used to encode and verify
+  bilinear algorithms symbolically.
+- :mod:`repro.linalg.tensor` — the matrix-multiplication tensor
+  ``T<m,n,k>`` and exact trilinear contractions.
+- :mod:`repro.linalg.blocking` — block partitioning, padding and peeling of
+  NumPy operands so that fixed-size bilinear rules apply to arbitrary shapes.
+"""
+
+from repro.linalg.laurent import Laurent
+from repro.linalg.tensor import matmul_tensor, triple_product_tensor
+from repro.linalg.blocking import (
+    BlockPartition,
+    pad_to_multiple,
+    split_blocks,
+    join_blocks,
+)
+
+__all__ = [
+    "Laurent",
+    "matmul_tensor",
+    "triple_product_tensor",
+    "BlockPartition",
+    "pad_to_multiple",
+    "split_blocks",
+    "join_blocks",
+]

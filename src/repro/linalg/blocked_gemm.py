@@ -1,0 +1,84 @@
+"""A cache-blocked reference gemm (educational substrate).
+
+The paper's performance rests on a highly tuned BLAS; this environment
+has no native extension toolchain (DESIGN.md §2), so this module shows
+the *structure* such kernels have — the three-tier loop nest of
+Goto-style implementations — in pure NumPy:
+
+- ``NC/KC/MC`` blocking walks panels of ``B``, ``A`` and ``C`` sized to
+  the (modelled) L3/L2/L1 tiers;
+- panels are *packed* (copied contiguous) before the inner products, the
+  step that makes real kernels cache- and TLB-friendly;
+- the innermost "micro-kernel" is a plain NumPy matmul on packed panels.
+
+It computes exactly ``A @ B`` (tests pin this on ragged shapes) and
+exposes per-tier traffic counters so one can see why blocking wins —
+which is the measurement mindset the HPC guides prescribe.  It is NOT a
+fast path (Python loop overhead dwarfs its cache benefits at these
+sizes); use it as an inspectable ``gemm=`` backend and a teaching tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BlockedGemm", "blocked_gemm"]
+
+
+@dataclass
+class GemmCounters:
+    """Traffic accounting of one blocked multiplication."""
+
+    packed_a_bytes: int = 0
+    packed_b_bytes: int = 0
+    micro_kernel_calls: int = 0
+    flops: int = 0
+
+
+@dataclass
+class BlockedGemm:
+    """Callable blocked gemm with configurable tier sizes.
+
+    Defaults follow the classic heuristic: ``KC x NC`` panel of ``B`` in
+    L3, ``MC x KC`` panel of ``A`` in L2.
+    """
+
+    mc: int = 128
+    kc: int = 256
+    nc: int = 512
+    counters: GemmCounters = field(default_factory=GemmCounters)
+
+    def __post_init__(self) -> None:
+        if min(self.mc, self.kc, self.nc) < 1:
+            raise ValueError("block sizes must be positive")
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+            raise ValueError(f"bad operand shapes {A.shape} @ {B.shape}")
+        M, K = A.shape
+        N = B.shape[1]
+        C = np.zeros((M, N), dtype=np.result_type(A, B))
+        ctr = self.counters
+        for jc in range(0, N, self.nc):          # NC: panel of B columns
+            nb = min(self.nc, N - jc)
+            for pc in range(0, K, self.kc):      # KC: rank-KC update
+                kb = min(self.kc, K - pc)
+                Bp = np.ascontiguousarray(B[pc:pc + kb, jc:jc + nb])
+                ctr.packed_b_bytes += Bp.nbytes
+                for ic in range(0, M, self.mc):  # MC: panel of A rows
+                    mb = min(self.mc, M - ic)
+                    Ap = np.ascontiguousarray(A[ic:ic + mb, pc:pc + kb])
+                    ctr.packed_a_bytes += Ap.nbytes
+                    # micro-kernel
+                    C[ic:ic + mb, jc:jc + nb] += Ap @ Bp
+                    ctr.micro_kernel_calls += 1
+                    ctr.flops += 2 * mb * kb * nb
+        return C
+
+
+def blocked_gemm(A: np.ndarray, B: np.ndarray, mc: int = 128, kc: int = 256,
+                 nc: int = 512) -> np.ndarray:
+    """One-shot helper around :class:`BlockedGemm`."""
+    return BlockedGemm(mc=mc, kc=kc, nc=nc)(A, B)

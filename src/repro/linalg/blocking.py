@@ -1,0 +1,146 @@
+"""Block partitioning, padding and (re)assembly of NumPy operands.
+
+A fixed-size bilinear rule for ``<m, n, k>`` applies recursively to general
+matrices by splitting ``A`` into an ``m x n`` grid of equal blocks, ``B``
+into ``n x k``, and producing ``C`` as ``m x k`` blocks.  Real problem sizes
+are rarely divisible by the rule dims, so operands are zero-padded up to the
+next multiple (per recursive level) and the result is cropped back — the
+standard practice in fast-matmul implementations and what the paper's
+framework (Benson & Ballard) does.
+
+Functions here deliberately return *views* wherever NumPy allows (the
+``reshape/swapaxes`` trick for an even split is a view; only padding copies)
+— per the memory guidance of the HPC Python guides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockPartition", "pad_to_multiple", "split_blocks", "join_blocks"]
+
+
+def required_padding(dim: int, divisor: int, steps: int = 1) -> int:
+    """Smallest ``p >= dim`` divisible by ``divisor**steps``.
+
+    One padded size covers all recursion levels: after each split by
+    ``divisor`` the block size remains divisible by the remaining levels.
+    """
+    if dim < 1:
+        raise ValueError(f"dimension must be positive, got {dim}")
+    if divisor < 1 or steps < 0:
+        raise ValueError("divisor must be >= 1 and steps >= 0")
+    unit = divisor**steps
+    return ((dim + unit - 1) // unit) * unit
+
+
+def pad_to_multiple(X: np.ndarray, row_div: int, col_div: int, steps: int = 1) -> np.ndarray:
+    """Zero-pad a 2-D array so each dim divides ``div**steps``.
+
+    Returns ``X`` itself (no copy) when already aligned.
+    """
+    if X.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    rows, cols = X.shape
+    pr = required_padding(rows, row_div, steps)
+    pc = required_padding(cols, col_div, steps)
+    if pr == rows and pc == cols:
+        return X
+    out = np.zeros((pr, pc), dtype=X.dtype)
+    out[:rows, :cols] = X
+    return out
+
+
+def split_blocks(X: np.ndarray, grid_rows: int, grid_cols: int) -> list[list[np.ndarray]]:
+    """Split a 2-D array into a ``grid_rows x grid_cols`` grid of views.
+
+    The array shape must be divisible by the grid.  Each returned block is a
+    contiguous-strided *view* into ``X`` (no copies), so writes through a
+    block alias the parent.
+    """
+    rows, cols = X.shape
+    if rows % grid_rows or cols % grid_cols:
+        raise ValueError(
+            f"shape {X.shape} not divisible by grid {grid_rows}x{grid_cols}"
+        )
+    br, bc = rows // grid_rows, cols // grid_cols
+    return [
+        [X[i * br : (i + 1) * br, j * bc : (j + 1) * bc] for j in range(grid_cols)]
+        for i in range(grid_rows)
+    ]
+
+
+def join_blocks(blocks: list[list[np.ndarray]]) -> np.ndarray:
+    """Assemble a grid of equal-shape blocks into one matrix (copies)."""
+    if not blocks or not blocks[0]:
+        raise ValueError("empty block grid")
+    return np.block(blocks)
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """Plan for applying an ``<m, n, k>`` rule to a concrete problem.
+
+    Attributes
+    ----------
+    m, n, k:
+        Rule dims.
+    rows_a, cols_a, cols_b:
+        Original problem dims (``A`` is ``rows_a x cols_a``, ``B`` is
+        ``cols_a x cols_b``).
+    steps:
+        Number of recursive levels the padding must support.
+    """
+
+    m: int
+    n: int
+    k: int
+    rows_a: int
+    cols_a: int
+    cols_b: int
+    steps: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise ValueError("rule dims must be positive")
+        if min(self.rows_a, self.cols_a, self.cols_b) < 1:
+            raise ValueError("problem dims must be positive")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+
+    @property
+    def padded_rows_a(self) -> int:
+        return required_padding(self.rows_a, self.m, self.steps)
+
+    @property
+    def padded_cols_a(self) -> int:
+        return required_padding(self.cols_a, self.n, self.steps)
+
+    @property
+    def padded_cols_b(self) -> int:
+        return required_padding(self.cols_b, self.k, self.steps)
+
+    @property
+    def pad_overhead(self) -> float:
+        """Fractional extra flops introduced by padding (0 when aligned)."""
+        orig = self.rows_a * self.cols_a * self.cols_b
+        padded = self.padded_rows_a * self.padded_cols_a * self.padded_cols_b
+        return padded / orig - 1.0
+
+    def prepare(self, A: np.ndarray, B: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Pad the operands; validates shapes against the plan."""
+        if A.shape != (self.rows_a, self.cols_a):
+            raise ValueError(f"A has shape {A.shape}, plan expects "
+                             f"({self.rows_a},{self.cols_a})")
+        if B.shape != (self.cols_a, self.cols_b):
+            raise ValueError(f"B has shape {B.shape}, plan expects "
+                             f"({self.cols_a},{self.cols_b})")
+        Ap = pad_to_multiple(A, self.m, self.n, self.steps)
+        Bp = pad_to_multiple(B, self.n, self.k, self.steps)
+        return Ap, Bp
+
+    def crop(self, C_padded: np.ndarray) -> np.ndarray:
+        """Crop a padded result back to the original output shape."""
+        return C_padded[: self.rows_a, : self.cols_b]

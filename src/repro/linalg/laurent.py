@@ -1,0 +1,316 @@
+"""Exact Laurent polynomials in the APA parameter ``lambda``.
+
+APA (Arbitrary Precision Approximating) bilinear algorithms encode each
+linear-combination coefficient as a Laurent polynomial in a scalar parameter
+``0 < lambda < 1`` — e.g. Bini's <3,2,2> algorithm uses coefficients drawn
+from ``{±1, ±lambda, ±lambda**-1}``.  To *verify* such an algorithm we must
+multiply and add these coefficients exactly, so this module implements a
+small, immutable Laurent-polynomial ring over :class:`fractions.Fraction`
+coefficients.
+
+The representation is a mapping ``{exponent: coefficient}`` with all-nonzero
+coefficients.  Arithmetic is exact; evaluation substitutes a concrete float
+(or Fraction) for ``lambda``.
+
+Design notes (performance): verification contracts three coefficient
+matrices over every entry of the matmul tensor, which for the largest
+catalogued algorithms touches a few hundred thousand Laurent products.
+Operations therefore avoid intermediate object churn: products iterate the
+smaller operand, sums merge dicts in place on a private copy, and the zero
+polynomial is a cached singleton.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+Scalar = Union[int, float, Fraction]
+
+__all__ = ["Laurent"]
+
+
+def _as_fraction(value: Scalar) -> Fraction:
+    """Convert ``value`` to an exact Fraction.
+
+    Floats are accepted only when they are exactly representable small
+    dyadics (the coefficients appearing in published algorithms are
+    integers, simple fractions like 1/4, or powers of two), so
+    ``Fraction(value)`` is exact.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite coefficient {value!r}")
+        return Fraction(value)
+    raise TypeError(f"unsupported coefficient type {type(value).__name__}")
+
+
+class Laurent:
+    """An immutable Laurent polynomial ``sum_e c_e * lambda**e``.
+
+    Parameters
+    ----------
+    terms:
+        Mapping from integer exponent to coefficient.  Zero coefficients
+        are dropped.
+
+    Examples
+    --------
+    >>> x = Laurent({1: 1})          # lambda
+    >>> inv = Laurent({-1: 1})       # lambda**-1
+    >>> (x * inv).is_one()
+    True
+    >>> (x + Laurent.one())(0.5)
+    1.5
+    """
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[int, Scalar] | None = None):
+        clean: dict[int, Fraction] = {}
+        if terms:
+            for exp, coeff in terms.items():
+                if not isinstance(exp, int):
+                    raise TypeError(f"exponent must be int, got {type(exp).__name__}")
+                frac = _as_fraction(coeff)
+                if frac:
+                    clean[exp] = frac
+        self._terms = clean
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    _ZERO: "Laurent | None" = None
+    _ONE: "Laurent | None" = None
+
+    @classmethod
+    def zero(cls) -> "Laurent":
+        """The additive identity (cached singleton)."""
+        if cls._ZERO is None:
+            cls._ZERO = cls({})
+        return cls._ZERO
+
+    @classmethod
+    def one(cls) -> "Laurent":
+        """The multiplicative identity (cached singleton)."""
+        if cls._ONE is None:
+            cls._ONE = cls({0: 1})
+        return cls._ONE
+
+    @classmethod
+    def const(cls, value: Scalar) -> "Laurent":
+        """A constant polynomial ``value * lambda**0``."""
+        return cls({0: value})
+
+    @classmethod
+    def lam(cls, exponent: int = 1, coeff: Scalar = 1) -> "Laurent":
+        """The monomial ``coeff * lambda**exponent``."""
+        return cls({exponent: coeff})
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, Scalar]]) -> "Laurent":
+        """Build from ``(exponent, coefficient)`` pairs, summing duplicates."""
+        acc: dict[int, Fraction] = {}
+        for exp, coeff in pairs:
+            acc[exp] = acc.get(exp, Fraction(0)) + _as_fraction(coeff)
+        return cls(acc)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def terms(self) -> dict[int, Fraction]:
+        """A copy of the exponent→coefficient mapping."""
+        return dict(self._terms)
+
+    def coeff(self, exponent: int) -> Fraction:
+        """Coefficient of ``lambda**exponent`` (0 if absent)."""
+        return self._terms.get(exponent, Fraction(0))
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_one(self) -> bool:
+        return self._terms == {0: Fraction(1)}
+
+    def is_constant(self) -> bool:
+        """True when the polynomial has no lambda dependence (incl. zero)."""
+        return not self._terms or set(self._terms) == {0}
+
+    def min_exponent(self) -> int:
+        """Smallest exponent with nonzero coefficient.
+
+        Raises
+        ------
+        ValueError
+            If the polynomial is zero (it has no exponents).
+        """
+        if not self._terms:
+            raise ValueError("zero polynomial has no exponents")
+        return min(self._terms)
+
+    def max_exponent(self) -> int:
+        """Largest exponent with nonzero coefficient."""
+        if not self._terms:
+            raise ValueError("zero polynomial has no exponents")
+        return max(self._terms)
+
+    def negative_degree(self) -> int:
+        """``max(0, -min_exponent)``: how singular the coefficient is at 0.
+
+        This is the per-coefficient ingredient of the algorithm parameter
+        ``phi`` (the largest sum of negative exponents across a triplet).
+        Zero polynomials contribute 0.
+        """
+        if not self._terms:
+            return 0
+        return max(0, -min(self._terms))
+
+    # ------------------------------------------------------------------
+    # ring operations
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "Laurent | Scalar") -> "Laurent":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        if not other._terms:
+            return self
+        if not self._terms:
+            return other
+        merged = dict(self._terms)
+        for exp, coeff in other._terms.items():
+            total = merged.get(exp, Fraction(0)) + coeff
+            if total:
+                merged[exp] = total
+            else:
+                merged.pop(exp, None)
+        return Laurent(merged)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Laurent":
+        return Laurent({e: -c for e, c in self._terms.items()})
+
+    def __sub__(self, other: "Laurent | Scalar") -> "Laurent":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other: "Laurent | Scalar") -> "Laurent":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other + (-self)
+
+    def __mul__(self, other: "Laurent | Scalar") -> "Laurent":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        if not self._terms or not other._terms:
+            return Laurent.zero()
+        a, b = self._terms, other._terms
+        if len(a) > len(b):
+            a, b = b, a
+        acc: dict[int, Fraction] = {}
+        for ea, ca in a.items():
+            for eb, cb in b.items():
+                exp = ea + eb
+                total = acc.get(exp, Fraction(0)) + ca * cb
+                if total:
+                    acc[exp] = total
+                else:
+                    acc.pop(exp, None)
+        return Laurent(acc)
+
+    __rmul__ = __mul__
+
+    def shift(self, delta: int) -> "Laurent":
+        """Multiply by ``lambda**delta`` (exponent shift)."""
+        if not delta or not self._terms:
+            return self
+        return Laurent({e + delta: c for e, c in self._terms.items()})
+
+    def scale(self, factor: Scalar) -> "Laurent":
+        """Multiply every coefficient by ``factor``."""
+        frac = _as_fraction(factor)
+        if not frac:
+            return Laurent.zero()
+        return Laurent({e: c * frac for e, c in self._terms.items()})
+
+    def substitute_power(self, power: int) -> "Laurent":
+        """Substitute ``lambda -> lambda**power`` (power must be >= 1).
+
+        Used when tensoring two APA algorithms: giving the factors different
+        lambda gradings keeps their error terms separable.
+        """
+        if power < 1:
+            raise ValueError("power must be >= 1")
+        if power == 1:
+            return self
+        return Laurent({e * power: c for e, c in self._terms.items()})
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def __call__(self, lam: float) -> float:
+        """Evaluate at a concrete ``lambda`` as a float."""
+        if not self._terms:
+            return 0.0
+        return float(sum(float(c) * lam**e for e, c in self._terms.items()))
+
+    def evaluate_exact(self, lam: Fraction) -> Fraction:
+        """Evaluate at an exact rational ``lambda``."""
+        total = Fraction(0)
+        for e, c in self._terms.items():
+            total += c * lam**e
+        return total
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+
+    def _coerce(self, other: "Laurent | Scalar"):
+        if isinstance(other, Laurent):
+            return other
+        if isinstance(other, (int, float, Fraction)):
+            return Laurent.const(other)
+        return NotImplemented
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Laurent):
+            return self._terms == other._terms
+        if isinstance(other, (int, float, Fraction)):
+            return self._terms == Laurent.const(other)._terms
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._terms.items()))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "Laurent(0)"
+        parts = []
+        for exp in sorted(self._terms):
+            coeff = self._terms[exp]
+            if exp == 0:
+                parts.append(f"{coeff}")
+            elif exp == 1:
+                parts.append(f"{coeff}*L" if coeff != 1 else "L")
+            else:
+                parts.append(f"{coeff}*L**{exp}" if coeff != 1 else f"L**{exp}")
+        return "Laurent(" + " + ".join(parts) + ")"

@@ -1,0 +1,116 @@
+"""The matrix-multiplication tensor and exact trilinear contractions.
+
+A bilinear matrix-multiplication algorithm for dims ``<m, n, k>`` (``A`` is
+``m x n``, ``B`` is ``n x k``, ``C = A @ B`` is ``m x k``) is a rank-``r``
+decomposition of the order-3 *matmul tensor* ``T``:
+
+    T[p, s, q] = sum_i U[p, i] * V[s, i] * W[q, i]
+
+where ``p`` indexes the ``m*n`` entries of ``A`` (row-major), ``s`` the
+``n*k`` entries of ``B``, and ``q`` the ``m*k`` entries of ``C``.  The entry
+``T[p, s, q]`` is 1 exactly when ``A_p * B_s`` contributes (with
+coefficient 1) to ``C_q`` in the classical product.
+
+APA algorithms decompose ``T`` only up to ``O(lambda)``: the contraction
+equals ``T + lambda * E + O(lambda**2)`` where the coefficients of ``U, V,
+W`` are Laurent polynomials in ``lambda``.  The functions here build ``T``
+exactly and contract Laurent-valued factor matrices entrywise, which is what
+:mod:`repro.algorithms.verify` uses to certify every catalogued algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.laurent import Laurent
+
+__all__ = ["matmul_tensor", "triple_product_tensor", "a_index", "b_index", "c_index"]
+
+
+def a_index(i: int, j: int, m: int, n: int) -> int:
+    """Row-major flat index of ``A[i, j]`` for an ``m x n`` matrix."""
+    if not (0 <= i < m and 0 <= j < n):
+        raise IndexError(f"A index ({i},{j}) out of range for {m}x{n}")
+    return i * n + j
+
+
+def b_index(i: int, j: int, n: int, k: int) -> int:
+    """Row-major flat index of ``B[i, j]`` for an ``n x k`` matrix."""
+    if not (0 <= i < n and 0 <= j < k):
+        raise IndexError(f"B index ({i},{j}) out of range for {n}x{k}")
+    return i * k + j
+
+
+def c_index(i: int, j: int, m: int, k: int) -> int:
+    """Row-major flat index of ``C[i, j]`` for an ``m x k`` matrix."""
+    if not (0 <= i < m and 0 <= j < k):
+        raise IndexError(f"C index ({i},{j}) out of range for {m}x{k}")
+    return i * k + j
+
+
+def matmul_tensor(m: int, n: int, k: int) -> np.ndarray:
+    """Build the exact ``<m, n, k>`` matmul tensor as an int8 array.
+
+    Returns an array ``T`` of shape ``(m*n, n*k, m*k)`` with
+    ``T[a_index(i, l), b_index(l, j), c_index(i, j)] = 1`` and zeros
+    elsewhere.
+
+    The tensor has exactly ``m*n*k`` ones — one per scalar multiplication of
+    the classical algorithm.
+    """
+    if min(m, n, k) < 1:
+        raise ValueError(f"dims must be positive, got <{m},{n},{k}>")
+    T = np.zeros((m * n, n * k, m * k), dtype=np.int8)
+    for i in range(m):
+        for l in range(n):
+            for j in range(k):
+                T[a_index(i, l, m, n), b_index(l, j, n, k), c_index(i, j, m, k)] = 1
+    return T
+
+
+def triple_product_tensor(
+    U: np.ndarray, V: np.ndarray, W: np.ndarray
+) -> np.ndarray:
+    """Contract Laurent-valued factor matrices into an order-3 tensor.
+
+    ``U`` has shape ``(mn, r)``, ``V`` ``(nk, r)``, ``W`` ``(mk, r)``; all
+    entries are :class:`~repro.linalg.laurent.Laurent`.  Returns the object
+    array ``S`` with ``S[p, s, q] = sum_i U[p,i] V[s,i] W[q,i]``.
+
+    The contraction skips zero coefficients, so sparse factor matrices (the
+    common case — published algorithms have ~2-4 nonzeros per column) cost
+    ``O(nnz(U) * avg_nnz_col(V) * avg_nnz_col(W))`` rather than the dense
+    ``O(mn * nk * mk * r)``.
+    """
+    if U.ndim != 2 or V.ndim != 2 or W.ndim != 2:
+        raise ValueError("factor matrices must be 2-D")
+    r = U.shape[1]
+    if V.shape[1] != r or W.shape[1] != r:
+        raise ValueError(
+            f"rank mismatch: U has {r} columns, V {V.shape[1]}, W {W.shape[1]}"
+        )
+    mn, nk, mk = U.shape[0], V.shape[0], W.shape[0]
+    out = np.empty((mn, nk, mk), dtype=object)
+    zero = Laurent.zero()
+    out[...] = zero
+
+    # Pre-extract the nonzero pattern of each column to keep the triple loop
+    # proportional to actual algebraic work.
+    for i in range(r):
+        u_nz = [(p, U[p, i]) for p in range(mn) if U[p, i]]
+        if not u_nz:
+            continue
+        v_nz = [(s, V[s, i]) for s in range(nk) if V[s, i]]
+        if not v_nz:
+            continue
+        w_nz = [(q, W[q, i]) for q in range(mk) if W[q, i]]
+        if not w_nz:
+            continue
+        for p, u in u_nz:
+            for s, v in v_nz:
+                uv = u * v
+                if not uv:
+                    continue
+                for q, w in w_nz:
+                    out[p, s, q] = out[p, s, q] + uv * w
+    return out

@@ -1,0 +1,25 @@
+"""Calibrated machine model of the paper's experimental platform.
+
+The paper measures on a dual-socket Intel Xeon E5-2620 (Sandy Bridge):
+2 sockets x 6 cores, 2.0 GHz, 32 single-precision GFLOPS peak per core,
+15 MB L3 per socket, MKL gemm.  Pure Python cannot reproduce cache-level
+timing (DESIGN.md §2), so performance figures are regenerated from this
+discrete cost model, whose handful of parameters encode the paper's own
+reported curves:
+
+- a gemm *efficiency ramp* per thread count (§3.4: the 12-thread ramp is
+  "much shallower ... not achieving the plateau performance until
+  dimension 4000 or so"),
+- bandwidth-bound matrix additions that do not scale with cores (§3.4),
+- a NUMA penalty when spanning sockets, and
+- a contention throttle for many concurrent single-threaded gemms.
+
+:mod:`repro.machine.calibrate` fits the same parameters to real
+measurements for use on actual multicore hosts.
+"""
+
+from repro.machine.spec import MachineSpec, paper_machine
+from repro.machine.gemm_model import GemmModel
+from repro.machine.bandwidth import BandwidthModel
+
+__all__ = ["MachineSpec", "paper_machine", "GemmModel", "BandwidthModel"]

@@ -1,0 +1,50 @@
+"""Memory-bandwidth model for the (bandwidth-bound) matrix additions.
+
+Paper §3.4: "the additions are memory bandwidth bound, and the memory
+bandwidth does not scale with the number of cores".  We model achievable
+streaming bandwidth as
+
+- ``min(p_on_socket * bw_core, bw_socket)`` per socket — a few cores
+  saturate a socket;
+- the second socket contributes only ``numa_bw_factor`` of its bandwidth
+  (no NUMA-aware placement in the paper's code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["BandwidthModel"]
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Streaming bandwidth and elementwise-traffic timing."""
+
+    spec: MachineSpec
+
+    def bandwidth(self, threads: int) -> float:
+        """Achievable bytes/s with ``threads`` cores, compactly pinned."""
+        spec = self.spec
+        spec.validate_threads(threads)
+        cps = spec.cores_per_socket
+        total = 0.0
+        remaining = threads
+        socket_index = 0
+        while remaining > 0:
+            on_socket = min(remaining, cps)
+            socket_bw = min(on_socket * spec.bw_core, spec.bw_socket)
+            if socket_index > 0:
+                socket_bw *= spec.numa_bw_factor
+            total += socket_bw
+            remaining -= on_socket
+            socket_index += 1
+        return total
+
+    def time(self, traffic_bytes: float, threads: int) -> float:
+        """Seconds to stream ``traffic_bytes`` with ``threads`` cores."""
+        if traffic_bytes < 0:
+            raise ValueError("traffic must be nonnegative")
+        return traffic_bytes / self.bandwidth(threads)

@@ -1,0 +1,92 @@
+"""Fit the gemm-model parameters to measurements.
+
+Two uses:
+
+- on a *real* multicore host, :func:`measure_gemm_curve` times actual
+  gemms across dimensions and :func:`fit_gemm_curve` recovers
+  ``(eff_max, half_dim)`` so the simulator can be re-anchored to that
+  machine via :func:`calibrated_spec`;
+- the paper-machine defaults in :mod:`repro.machine.spec` were chosen so
+  the model reproduces the paper's reported ramp/plateau behaviour — the
+  tests use this fitter to confirm the defaults are self-consistent
+  (fitting model-generated data recovers the parameters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+from repro.bench.timing import measure
+from repro.machine.spec import MachineSpec
+
+__all__ = ["fit_gemm_curve", "measure_gemm_curve", "calibrated_spec"]
+
+
+def _efficiency_curve(s, eff_max, half_dim):
+    s = np.asarray(s, dtype=float)
+    return eff_max * s**2 / (s**2 + half_dim**2)
+
+
+def fit_gemm_curve(
+    dims: np.ndarray,
+    gflops: np.ndarray,
+    peak_gflops: float,
+) -> tuple[float, float]:
+    """Fit ``(eff_max, half_dim)`` to measured square-gemm throughput.
+
+    ``dims`` are the square dimensions, ``gflops`` the achieved rates,
+    ``peak_gflops`` the theoretical aggregate peak at the measured thread
+    count.
+    """
+    dims = np.asarray(dims, dtype=float)
+    gflops = np.asarray(gflops, dtype=float)
+    if dims.shape != gflops.shape or dims.size < 2:
+        raise ValueError("need matching arrays with at least 2 points")
+    if peak_gflops <= 0:
+        raise ValueError("peak must be positive")
+    eff = gflops / peak_gflops
+    popt, _ = curve_fit(
+        _efficiency_curve, dims, eff,
+        p0=(0.9, 200.0),
+        bounds=([0.01, 1.0], [1.0, 1e5]),
+        maxfev=10_000,
+    )
+    return float(popt[0]), float(popt[1])
+
+
+def measure_gemm_curve(
+    dims: tuple[int, ...] = (128, 256, 512, 1024),
+    dtype=np.float32,
+    repeats: int = 3,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Time real square gemms; returns ``(dims, achieved_gflops)``."""
+    rng = np.random.default_rng(seed)
+    rates = []
+    for n in dims:
+        A = rng.random((n, n)).astype(dtype)
+        B = rng.random((n, n)).astype(dtype)
+        t = measure(lambda: A @ B, repeats=repeats).best
+        rates.append(2.0 * n**3 / t / 1e9)
+    return np.asarray(dims, dtype=float), np.asarray(rates)
+
+
+def calibrated_spec(
+    base: MachineSpec,
+    dims: np.ndarray,
+    gflops: np.ndarray,
+    threads: int = 1,
+) -> MachineSpec:
+    """Re-anchor a spec's sequential gemm curve to measurements.
+
+    Only the sequential anchors are refit (multithreaded anchors require
+    a multicore host and the corresponding measurements); peak is kept.
+    """
+    if threads != 1:
+        raise NotImplementedError(
+            "only sequential calibration is implemented; measure with one "
+            "BLAS thread and refit the socket/machine anchors manually"
+        )
+    eff_max, half = fit_gemm_curve(dims, gflops, base.peak_flops(1) / 1e9)
+    return base.with_params(gemm_eff_max_seq=eff_max, gemm_half_dim_seq=half)

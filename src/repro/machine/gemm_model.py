@@ -1,0 +1,116 @@
+"""Gemm performance model: efficiency ramps per thread count.
+
+The model captures the three facts the paper's performance analysis rests
+on (§3.3-§3.4):
+
+1. sequential gemm reaches a high fraction of core peak quickly (plateau
+   by a few hundred in dimension);
+2. multithreaded gemm ramps up more slowly the more threads are used —
+   at 12 threads "not achieving the plateau performance until dimension
+   4000 or so" — which is what starves the remainder multiplications of
+   the hybrid strategy;
+3. many *concurrent independent* single-threaded gemms contend for shared
+   L3 and memory bandwidth, throttling each a little.
+
+Efficiency is modelled as ``eff(s, p) = eff_max(p) * s**2 / (s**2 +
+h(p)**2)`` with the effective dimension ``s = (m*n*k)**(1/3)``, plateau
+``eff_max(p)`` and ramp half-size ``h(p)`` interpolated between the
+calibrated sequential / one-socket / whole-machine anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["GemmModel"]
+
+
+@dataclass(frozen=True)
+class GemmModel:
+    """Time and efficiency of ``gemm`` on a given machine."""
+
+    spec: MachineSpec
+
+    # ------------------------------------------------------------------
+    # curve anchors
+    # ------------------------------------------------------------------
+
+    def eff_max(self, threads: int) -> float:
+        """Plateau efficiency (fraction of aggregate peak) at ``threads``."""
+        spec = self.spec
+        spec.validate_threads(threads)
+        eff = spec.gemm_eff_max_seq
+        if threads > 1:
+            eff *= spec.gemm_eff_socket_penalty
+        if spec.sockets_used(threads) > 1:
+            eff *= spec.gemm_eff_numa_penalty
+        return eff
+
+    def half_dim(self, threads: int) -> float:
+        """Ramp half-size ``h(p)``: the dimension of 50% efficiency.
+
+        Interpolates geometrically between the calibrated anchors at 1
+        thread, one full socket, and the whole machine.
+        """
+        spec = self.spec
+        spec.validate_threads(threads)
+        cps, total = spec.cores_per_socket, spec.total_cores
+        h1 = spec.gemm_half_dim_seq
+        hs = spec.gemm_half_dim_socket
+        hm = spec.gemm_half_dim_machine
+        if threads == 1 or cps == 1 and spec.sockets == 1:
+            return h1
+        if threads <= cps:
+            # geometric interpolation in log(threads) between 1 and cps
+            if cps == 1:
+                return hs
+            t = (threads - 1) / (cps - 1)
+            return h1 ** (1 - t) * hs**t
+        if total == cps:
+            return hs
+        t = (threads - cps) / (total - cps)
+        return hs ** (1 - t) * hm**t
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def efficiency(self, m: int, n: int, k: int, threads: int) -> float:
+        """Fraction of the aggregate peak achieved on an ``<m,n,k>`` gemm."""
+        if min(m, n, k) < 1:
+            raise ValueError("gemm dims must be positive")
+        s = (float(m) * float(n) * float(k)) ** (1.0 / 3.0)
+        h = self.half_dim(threads)
+        return self.eff_max(threads) * s * s / (s * s + h * h)
+
+    def time(self, m: int, n: int, k: int, threads: int = 1, concurrent: int = 1) -> float:
+        """Seconds to multiply ``(m x n) @ (n x k)`` with ``threads`` threads.
+
+        ``concurrent`` is the number of *other-plus-this* independent gemms
+        running simultaneously (hybrid strategy rounds); each suffers the
+        contention throttle ``1 + gamma * (concurrent - 1)``.
+        """
+        if concurrent < 1:
+            raise ValueError("concurrent must be >= 1")
+        flops = 2.0 * m * n * k
+        rate = self.spec.peak_flops(threads) * self.efficiency(m, n, k, threads)
+        if threads > 1:
+            # Real BLAS libraries choose their internal thread count per
+            # problem size rather than drowning small gemms in parallel
+            # overhead: a p-thread gemm runs at the best rate achievable
+            # with up to p threads *on one socket* (the graceful fallback
+            # is intra-socket; the cross-socket behaviour is what the
+            # paper actually measured, NUMA penalty included).
+            fallback_cap = min(threads, self.spec.cores_per_socket)
+            rate = max(
+                rate,
+                max(self.spec.peak_flops(t) * self.efficiency(m, n, k, t)
+                    for t in range(1, fallback_cap + 1)),
+            )
+        return flops / rate * self.spec.concurrency_throttle(concurrent)
+
+    def gflops(self, m: int, n: int, k: int, threads: int = 1) -> float:
+        """Achieved GFLOPS of a single gemm (true flops, not effective)."""
+        return 2.0 * m * n * k / self.time(m, n, k, threads) / 1e9

@@ -1,0 +1,97 @@
+"""Roofline-style analytics for fast matmul algorithms.
+
+The paper's recurring explanation for lost speedup is that the matrix
+*additions* are memory-bandwidth bound while the multiplications are
+compute bound (§3.4).  This module quantifies that: for one recursive
+step of an algorithm on an ``M x N x K`` problem it computes
+
+- the gemm flops (``r`` block products),
+- the addition/streaming traffic of the write-once strategy, and
+- the *arithmetic intensity* (flops per byte moved outside gemm),
+
+and compares against the machine's balance point
+``peak_flops / bandwidth`` to classify each configuration as compute- or
+bandwidth-limited at a given thread count.  This predicts exactly the
+paper's observation that adding cores pushes APA algorithms toward the
+bandwidth roof (their intensity is fixed, but the balance point grows
+with cores while bandwidth saturates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linalg.blocking import required_padding
+from repro.machine.bandwidth import BandwidthModel
+from repro.machine.spec import MachineSpec, paper_machine
+
+__all__ = ["RooflinePoint", "roofline_analysis"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Roofline placement of one (algorithm, size, threads) configuration."""
+
+    algorithm: str
+    M: int
+    N: int
+    K: int
+    threads: int
+    gemm_flops: float
+    stream_bytes: float
+    machine_balance: float  # flops/byte at which compute == bandwidth
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Gemm flops per byte of non-gemm streaming traffic."""
+        return self.gemm_flops / self.stream_bytes
+
+    @property
+    def bandwidth_limited(self) -> bool:
+        """True when the additions dominate at this thread count."""
+        return self.arithmetic_intensity < self.machine_balance
+
+    @property
+    def addition_time_share_bound(self) -> float:
+        """Lower bound on the addition share of total time (both parts at
+        their respective roofs)."""
+        t_compute = self.gemm_flops  # in units of 1/peak
+        t_stream = self.stream_bytes * self.machine_balance
+        return t_stream / (t_stream + t_compute)
+
+
+def roofline_analysis(
+    algorithm,
+    M: int,
+    N: int,
+    K: int,
+    threads: int = 1,
+    spec: MachineSpec | None = None,
+    dtype_bytes: int = 4,
+) -> RooflinePoint:
+    """Place one fast multiplication on the machine's roofline."""
+    spec = spec or paper_machine()
+    bw = BandwidthModel(spec)
+    m, n, k = algorithm.m, algorithm.n, algorithm.k
+    r = algorithm.rank
+
+    bm = required_padding(M, m) // m
+    bn = required_padding(N, n) // n
+    bk = required_padding(K, k) // k
+    gemm_flops = 2.0 * r * bm * bn * bk
+
+    nnz_u, nnz_v, nnz_w = algorithm.nnz()
+    stream_bytes = (
+        (nnz_u + r) * bm * bn + (nnz_v + r) * bn * bk
+        + (nnz_w + m * k) * bm * bk
+    ) * dtype_bytes
+
+    balance = spec.peak_flops(threads) / bw.bandwidth(threads)
+    return RooflinePoint(
+        algorithm=algorithm.name,
+        M=M, N=N, K=K,
+        threads=threads,
+        gemm_flops=gemm_flops,
+        stream_bytes=stream_bytes,
+        machine_balance=balance,
+    )

@@ -1,0 +1,127 @@
+"""Machine specification (paper §3.1) and model parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineSpec", "paper_machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware description plus the cost-model parameters.
+
+    The structural fields (sockets, cores, peaks) come straight from the
+    paper's §3.1; the curve parameters (``gemm_*``, ``concurrency_gamma``)
+    are calibrated so the model reproduces the paper's reported
+    efficiency behaviour (see :mod:`repro.machine.calibrate` and the
+    shape assertions in the test suite).
+
+    Attributes
+    ----------
+    sockets, cores_per_socket:
+        Topology; ``total_cores`` is their product.
+    peak_flops_core:
+        Peak single-precision flops/s of one core (32 GFLOPS on the
+        paper's 2.0 GHz Sandy Bridge with AVX).
+    bw_core, bw_socket:
+        Achievable memory bandwidth (bytes/s) of one core and of a
+        saturated socket.
+    numa_bw_factor:
+        Fraction of the second socket's bandwidth realized without
+        NUMA-aware placement (the paper notes its code lacks it).
+    gemm_eff_max_seq:
+        Plateau efficiency of single-threaded gemm (fraction of core
+        peak).
+    gemm_eff_socket_penalty, gemm_eff_numa_penalty:
+        Multiplicative plateau penalties when using a full socket and
+        when spanning sockets.
+    gemm_half_dim_seq:
+        Ramp half-size of sequential gemm: efficiency is
+        ``eff_max * s**2 / (s**2 + h**2)`` in the effective dimension
+        ``s = (m n k)**(1/3)``.
+    gemm_half_dim_socket, gemm_half_dim_machine:
+        Ramp half-sizes at one full socket and at the full machine
+        (the "much shallower" 12-thread ramp).
+    concurrency_gamma:
+        Slowdown per extra concurrent independent single-threaded gemm
+        on the same socket (shared L3/bandwidth contention).
+    concurrency_gamma_numa:
+        Extra slowdown per concurrent gemm beyond one socket's cores —
+        cross-socket contention is much worse without NUMA-aware
+        placement (which the paper's code lacks, §3.4).  A batch of
+        ``c`` concurrent gemms runs
+        ``1 + gamma*(min(c, cps) - 1) + gamma_numa*max(0, c - cps)``
+        times slower than one alone.
+    """
+
+    name: str = "generic"
+    sockets: int = 1
+    cores_per_socket: int = 1
+    peak_flops_core: float = 32e9
+    bw_core: float = 14e9
+    bw_socket: float = 42e9
+    numa_bw_factor: float = 0.45
+    gemm_eff_max_seq: float = 0.92
+    gemm_eff_socket_penalty: float = 0.98
+    gemm_eff_numa_penalty: float = 0.91
+    gemm_half_dim_seq: float = 250.0
+    gemm_half_dim_socket: float = 700.0
+    gemm_half_dim_machine: float = 2600.0
+    concurrency_gamma: float = 0.015
+    concurrency_gamma_numa: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("topology fields must be positive")
+        if self.peak_flops_core <= 0 or self.bw_core <= 0 or self.bw_socket <= 0:
+            raise ValueError("rates must be positive")
+        if not (0 < self.gemm_eff_max_seq <= 1):
+            raise ValueError("gemm_eff_max_seq must be in (0, 1]")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def peak_flops(self, threads: int) -> float:
+        """Aggregate peak of ``threads`` cores (the Fig-3 dotted line uses
+        the classical-algorithm peak at the given thread count)."""
+        self.validate_threads(threads)
+        return threads * self.peak_flops_core
+
+    def validate_threads(self, threads: int) -> None:
+        if not (1 <= threads <= self.total_cores):
+            raise ValueError(
+                f"{threads} threads out of range for {self.total_cores}-core "
+                f"machine {self.name!r}"
+            )
+
+    def concurrency_throttle(self, concurrent: int) -> float:
+        """Slowdown factor for ``concurrent`` independent 1-thread gemms."""
+        if concurrent < 1:
+            raise ValueError("concurrent must be >= 1")
+        cps = self.cores_per_socket
+        within = min(concurrent, cps) - 1
+        across = max(0, concurrent - cps)
+        return 1.0 + self.concurrency_gamma * within + self.concurrency_gamma_numa * across
+
+    def sockets_used(self, threads: int) -> int:
+        """Sockets touched by ``threads`` cores under compact pinning."""
+        self.validate_threads(threads)
+        return -(-threads // self.cores_per_socket)  # ceil division
+
+    def with_params(self, **kwargs) -> "MachineSpec":
+        """A copy with some model parameters replaced (for calibration)."""
+        return replace(self, **kwargs)
+
+
+def paper_machine() -> MachineSpec:
+    """The paper's dual-socket Sandy Bridge Xeon E5-2620 (§3.1)."""
+    return MachineSpec(
+        name="xeon-e5-2620",
+        sockets=2,
+        cores_per_socket=6,
+        peak_flops_core=32e9,
+        bw_core=14e9,
+        bw_socket=42e9,
+    )

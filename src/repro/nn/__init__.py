@@ -1,0 +1,32 @@
+"""A from-scratch NumPy neural-network library with pluggable matmul.
+
+The paper swaps TensorFlow's matmul for custom operators inside fully
+connected layers; this package provides the same seam natively: every
+:class:`~repro.nn.layers.Dense` (and the im2col-based
+:class:`~repro.nn.layers.Conv2D`) takes a
+:class:`~repro.core.backend.MatmulBackend`, which is used for the forward
+product and both backward products — exactly the three places the paper
+injects APA algorithms.
+
+Contents: layers (:mod:`layers`), losses (:mod:`losses`), optimizers
+(:mod:`optim`), the :class:`~repro.nn.model.Sequential` container and
+training loop (:mod:`model`), paper network builders (:mod:`mlp`,
+:mod:`vgg`), and the simulated training-time accounting used by Figs 6-7
+(:mod:`timing`).
+"""
+
+from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sigmoid, Tanh
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropy
+from repro.nn.model import History, Sequential
+from repro.nn.optim import SGD, Adam, Momentum
+from repro.nn.mlp import build_accuracy_mlp, build_paradnn_mlp
+from repro.nn.vgg import VGG19_CONV_CONFIG, VGG19_FC_SIZES, build_vgg19_fc
+
+__all__ = [
+    "Dense", "ReLU", "Sigmoid", "Tanh", "Flatten", "Dropout", "Conv2D", "MaxPool2D",
+    "SoftmaxCrossEntropy", "MSELoss",
+    "Sequential", "History",
+    "SGD", "Momentum", "Adam",
+    "build_accuracy_mlp", "build_paradnn_mlp",
+    "build_vgg19_fc", "VGG19_FC_SIZES", "VGG19_CONV_CONFIG",
+]

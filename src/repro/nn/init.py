@@ -1,0 +1,41 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "glorot_uniform", "zeros", "get_initializer"]
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, shape, dtype=np.float32) -> np.ndarray:
+    """He et al. initialization — the right scale for ReLU networks."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, shape, dtype=np.float32) -> np.ndarray:
+    """Glorot/Xavier uniform — for sigmoid/tanh networks."""
+    fan_out = int(np.prod(shape)) // fan_in if fan_in else int(np.prod(shape))
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(dtype)
+
+
+def zeros(rng: np.random.Generator, fan_in: int, shape, dtype=np.float32) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+_INITIALIZERS = {
+    "he": he_normal,
+    "glorot": glorot_uniform,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str):
+    """Resolve an initializer by name (``'he'``, ``'glorot'``, ``'zeros'``)."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name!r}; available: {sorted(_INITIALIZERS)}"
+        ) from None

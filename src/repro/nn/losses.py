@@ -1,0 +1,65 @@
+"""Loss functions (forward value + gradient w.r.t. the model output)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SoftmaxCrossEntropy", "MSELoss"]
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy over integer class labels.
+
+    Numerically stable (log-sum-exp with max subtraction); the gradient is
+    the classic ``softmax(logits) - onehot(labels)`` averaged over the
+    batch.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError("logits must be (batch, classes)")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match batch {logits.shape[0]}"
+            )
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ValueError("label out of range")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs = probs
+        self._labels = labels
+        batch = np.arange(logits.shape[0])
+        nll = -np.log(np.maximum(probs[batch, labels], 1e-30))
+        return float(nll.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        batch = np.arange(grad.shape[0])
+        grad[batch, self._labels] -= 1.0
+        return grad / grad.shape[0]
+
+
+class MSELoss:
+    """Mean squared error over arbitrary-shape targets."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        if prediction.shape != target.shape:
+            raise ValueError(f"shape mismatch {prediction.shape} vs {target.shape}")
+        diff = prediction - target
+        self._diff = diff
+        return float(np.mean(diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size

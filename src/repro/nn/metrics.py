@@ -1,0 +1,39 @@
+"""Classification metrics beyond plain accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "per_class_accuracy", "top_k_accuracy"]
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """Counts ``C[i, j]`` of samples with true class ``i`` predicted ``j``."""
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError("labels must be matching 1-D arrays")
+    for arr in (y_true, y_pred):
+        if arr.size and (arr.min() < 0 or arr.max() >= num_classes):
+            raise ValueError("label out of range")
+    C = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(C, (y_true, y_pred), 1)
+    return C
+
+
+def per_class_accuracy(y_true: np.ndarray, y_pred: np.ndarray,
+                       num_classes: int) -> np.ndarray:
+    """Recall per class; NaN for classes absent from ``y_true``."""
+    C = confusion_matrix(y_true, y_pred, num_classes)
+    totals = C.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(C) / totals, np.nan)
+
+
+def top_k_accuracy(logits: np.ndarray, y_true: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true class is among the top-k logits."""
+    if logits.ndim != 2 or y_true.shape != (logits.shape[0],):
+        raise ValueError("logits must be (batch, classes) with matching labels")
+    if not (1 <= k <= logits.shape[1]):
+        raise ValueError("k out of range")
+    topk = np.argpartition(logits, -k, axis=1)[:, -k:]
+    return float(np.mean((topk == y_true[:, None]).any(axis=1)))

@@ -1,0 +1,81 @@
+"""Builders for the paper's MLP networks (Figs 4-6).
+
+Two configurations appear in the paper:
+
+- the **accuracy network** (§4.2, Figs 4-5): fully connected
+  784-300-300-10 trained on MNIST with batch size 300; the APA operator is
+  used *only* for the middle product (the 300x300 hidden-to-hidden layer,
+  giving 300x300x300 multiplications) in both forward and backward passes,
+  while input and output layers use classical gemm;
+- the **performance network** (§4.3, Fig 6): a ParaDnn-style MLP with 4
+  hidden layers of ``h`` nodes each and batch size matched to ``h`` so the
+  hidden products are square ``h x h x h``; APA operators are used in all
+  hidden-layer products, classical in the input/output layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backend import ClassicalBackend, MatmulBackend
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+
+__all__ = ["build_accuracy_mlp", "build_paradnn_mlp", "hidden_dense_layers"]
+
+
+def build_accuracy_mlp(
+    hidden_backend: MatmulBackend | None = None,
+    input_size: int = 784,
+    hidden_size: int = 300,
+    num_classes: int = 10,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """The 784-300-300-10 MLP of Fig 4.
+
+    ``hidden_backend`` (APA or classical) is installed on the middle
+    ``hidden x hidden`` layer only, exactly as in §4.2; the input and
+    output layers always use classical gemm.
+    """
+    rng = rng or np.random.default_rng(0)
+    hidden_backend = hidden_backend or ClassicalBackend()
+    return Sequential([
+        Dense(input_size, hidden_size, backend=ClassicalBackend(), rng=rng),
+        ReLU(),
+        Dense(hidden_size, hidden_size, backend=hidden_backend, rng=rng),
+        ReLU(),
+        Dense(hidden_size, num_classes, backend=ClassicalBackend(), rng=rng),
+    ])
+
+
+def build_paradnn_mlp(
+    hidden_size: int,
+    hidden_layers: int = 4,
+    hidden_backend: MatmulBackend | None = None,
+    input_size: int = 784,
+    num_classes: int = 10,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """The ParaDnn-style performance MLP of §4.3 (6 layers, 4 hidden).
+
+    All ``hidden x hidden`` layers share ``hidden_backend``; the
+    input-to-hidden and hidden-to-output layers use classical gemm, per
+    the paper ("the standard operation was used in the input and output
+    layers").
+    """
+    if hidden_layers < 1:
+        raise ValueError("need at least one hidden layer")
+    rng = rng or np.random.default_rng(0)
+    hidden_backend = hidden_backend or ClassicalBackend()
+    layers: list = [Dense(input_size, hidden_size, backend=ClassicalBackend(), rng=rng), ReLU()]
+    for _ in range(hidden_layers - 1):
+        layers.append(Dense(hidden_size, hidden_size, backend=hidden_backend, rng=rng))
+        layers.append(ReLU())
+    layers.append(Dense(hidden_size, num_classes, backend=ClassicalBackend(), rng=rng))
+    return Sequential(layers)
+
+
+def hidden_dense_layers(model: Sequential) -> list[Dense]:
+    """The square hidden-to-hidden Dense layers of a builder's model."""
+    dense = [layer for layer in model.layers if isinstance(layer, Dense)]
+    return [d for d in dense[1:-1] if d.in_features == d.out_features]

@@ -1,0 +1,156 @@
+"""The :class:`Sequential` container and training loop.
+
+The loop mirrors the paper's §4.2 protocol: batched SGD, per-epoch
+training accuracy/loss and test accuracy recorded into a
+:class:`History` — the data series of Figs 5a/5b.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optim import Optimizer, SGD
+
+__all__ = ["Sequential", "History"]
+
+
+@dataclass
+class History:
+    """Per-epoch training record (the Fig-5 series)."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    def final(self) -> dict[str, float]:
+        """Last-epoch summary for reporting."""
+        if not self.epochs:
+            raise ValueError("no epochs recorded")
+        out = {
+            "train_loss": self.train_loss[-1],
+            "train_accuracy": self.train_accuracy[-1],
+        }
+        if self.test_accuracy:
+            out["test_accuracy"] = self.test_accuracy[-1]
+        return out
+
+
+class Sequential:
+    """A plain feed-forward stack of layers."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("model needs at least one layer")
+        self.layers = list(layers)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray, batch_size: int = 1024) -> np.ndarray:
+        """Class predictions without storing training caches."""
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start : start + batch_size], training=False)
+            outputs.append(np.argmax(logits, axis=1))
+        return np.concatenate(outputs)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray, batch_size: int = 1024) -> float:
+        return float(np.mean(self.predict(x, batch_size) == y))
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        epochs: int,
+        batch_size: int,
+        lr: float = 0.1,
+        optimizer: Optimizer | None = None,
+        loss=None,
+        x_test: np.ndarray | None = None,
+        y_test: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        verbose: bool = False,
+    ) -> History:
+        """Batched-SGD training, paper §4.2 protocol.
+
+        Shuffles every epoch; records train loss/accuracy (running over
+        the epoch's batches) and, when a test set is given, test accuracy
+        per epoch.
+        """
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        if x_train.shape[0] != y_train.shape[0]:
+            raise ValueError("x/y sample counts differ")
+        rng = rng or np.random.default_rng(0)
+        loss = loss or SoftmaxCrossEntropy()
+        optimizer = optimizer or SGD(self.parameters(), lr=lr)
+        history = History()
+        n = x_train.shape[0]
+
+        for epoch in range(epochs):
+            t0 = time.perf_counter()
+            order = rng.permutation(n)
+            total_loss = 0.0
+            total_correct = 0
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                xb, yb = x_train[idx], y_train[idx]
+                logits = self.forward(xb, training=True)
+                batch_loss = loss.forward(logits, yb)
+                optimizer.zero_grad()
+                self.backward(loss.backward())
+                optimizer.step()
+                total_loss += batch_loss
+                total_correct += int((np.argmax(logits, axis=1) == yb).sum())
+                batches += 1
+            history.train_loss.append(total_loss / batches)
+            history.train_accuracy.append(total_correct / n)
+            if x_test is not None and y_test is not None:
+                history.test_accuracy.append(self.accuracy(x_test, y_test))
+            history.epoch_seconds.append(time.perf_counter() - t0)
+            if verbose:
+                msg = (
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"loss={history.train_loss[-1]:.4f} "
+                    f"train_acc={history.train_accuracy[-1]:.4f}"
+                )
+                if history.test_accuracy:
+                    msg += f" test_acc={history.test_accuracy[-1]:.4f}"
+                print(msg)
+        return history
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential([{inner}])"

@@ -1,0 +1,115 @@
+"""Normalization layers (extension beyond the paper's MLPs).
+
+Modern MLP/CNN training stacks normalize activations; a downstream user
+adopting this library for APA-accelerated training will want them.  Both
+layers are gradient-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+
+__all__ = ["BatchNorm1d", "LayerNorm"]
+
+
+class BatchNorm1d(Layer):
+    """Batch normalization over the batch axis of ``(batch, features)``.
+
+    Training mode normalizes by batch statistics and updates running
+    estimates; inference mode uses the running estimates.
+    """
+
+    def __init__(self, features: int, momentum: float = 0.1, eps: float = 1e-5,
+                 dtype=np.float32) -> None:
+        if features < 1:
+            raise ValueError("features must be >= 1")
+        if not (0.0 < momentum <= 1.0):
+            raise ValueError("momentum must be in (0, 1]")
+        self.features = features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(features, dtype=dtype), name="gamma")
+        self.beta = Parameter(np.zeros(features, dtype=dtype), name="beta")
+        self.running_mean = np.zeros(features, dtype=np.float64)
+        self.running_var = np.ones(features, dtype=np.float64)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.features:
+            raise ValueError(f"BatchNorm1d({self.features}) got input {x.shape}")
+        if training:
+            if x.shape[0] < 2:
+                raise ValueError("batch statistics need at least 2 samples")
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean *= 1 - self.momentum
+            self.running_mean += self.momentum * mean
+            self.running_var *= 1 - self.momentum
+            self.running_var += self.momentum * var
+        else:
+            mean = self.running_mean.astype(x.dtype)
+            var = self.running_var.astype(x.dtype)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        if training:
+            self._cache = (x_hat, inv_std)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        x_hat, inv_std = self._cache
+        b = grad.shape[0]
+        self.gamma.grad += (grad * x_hat).sum(axis=0)
+        self.beta.grad += grad.sum(axis=0)
+        g = grad * self.gamma.value
+        # standard batchnorm backward through the batch statistics
+        return (inv_std / b) * (
+            b * g - g.sum(axis=0) - x_hat * (g * x_hat).sum(axis=0)
+        )
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+
+class LayerNorm(Layer):
+    """Layer normalization over the feature axis (batch-size independent)."""
+
+    def __init__(self, features: int, eps: float = 1e-5, dtype=np.float32) -> None:
+        if features < 2:
+            raise ValueError("LayerNorm needs at least 2 features")
+        self.features = features
+        self.eps = eps
+        self.gamma = Parameter(np.ones(features, dtype=dtype), name="gamma")
+        self.beta = Parameter(np.zeros(features, dtype=dtype), name="beta")
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.features:
+            raise ValueError(f"LayerNorm({self.features}) got input {x.shape}")
+        mean = x.mean(axis=1, keepdims=True)
+        var = x.var(axis=1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        if training:
+            self._cache = (x_hat, inv_std)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        x_hat, inv_std = self._cache
+        d = self.features
+        self.gamma.grad += (grad * x_hat).sum(axis=0)
+        self.beta.grad += grad.sum(axis=0)
+        g = grad * self.gamma.value
+        return (inv_std / d) * (
+            d * g
+            - g.sum(axis=1, keepdims=True)
+            - x_hat * (g * x_hat).sum(axis=1, keepdims=True)
+        )
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]

@@ -1,0 +1,95 @@
+"""Optimizers updating :class:`~repro.nn.layers.Parameter` objects in place.
+
+The paper trains with batched stochastic gradient descent (§4.2); SGD is
+therefore the reference optimizer, with momentum and Adam provided for the
+extension experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Momentum", "Adam"]
+
+
+class Optimizer:
+    """Base: holds the parameter list, dispatches per-parameter updates."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            self._update(i, p)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def _update(self, index: int, p: Parameter) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain batched stochastic gradient descent (the paper's setting)."""
+
+    def _update(self, index: int, p: Parameter) -> None:
+        p.value -= self.lr * p.grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.9) -> None:
+        super().__init__(params, lr)
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def _update(self, index: int, p: Parameter) -> None:
+        v = self._velocity[index]
+        v *= self.momentum
+        v -= self.lr * p.grad
+        p.value += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        super().step()
+
+    def _update(self, index: int, p: Parameter) -> None:
+        m, v = self._m[index], self._v[index]
+        m *= self.beta1
+        m += (1 - self.beta1) * p.grad
+        v *= self.beta2
+        v += (1 - self.beta2) * p.grad**2
+        m_hat = m / (1 - self.beta1**self._t)
+        v_hat = v / (1 - self.beta2**self._t)
+        p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,73 @@
+"""Model weight persistence (npz checkpoints).
+
+Saves/restores every :class:`~repro.nn.layers.Parameter` of a
+:class:`~repro.nn.model.Sequential` model, keyed by layer position and
+parameter name, plus a structural signature so a checkpoint cannot be
+loaded into a mismatched architecture.  Backends (and thus the APA
+configuration) are *not* serialized — they are runtime policy, chosen at
+model construction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.model import Sequential
+
+__all__ = ["save_weights", "load_weights", "model_signature"]
+
+
+def model_signature(model: Sequential) -> str:
+    """Architecture fingerprint: layer class names + parameter shapes."""
+    parts = []
+    for i, layer in enumerate(model.layers):
+        shapes = ",".join(
+            f"{p.name}{tuple(p.value.shape)}" for p in layer.parameters()
+        )
+        parts.append(f"{i}:{type(layer).__name__}({shapes})")
+    return "|".join(parts)
+
+
+def _keyed_parameters(model: Sequential):
+    for i, layer in enumerate(model.layers):
+        for p in layer.parameters():
+            yield f"layer{i}.{p.name or 'param'}", p
+
+
+def save_weights(model: Sequential, path: str | Path) -> Path:
+    """Write all parameters (and the signature) to an ``.npz`` file."""
+    path = Path(path)
+    arrays = {key: p.value for key, p in _keyed_parameters(model)}
+    arrays["__signature__"] = np.array(model_signature(model))
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_weights(model: Sequential, path: str | Path, strict: bool = True) -> None:
+    """Restore parameters in place.
+
+    ``strict`` verifies the architecture signature; disable it only to
+    load partial/legacy checkpoints (missing keys then raise anyway —
+    silent partial loads are how broken models ship).
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        if strict:
+            stored = str(data["__signature__"])
+            current = model_signature(model)
+            if stored != current:
+                raise ValueError(
+                    "checkpoint architecture mismatch:\n"
+                    f"  file:  {stored}\n  model: {current}"
+                )
+        for key, p in _keyed_parameters(model):
+            if key not in data:
+                raise KeyError(f"checkpoint is missing {key!r}")
+            value = data[key]
+            if value.shape != p.value.shape:
+                raise ValueError(
+                    f"{key}: shape {value.shape} does not match "
+                    f"{p.value.shape}"
+                )
+            p.value[...] = value

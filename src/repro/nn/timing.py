@@ -1,0 +1,183 @@
+"""Simulated per-batch training time of dense networks (Figs 6-7).
+
+One SGD step on a Dense layer with weight ``(f_in, f_out)`` and batch
+``b`` performs three products (all through the layer's backend, §4.1):
+
+- forward        ``X @ W``        -> dims ``<b, f_in, f_out>``
+- input gradient ``dY @ W^T``     -> dims ``<b, f_out, f_in>``
+- weight gradient``X^T @ dY``     -> dims ``<f_in, b, f_out>``
+
+plus bandwidth-bound elementwise work (activation forward/backward, bias,
+and the SGD weight update).  This module prices a whole training step by
+composing the machine model over those pieces — the same gemm/addition
+models the standalone Fig-3 simulation uses, so the dilution of matmul
+speedups by elementwise work (25% -> 13% in the paper's headline) emerges
+naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.bandwidth import BandwidthModel
+from repro.machine.spec import MachineSpec, paper_machine
+from repro.parallel.simulator import simulate_classical, simulate_fast
+
+__all__ = [
+    "DenseLayerSpec",
+    "LayerStepTiming",
+    "StepTiming",
+    "simulate_training_step",
+    "mlp_step_timing",
+    "vgg_fc_step_timing",
+]
+
+
+@dataclass(frozen=True)
+class DenseLayerSpec:
+    """One dense layer for timing purposes.
+
+    ``algorithm`` is ``None`` for classical gemm or an
+    :class:`~repro.algorithms.spec.AlgorithmLike` for a fast product.
+    """
+
+    in_features: int
+    out_features: int
+    algorithm: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError("feature counts must be positive")
+
+
+@dataclass(frozen=True)
+class LayerStepTiming:
+    """Per-layer breakdown of one training step (seconds)."""
+
+    spec: DenseLayerSpec
+    t_forward: float
+    t_grad_input: float
+    t_grad_weight: float
+    t_elementwise: float
+
+    @property
+    def total(self) -> float:
+        return self.t_forward + self.t_grad_input + self.t_grad_weight + self.t_elementwise
+
+    @property
+    def matmul_total(self) -> float:
+        return self.t_forward + self.t_grad_input + self.t_grad_weight
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Whole-network training-step timing."""
+
+    layers: tuple[LayerStepTiming, ...]
+    threads: int
+    batch: int
+
+    @property
+    def total(self) -> float:
+        return sum(layer.total for layer in self.layers)
+
+    @property
+    def matmul_total(self) -> float:
+        return sum(layer.matmul_total for layer in self.layers)
+
+
+def _product_time(M, N, K, algorithm, threads, spec, strategy, dtype_bytes):
+    if algorithm is None:
+        return simulate_classical(M, N, K, threads=threads, spec=spec).total
+    return simulate_fast(
+        algorithm, M, N, K, threads=threads, strategy=strategy,
+        spec=spec, dtype_bytes=dtype_bytes,
+    ).total
+
+
+def simulate_training_step(
+    layers: list[DenseLayerSpec],
+    batch: int,
+    threads: int = 1,
+    spec: MachineSpec | None = None,
+    strategy: str = "hybrid",
+    dtype_bytes: int = 4,
+) -> StepTiming:
+    """Price one batched-SGD step of a dense stack.
+
+    Elementwise traffic per layer (bytes, all streamed at the machine's
+    bandwidth): activation forward + backward (4 passes over the
+    ``batch x out`` tensor), bias update, and the three-array SGD weight
+    update (read W, read grad, write W).
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    spec = spec or paper_machine()
+    bw = BandwidthModel(spec)
+
+    out_layers = []
+    for layer in layers:
+        f_in, f_out, alg = layer.in_features, layer.out_features, layer.algorithm
+        t_fwd = _product_time(batch, f_in, f_out, alg, threads, spec, strategy, dtype_bytes)
+        t_dx = _product_time(batch, f_out, f_in, alg, threads, spec, strategy, dtype_bytes)
+        t_dw = _product_time(f_in, batch, f_out, alg, threads, spec, strategy, dtype_bytes)
+        act_bytes = 4 * batch * f_out * dtype_bytes
+        update_bytes = 3 * f_in * f_out * dtype_bytes + 3 * f_out * dtype_bytes
+        t_elem = bw.time(act_bytes + update_bytes, threads)
+        out_layers.append(
+            LayerStepTiming(layer, t_fwd, t_dx, t_dw, t_elem)
+        )
+    return StepTiming(layers=tuple(out_layers), threads=threads, batch=batch)
+
+
+def mlp_step_timing(
+    hidden_size: int,
+    algorithm=None,
+    hidden_layers: int = 4,
+    batch: int | None = None,
+    input_size: int = 784,
+    num_classes: int = 10,
+    threads: int = 1,
+    spec: MachineSpec | None = None,
+    strategy: str = "hybrid",
+) -> StepTiming:
+    """Fig-6 configuration: ParaDnn MLP, batch matched to hidden size.
+
+    ``algorithm`` is installed on the hidden-to-hidden layers only (input
+    and output layers always classical, §4.3).
+    """
+    batch = hidden_size if batch is None else batch
+    layers = [DenseLayerSpec(input_size, hidden_size, None)]
+    layers += [
+        DenseLayerSpec(hidden_size, hidden_size, algorithm)
+        for _ in range(hidden_layers - 1)
+    ]
+    layers.append(DenseLayerSpec(hidden_size, num_classes, None))
+    return simulate_training_step(
+        layers, batch=batch, threads=threads, spec=spec, strategy=strategy
+    )
+
+
+def vgg_fc_step_timing(
+    batch: int,
+    algorithm=None,
+    threads: int = 1,
+    spec: MachineSpec | None = None,
+    strategy: str = "hybrid",
+) -> StepTiming:
+    """Fig-7 configuration: the VGG-19 FC head (25088-4096-4096-1000).
+
+    ``algorithm`` (the paper uses ``<4,4,2>``) is installed on all three
+    FC layers.
+    """
+    from repro.nn.vgg import VGG19_FC_SIZES
+
+    in_dim, fc1, fc2, out_dim = VGG19_FC_SIZES
+    layers = [
+        DenseLayerSpec(in_dim, fc1, algorithm),
+        DenseLayerSpec(fc1, fc2, algorithm),
+        DenseLayerSpec(fc2, out_dim, algorithm),
+    ]
+    return simulate_training_step(
+        layers, batch=batch, threads=threads, spec=spec, strategy=strategy
+    )

@@ -1,0 +1,208 @@
+"""Richer training infrastructure (Trainer, schedules, callbacks).
+
+:class:`~repro.nn.model.Sequential.fit` covers the paper's fixed-LR SGD
+protocol; downstream training wants learning-rate schedules, early
+stopping, gradient clipping and checkpoints.  The :class:`Trainer` here
+composes those around the same forward/backward core, so APA backends
+flow through unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import History, Sequential
+from repro.nn.optim import SGD, Optimizer
+
+__all__ = [
+    "LRSchedule",
+    "ConstantLR",
+    "StepLR",
+    "CosineLR",
+    "EarlyStopping",
+    "Trainer",
+    "clip_gradients",
+]
+
+
+class LRSchedule:
+    """Maps epoch index (0-based) to a learning rate."""
+
+    def rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLR(LRSchedule):
+    lr: float
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+
+    def rate(self, epoch: int) -> float:
+        return self.lr
+
+
+@dataclass(frozen=True)
+class StepLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step`` epochs."""
+
+    lr: float
+    step: int = 10
+    gamma: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0 or self.step < 1 or not (0 < self.gamma <= 1):
+            raise ValueError("bad StepLR parameters")
+
+    def rate(self, epoch: int) -> float:
+        return self.lr * self.gamma ** (epoch // self.step)
+
+
+@dataclass(frozen=True)
+class CosineLR(LRSchedule):
+    """Cosine annealing from ``lr`` to ``lr_min`` over ``total`` epochs."""
+
+    lr: float
+    total: int
+    lr_min: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0 or self.total < 1 or self.lr_min < 0:
+            raise ValueError("bad CosineLR parameters")
+
+    def rate(self, epoch: int) -> float:
+        t = min(epoch, self.total) / self.total
+        return self.lr_min + 0.5 * (self.lr - self.lr_min) * (1 + math.cos(math.pi * t))
+
+
+@dataclass
+class EarlyStopping:
+    """Stop when the monitored metric hasn't improved for ``patience``
+    epochs.  Monitors test accuracy when available, else training loss."""
+
+    patience: int = 5
+    min_delta: float = 0.0
+    _best: float = field(default=-math.inf, repr=False)
+    _stale: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+    def update(self, metric: float) -> bool:
+        """Feed this epoch's metric (higher is better); True = stop now."""
+        if metric > self._best + self.min_delta:
+            self._best = metric
+            self._stale = 0
+            return False
+        self._stale += 1
+        return self._stale >= self.patience
+
+
+def clip_gradients(params, max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Trainer:
+    """Composable training loop around a :class:`Sequential` model.
+
+    Parameters
+    ----------
+    model, optimizer, loss:
+        The usual trio; optimizer defaults to SGD at the schedule's rate.
+    schedule:
+        An :class:`LRSchedule`; the optimizer's ``lr`` is set from it at
+        the start of every epoch.
+    early_stopping:
+        Optional :class:`EarlyStopping` monitor.
+    grad_clip:
+        Optional global-norm gradient clip applied before each step.
+    epoch_callback:
+        Optional ``fn(epoch_index, history)`` invoked after each epoch
+        (checkpointing hook).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        schedule: LRSchedule | None = None,
+        optimizer: Optimizer | None = None,
+        loss=None,
+        early_stopping: EarlyStopping | None = None,
+        grad_clip: float | None = None,
+        epoch_callback: Callable[[int, History], None] | None = None,
+    ) -> None:
+        self.model = model
+        self.schedule = schedule or ConstantLR(0.1)
+        self.optimizer = optimizer or SGD(model.parameters(),
+                                          lr=self.schedule.rate(0))
+        self.loss = loss or SoftmaxCrossEntropy()
+        self.early_stopping = early_stopping
+        self.grad_clip = grad_clip
+        self.epoch_callback = epoch_callback
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        epochs: int,
+        batch_size: int,
+        x_test: np.ndarray | None = None,
+        y_test: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> History:
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        if x_train.shape[0] != y_train.shape[0]:
+            raise ValueError("x/y sample counts differ")
+        rng = rng or np.random.default_rng(0)
+        history = History()
+        n = x_train.shape[0]
+
+        for epoch in range(epochs):
+            self.optimizer.lr = self.schedule.rate(epoch)
+            order = rng.permutation(n)
+            total_loss, correct, batches = 0.0, 0, 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                xb, yb = x_train[idx], y_train[idx]
+                logits = self.model.forward(xb, training=True)
+                total_loss += self.loss.forward(logits, yb)
+                self.optimizer.zero_grad()
+                self.model.backward(self.loss.backward())
+                if self.grad_clip is not None:
+                    clip_gradients(self.optimizer.params, self.grad_clip)
+                self.optimizer.step()
+                correct += int((np.argmax(logits, axis=1) == yb).sum())
+                batches += 1
+            history.train_loss.append(total_loss / batches)
+            history.train_accuracy.append(correct / n)
+            history.epoch_seconds.append(0.0)
+            if x_test is not None and y_test is not None:
+                history.test_accuracy.append(self.model.accuracy(x_test, y_test))
+            if self.epoch_callback is not None:
+                self.epoch_callback(epoch, history)
+            if self.early_stopping is not None:
+                metric = (history.test_accuracy[-1] if history.test_accuracy
+                          else -history.train_loss[-1])
+                if self.early_stopping.update(metric):
+                    break
+        return history

@@ -1,0 +1,113 @@
+"""VGG-19 (Simonyan & Zisserman) builders for the §5 experiment.
+
+VGG-19 has 16 convolutional layers and 3 fully connected layers of
+25088, 4096 and 1000 nodes.  The paper's Fig 7 times *training of the
+fully connected layers only* ("per-batch training time of the fully
+connected layers"), replacing classical matmul by ``<4,4,2>`` — so the
+primary builder here is :func:`build_vgg19_fc`, the FC head as a
+standalone trainable network fed activation tensors of width 25088.
+
+The full convolutional specification is also provided (and buildable at
+reduced input resolution for the runnable example) since the conv layers
+are implemented via im2col + matmul and accept APA backends too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backend import ClassicalBackend, MatmulBackend
+from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU
+from repro.nn.model import Sequential
+
+__all__ = [
+    "VGG19_CONV_CONFIG",
+    "VGG19_FC_SIZES",
+    "build_vgg19_fc",
+    "build_vgg19_convnet",
+]
+
+#: Channel progression of VGG-19's 16 conv layers; 'M' is 2x2 max-pool.
+VGG19_CONV_CONFIG: tuple = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+)
+
+#: The fully connected head: 512*7*7 = 25088 -> 4096 -> 4096 -> 1000.
+VGG19_FC_SIZES: tuple[int, int, int, int] = (25088, 4096, 4096, 1000)
+
+
+def build_vgg19_fc(
+    backend: MatmulBackend | None = None,
+    dropout: float = 0.0,
+    sizes: tuple[int, int, int, int] = VGG19_FC_SIZES,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """The 3 fully connected layers of VGG-19 as a trainable head.
+
+    ``backend`` is installed on *all three* FC layers (the §5 experiment
+    replaces the classical algorithm "in these layers").  Dropout defaults
+    off because Fig 7 measures time, not accuracy; pass 0.5 for the
+    classic VGG configuration.
+    """
+    rng = rng or np.random.default_rng(0)
+    backend = backend or ClassicalBackend()
+    in_dim, fc1, fc2, out_dim = sizes
+    layers: list = [Dense(in_dim, fc1, backend=backend, rng=rng), ReLU()]
+    if dropout:
+        layers.append(Dropout(dropout, rng=rng))
+    layers += [Dense(fc1, fc2, backend=backend, rng=rng), ReLU()]
+    if dropout:
+        layers.append(Dropout(dropout, rng=rng))
+    layers.append(Dense(fc2, out_dim, backend=backend, rng=rng))
+    return Sequential(layers)
+
+
+def build_vgg19_convnet(
+    num_classes: int = 10,
+    input_hw: int = 32,
+    in_channels: int = 3,
+    conv_backend: MatmulBackend | None = None,
+    fc_backend: MatmulBackend | None = None,
+    width_scale: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """A full VGG-19-architecture network at configurable resolution.
+
+    At the paper's 224x224 ImageNet resolution this is far too slow for
+    pure NumPy; ``input_hw=32`` with ``width_scale=0.25`` gives a runnable
+    CIFAR-scale variant with the identical layer structure for the
+    example scripts.  Requires ``input_hw`` divisible by 32 (five pools).
+    """
+    if input_hw % 32:
+        raise ValueError("input_hw must be divisible by 32 (five 2x2 pools)")
+    rng = rng or np.random.default_rng(0)
+    conv_backend = conv_backend or ClassicalBackend()
+    fc_backend = fc_backend or ClassicalBackend()
+
+    layers: list = []
+    channels = in_channels
+    for item in VGG19_CONV_CONFIG:
+        if item == "M":
+            layers.append(MaxPool2D(2))
+            continue
+        out_channels = max(1, int(item * width_scale))
+        layers.append(
+            Conv2D(channels, out_channels, kernel_size=3, stride=1, padding=1,
+                   backend=conv_backend, rng=rng)
+        )
+        layers.append(ReLU())
+        channels = out_channels
+    layers.append(Flatten())
+    spatial = input_hw // 32
+    feat = channels * spatial * spatial
+    fc_width = max(num_classes, int(4096 * width_scale))
+    layers += [
+        Dense(feat, fc_width, backend=fc_backend, rng=rng), ReLU(),
+        Dense(fc_width, fc_width, backend=fc_backend, rng=rng), ReLU(),
+        Dense(fc_width, num_classes, backend=fc_backend, rng=rng),
+    ]
+    return Sequential(layers)

@@ -1,0 +1,121 @@
+"""Winograd convolution F(2x2, 3x3) — the conv-native fast algorithm.
+
+The paper accelerates convolutions indirectly (im2col + fast matmul,
+§1); the convolution-*native* analogue is Winograd's minimal filtering:
+a 2x2 output tile of a 3x3 convolution costs 16 multiplications instead
+of 36 (2.25x fewer), via the transforms (Lavin & Gray 2016 notation)
+
+    Y = A^T [ (G g G^T) (.) (B^T d B) ] A
+
+with the 4x4 input tile ``d``, 3x3 kernel ``g``, elementwise product
+``(.)``, and
+
+    B^T = [[1, 0, -1, 0],          G = [[1,    0,   0  ],
+           [0, 1,  1, 0],               [1/2,  1/2, 1/2],
+           [0, -1, 1, 0],               [1/2, -1/2, 1/2],
+           [0, 1,  0, -1]]              [0,    0,   1  ]]
+
+    A^T = [[1, 1,  1,  0],
+           [0, 1, -1, -1]]
+
+Exact in exact arithmetic (the transforms' entries are dyadic rationals)
+— unlike APA rules there is no approximation parameter; it trades
+multiplications for cheap additions just like Strassen does for matmul.
+Multi-channel/multi-filter is handled by summing the transformed domain
+over input channels — which is itself a batched matmul over the 16 tile
+positions, so APA backends could plug in *there* for very wide layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["winograd_conv2d_3x3", "direct_conv2d_valid", "WINOGRAD_MULS_RATIO"]
+
+_BT = np.array([
+    [1, 0, -1, 0],
+    [0, 1, 1, 0],
+    [0, -1, 1, 0],
+    [0, 1, 0, -1],
+], dtype=np.float64)
+_G = np.array([
+    [1.0, 0.0, 0.0],
+    [0.5, 0.5, 0.5],
+    [0.5, -0.5, 0.5],
+    [0.0, 0.0, 1.0],
+], dtype=np.float64)
+_AT = np.array([
+    [1, 1, 1, 0],
+    [0, 1, -1, -1],
+], dtype=np.float64)
+
+#: Multiplication ratio vs direct convolution: 16 per 2x2 tile vs 36.
+WINOGRAD_MULS_RATIO = 16 / 36
+
+
+def direct_conv2d_valid(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Reference valid 3x3 convolution (cross-correlation convention).
+
+    ``x``: ``(batch, c_in, H, W)``; ``w``: ``(c_out, c_in, 3, 3)``;
+    returns ``(batch, c_out, H-2, W-2)``.
+    """
+    b, c_in, H, W = x.shape
+    c_out = w.shape[0]
+    if w.shape != (c_out, c_in, 3, 3):
+        raise ValueError(f"kernel shape {w.shape} incompatible with input")
+    if H < 3 or W < 3:
+        raise ValueError("input smaller than the kernel")
+    out = np.zeros((b, c_out, H - 2, W - 2), dtype=np.result_type(x, w))
+    for di in range(3):
+        for dj in range(3):
+            patch = x[:, :, di:di + H - 2, dj:dj + W - 2]
+            out += np.einsum("bchw,oc->bohw", patch, w[:, :, di, dj])
+    return out
+
+
+def winograd_conv2d_3x3(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Valid 3x3 convolution via F(2x2, 3x3) tiles.
+
+    Same contract as :func:`direct_conv2d_valid`.  Odd output dims are
+    handled by padding the input on the bottom/right and cropping.
+    """
+    b, c_in, H, W = x.shape
+    c_out = w.shape[0]
+    if w.shape != (c_out, c_in, 3, 3):
+        raise ValueError(f"kernel shape {w.shape} incompatible with input")
+    if H < 3 or W < 3:
+        raise ValueError("input smaller than the kernel")
+    out_h, out_w = H - 2, W - 2
+    tiles_h = -(-out_h // 2)
+    tiles_w = -(-out_w // 2)
+    Hp, Wp = 2 * tiles_h + 2, 2 * tiles_w + 2
+    if (Hp, Wp) != (H, W):
+        xp = np.zeros((b, c_in, Hp, Wp), dtype=x.dtype)
+        xp[:, :, :H, :W] = x
+        x = xp
+
+    dtype = np.result_type(x, w, np.float32)
+
+    # Kernel transform: U[o, c] = G g G^T  -> (4, 4, c_out, c_in)
+    U = np.einsum("ij,ocjk,lk->iloc", _G, w.astype(np.float64), _G)
+
+    # Input tile transform: gather all 4x4 tiles with stride 2 ->
+    # (4, 4, c_in, b, tiles_h, tiles_w), then V = B^T d B per tile.
+    s = x.strides
+    tiles = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(b, c_in, tiles_h, tiles_w, 4, 4),
+        strides=(s[0], s[1], 2 * s[2], 2 * s[3], s[2], s[3]),
+        writeable=False,
+    ).astype(np.float64)
+    V = np.einsum("ij,bcthjk,lk->ilbcth", _BT, tiles, _BT)
+
+    # Elementwise product in the transformed domain, summed over c_in:
+    # a (c_out x c_in) @ (c_in x batch*tiles) matmul per tile position.
+    M = np.einsum("iloc,ilbcth->ilboth", U, V)
+
+    # Output transform: Y = A^T M A per tile -> (b, c_out, th, tw, 2, 2)
+    Y = np.einsum("pi,ilboth,ql->bothpq", _AT, M, _AT)
+    out = Y.transpose(0, 1, 2, 4, 3, 5).reshape(b, c_out, 2 * tiles_h,
+                                                2 * tiles_w)
+    return np.ascontiguousarray(out[:, :, :out_h, :out_w].astype(dtype))

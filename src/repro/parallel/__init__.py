@@ -1,0 +1,32 @@
+"""Parallelization of fast matrix multiplication (paper §3).
+
+- :mod:`repro.parallel.strategy` — the hybrid / BFS / DFS assignments of
+  the ``r`` sub-multiplications to ``p`` threads (Fig 2);
+- :mod:`repro.parallel.executor` — a real thread-pool executor that runs
+  a schedule with NumPy gemm (NumPy releases the GIL inside BLAS, so this
+  is a faithful implementation on real multicore hosts);
+- :mod:`repro.parallel.simulator` — predicted timings of the same
+  schedules on a :class:`~repro.machine.spec.MachineSpec` (used to
+  regenerate the paper's performance figures on hosts where wall-clock
+  measurement is meaningless — see DESIGN.md §2).
+"""
+
+from repro.parallel.strategy import Schedule, build_schedule, STRATEGIES
+from repro.parallel.simulator import (
+    SimulatedTiming,
+    simulate_classical,
+    simulate_fast,
+    effective_gflops,
+)
+from repro.parallel.executor import threaded_apa_matmul
+
+__all__ = [
+    "Schedule",
+    "build_schedule",
+    "STRATEGIES",
+    "SimulatedTiming",
+    "simulate_classical",
+    "simulate_fast",
+    "effective_gflops",
+    "threaded_apa_matmul",
+]

@@ -1,0 +1,119 @@
+"""Algorithm selection: which rule should a given product use?
+
+The paper's figures answer this empirically per configuration; this
+module turns the calibrated model into a *decision procedure* a
+downstream user can call:
+
+- :func:`select_algorithm` — the fastest catalog algorithm (or classical)
+  for a concrete ``(M, N, K, threads)``, optionally filtered by an error
+  budget (``max_error`` at the working precision);
+- :func:`crossover_dimension` — the square dimension beyond which an
+  algorithm starts beating gemm (the "larger than 2000 or so" of §3.3);
+- :func:`selection_table` — the full decision map over a size/thread
+  grid, which is the practical summary of Figs 3a-3c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.catalog import PAPER_ALGORITHMS, get_algorithm
+from repro.machine.spec import MachineSpec, paper_machine
+from repro.parallel.simulator import simulate_classical, simulate_fast
+
+__all__ = ["Selection", "select_algorithm", "crossover_dimension", "selection_table"]
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Outcome of one algorithm-selection query."""
+
+    algorithm: str  # 'classical' or a catalog name
+    seconds: float
+    speedup_vs_classical: float
+    error_bound: float  # at the requested precision (2**-d for classical)
+
+
+def select_algorithm(
+    M: int,
+    N: int,
+    K: int,
+    threads: int = 1,
+    candidates: tuple[str, ...] = PAPER_ALGORITHMS,
+    max_error: float | None = None,
+    d: int = 23,
+    steps: int = 1,
+    spec: MachineSpec | None = None,
+) -> Selection:
+    """Pick the fastest admissible algorithm for one product.
+
+    ``max_error`` (relative Frobenius) excludes algorithms whose §2.3
+    error floor exceeds the budget; ``None`` admits everything.  The
+    classical algorithm is always admissible, so the returned selection
+    never violates the budget.
+    """
+    spec = spec or paper_machine()
+    base = simulate_classical(M, N, K, threads=threads, spec=spec).total
+    best = Selection("classical", base, 0.0, 2.0**-d)
+    for name in candidates:
+        alg = get_algorithm(name)
+        bound = alg.error_bound(d=d, steps=steps)
+        if max_error is not None and bound > max_error:
+            continue
+        t = simulate_fast(alg, M, N, K, threads=threads, steps=steps,
+                          spec=spec).total
+        if t < best.seconds:
+            best = Selection(name, t, base / t - 1.0, bound)
+    return best
+
+
+def crossover_dimension(
+    algorithm_name: str,
+    threads: int = 1,
+    low: int = 128,
+    high: int = 32768,
+    spec: MachineSpec | None = None,
+) -> int | None:
+    """Smallest square dimension where the algorithm beats gemm.
+
+    Bisects over the (monotone in practice) speedup curve; returns
+    ``None`` when the algorithm never wins below ``high``.
+    """
+    spec = spec or paper_machine()
+    alg = get_algorithm(algorithm_name)
+
+    def wins(n: int) -> bool:
+        base = simulate_classical(n, n, n, threads=threads, spec=spec).total
+        fast = simulate_fast(alg, n, n, n, threads=threads, spec=spec).total
+        return fast < base
+
+    if wins(low):
+        return low
+    if not wins(high):
+        return None
+    lo, hi = low, high
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if wins(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def selection_table(
+    dims: tuple[int, ...] = (512, 1024, 2048, 4096, 8192),
+    threads_list: tuple[int, ...] = (1, 6, 12),
+    candidates: tuple[str, ...] = PAPER_ALGORITHMS,
+    max_error: float | None = None,
+    spec: MachineSpec | None = None,
+) -> dict[tuple[int, int], Selection]:
+    """The full decision map: ``(n, threads) -> Selection``."""
+    table = {}
+    for threads in threads_list:
+        for n in dims:
+            table[(n, threads)] = select_algorithm(
+                n, n, n, threads=threads, candidates=candidates,
+                max_error=max_error, spec=spec,
+            )
+    return table

@@ -1,0 +1,178 @@
+"""Predicted timing of fast-matmul schedules on a modelled machine.
+
+This is the substrate that regenerates the paper's Figs 3, 6 and 7 on
+hosts where wall-clock measurement is meaningless (DESIGN.md §2).  The
+prediction composes exactly three ingredients:
+
+1. the *schedule* (:mod:`repro.parallel.strategy`) — which
+   sub-multiplication runs when, on how many threads;
+2. the *gemm model* — time of each sub-product at its thread count and
+   concurrency;
+3. the *bandwidth model* — time of the (memory-bound) linear
+   combinations, proportional to the algorithm's nonzero counts under the
+   write-once strategy.
+
+All quantities are single precision (4 bytes) by default, matching the
+paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linalg.blocking import required_padding
+from repro.machine.bandwidth import BandwidthModel
+from repro.machine.gemm_model import GemmModel
+from repro.machine.spec import MachineSpec, paper_machine
+from repro.parallel.strategy import Schedule, build_schedule
+
+__all__ = [
+    "SimulatedTiming",
+    "simulate_classical",
+    "simulate_fast",
+    "effective_gflops",
+]
+
+
+@dataclass(frozen=True)
+class SimulatedTiming:
+    """Breakdown of one simulated multiplication.
+
+    ``total = t_input_combos + t_multiplications + t_output_combos``.
+    ``flops`` is the classical flop count ``2*M*N*K`` of the *original*
+    problem, so ``effective_gflops`` is directly the paper's Fig-3 metric.
+    """
+
+    algorithm: str
+    M: int
+    N: int
+    K: int
+    threads: int
+    strategy: str
+    steps: int
+    t_input_combos: float
+    t_multiplications: float
+    t_output_combos: float
+
+    @property
+    def total(self) -> float:
+        return self.t_input_combos + self.t_multiplications + self.t_output_combos
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.M * self.N * self.K
+
+    @property
+    def effective_gflops(self) -> float:
+        return self.flops / self.total / 1e9
+
+
+def effective_gflops(M: int, N: int, K: int, seconds: float) -> float:
+    """The paper's Fig-3 metric: ``1e-9 * 2*M*N*K / time``."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return 2.0 * M * N * K / seconds / 1e9
+
+
+def simulate_classical(
+    M: int,
+    N: int,
+    K: int,
+    threads: int = 1,
+    spec: MachineSpec | None = None,
+) -> SimulatedTiming:
+    """Predicted time of one multithreaded gemm (the MKL baseline)."""
+    spec = spec or paper_machine()
+    gemm = GemmModel(spec)
+    t = gemm.time(M, N, K, threads=threads)
+    return SimulatedTiming(
+        algorithm="classical",
+        M=M, N=N, K=K,
+        threads=threads,
+        strategy="gemm",
+        steps=0,
+        t_input_combos=0.0,
+        t_multiplications=t,
+        t_output_combos=0.0,
+    )
+
+
+def simulate_fast(
+    algorithm,
+    M: int,
+    N: int,
+    K: int,
+    threads: int = 1,
+    strategy: str = "hybrid",
+    steps: int = 1,
+    spec: MachineSpec | None = None,
+    dtype_bytes: int = 4,
+    schedule: Schedule | None = None,
+) -> SimulatedTiming:
+    """Predicted time of one fast multiplication with one or more steps.
+
+    ``algorithm`` is any :class:`~repro.algorithms.spec.AlgorithmLike`
+    (surrogates use their modelled nonzero counts).  Dimensions are padded
+    per level exactly like the real executor pads.
+
+    Multi-step recursion is modelled depth-first: each sub-multiplication
+    of the outer rule is itself a fast product at the same thread count of
+    its phase.
+    """
+    spec = spec or paper_machine()
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    gemm = GemmModel(spec)
+    bw = BandwidthModel(spec)
+    m, n, k = algorithm.m, algorithm.n, algorithm.k
+    r = algorithm.rank
+    if schedule is None:
+        schedule = build_schedule(r, threads, strategy)
+    elif schedule.rank != r or schedule.threads != threads:
+        raise ValueError("provided schedule does not match algorithm/threads")
+
+    # Pad once for all levels, as the executor does.
+    Mp = required_padding(M, m, steps)
+    Np = required_padding(N, n, steps)
+    Kp = required_padding(K, k, steps)
+    bm, bn, bk = Mp // m, Np // n, Kp // k
+
+    nnz_u, nnz_v, nnz_w = algorithm.nnz()
+    bytes_a = bm * bn * dtype_bytes
+    bytes_b = bn * bk * dtype_bytes
+    bytes_c = bm * bk * dtype_bytes
+
+    # Write-once traffic: read every nonzero operand block, write each of
+    # the r formed S_i / T_i once; outputs read every contributing M_i and
+    # write each of the m*k C blocks once.
+    traffic_in = (nnz_u + r) * bytes_a + (nnz_v + r) * bytes_b
+    traffic_out = (nnz_w + m * k) * bytes_c
+    t_in = bw.time(traffic_in, threads)
+    t_out = bw.time(traffic_out, threads)
+
+    def sub_time(t: int, concurrent: int) -> float:
+        """Time of one sub-multiplication on ``t`` threads."""
+        if steps == 1:
+            return gemm.time(bm, bn, bk, threads=t, concurrent=concurrent)
+        inner = simulate_fast(
+            algorithm, bm, bn, bk,
+            threads=t, strategy=strategy, steps=steps - 1,
+            spec=spec, dtype_bytes=dtype_bytes,
+        )
+        return inner.total * spec.concurrency_throttle(concurrent)
+
+    t_mults = 0.0
+    for phase in schedule.phases:
+        c = phase.concurrency
+        t_mults += max(sub_time(t, c) for _, t in phase.jobs)
+
+    return SimulatedTiming(
+        algorithm=algorithm.name,
+        M=M, N=N, K=K,
+        threads=threads,
+        strategy=schedule.strategy,
+        steps=steps,
+        t_input_combos=t_in,
+        t_multiplications=t_mults,
+        t_output_combos=t_out,
+    )

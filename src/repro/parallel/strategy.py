@@ -1,0 +1,128 @@
+"""Thread-assignment strategies for the ``r`` sub-multiplications (§3.2).
+
+With ``r`` multiplications and ``p`` threads, write ``r = p*q + l`` with
+``0 <= l < p``:
+
+- **hybrid** (the paper's choice, Fig 2): ``q`` rounds in which every
+  thread computes one multiplication with *single-threaded* gemm, then the
+  ``l`` remainder multiplications each run on *all* ``p`` threads with
+  multithreaded gemm.  Perfect load balance; the remainder products are the
+  weak spot at high thread counts (their dimensions are small).
+- **BFS** ("breadth-first"): like hybrid for the ``q`` rounds, but the
+  remainder multiplications run concurrently on ``l`` threads (one each),
+  leaving ``p - l`` threads idle.
+- **DFS** ("depth-first"): every multiplication runs with all ``p``
+  threads, one after another — multithreaded gemm on small blocks attains
+  a small fraction of peak.
+
+A :class:`Schedule` is an explicit list of phases, each a list of
+``(multiplication_index, threads)`` jobs that run concurrently; both the
+simulator and the real executor consume the same object, and the Fig-2
+driver prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Phase", "Schedule", "build_schedule", "STRATEGIES"]
+
+STRATEGIES = ("hybrid", "bfs", "dfs")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """Jobs that execute concurrently: ``(mult_index, threads)`` pairs."""
+
+    jobs: tuple[tuple[int, int], ...]
+
+    @property
+    def concurrency(self) -> int:
+        return len(self.jobs)
+
+    def threads_used(self) -> int:
+        return sum(threads for _, threads in self.jobs)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A strategy instantiated for concrete ``(r, p)``."""
+
+    strategy: str
+    rank: int
+    threads: int
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for phase in self.phases:
+            for mult, t in phase.jobs:
+                if mult in seen:
+                    raise ValueError(f"multiplication {mult} scheduled twice")
+                seen.add(mult)
+                if not (1 <= t <= self.threads):
+                    raise ValueError(
+                        f"job for mult {mult} uses {t} threads, have {self.threads}"
+                    )
+        if seen != set(range(self.rank)):
+            missing = sorted(set(range(self.rank)) - seen)
+            raise ValueError(f"multiplications not scheduled: {missing}")
+
+    @property
+    def q(self) -> int:
+        """Full rounds per thread (``r // p``)."""
+        return self.rank // self.threads
+
+    @property
+    def remainder(self) -> int:
+        """Leftover multiplications (``r mod p``)."""
+        return self.rank % self.threads
+
+    def describe(self) -> str:
+        """Human-readable description (the Fig-2 illustration in text)."""
+        lines = [
+            f"{self.strategy} schedule: r={self.rank} multiplications on "
+            f"p={self.threads} threads (q={self.q}, remainder={self.remainder})"
+        ]
+        for idx, phase in enumerate(self.phases):
+            jobs = ", ".join(f"M{m + 1}(x{t})" for m, t in phase.jobs)
+            lines.append(f"  phase {idx + 1}: {jobs}")
+        return "\n".join(lines)
+
+
+def build_schedule(rank: int, threads: int, strategy: str = "hybrid") -> Schedule:
+    """Instantiate a strategy for ``rank`` multiplications on ``threads``.
+
+    ``strategy`` is one of :data:`STRATEGIES`.
+    """
+    if rank < 1:
+        raise ValueError("rank must be >= 1")
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; use one of {STRATEGIES}")
+
+    q, remainder = divmod(rank, threads)
+    phases: list[Phase] = []
+    mult = 0
+
+    if strategy == "dfs":
+        for mult in range(rank):
+            phases.append(Phase(jobs=((mult, threads),)))
+        return Schedule(strategy, rank, threads, tuple(phases))
+
+    # hybrid and BFS share the q balanced rounds of single-threaded gemms
+    for _ in range(q):
+        jobs = tuple((mult + j, 1) for j in range(threads))
+        phases.append(Phase(jobs=jobs))
+        mult += threads
+
+    if remainder:
+        if strategy == "hybrid":
+            for j in range(remainder):
+                phases.append(Phase(jobs=((mult + j, threads),)))
+        else:  # bfs: remainder on `remainder` threads concurrently, rest idle
+            jobs = tuple((mult + j, 1) for j in range(remainder))
+            phases.append(Phase(jobs=jobs))
+
+    return Schedule(strategy, rank, threads, tuple(phases))

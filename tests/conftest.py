@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.catalog import get_algorithm, list_algorithms
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=list_algorithms("real"))
+def real_algorithm(request):
+    """Every fully-coefficiented algorithm in the catalog."""
+    return get_algorithm(request.param)
+
+
+@pytest.fixture(params=list_algorithms("surrogate"))
+def surrogate_algorithm(request):
+    """Every Table-1 metadata surrogate."""
+    return get_algorithm(request.param)
+
+
+@pytest.fixture(params=list_algorithms("table1"))
+def table1_algorithm(request):
+    """Every algorithm of the paper's Table 1 (real or surrogate)."""
+    return get_algorithm(request.param)

@@ -1,0 +1,87 @@
+"""Tests for algorithm selection and crossover finding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.autotune import (
+    crossover_dimension,
+    select_algorithm,
+    selection_table,
+)
+
+
+class TestSelectAlgorithm:
+    def test_small_products_pick_classical(self):
+        sel = select_algorithm(256, 256, 256, threads=1)
+        assert sel.algorithm == "classical"
+        assert sel.speedup_vs_classical == 0.0
+
+    def test_large_sequential_picks_fast(self):
+        sel = select_algorithm(8192, 8192, 8192, threads=1)
+        assert sel.algorithm != "classical"
+        assert sel.speedup_vs_classical > 0.2
+
+    def test_twelve_threads_picks_remainder_free(self):
+        """The Fig-3c decision: at 12 threads the winner must be the
+        remainder-free <4,4,2>."""
+        sel = select_algorithm(8192, 8192, 8192, threads=12)
+        assert sel.algorithm == "smirnov442"
+
+    def test_error_budget_filters(self):
+        """A tight error budget excludes the high-phi algorithms; the
+        winner must respect it."""
+        sel = select_algorithm(8192, 8192, 8192, threads=1, max_error=1e-3)
+        assert sel.error_bound <= 1e-3
+        # only bini322 (3.5e-4) fits a 1e-3 budget among the Table-1 set
+        assert sel.algorithm == "bini322"
+
+    def test_impossible_budget_falls_back_to_classical(self):
+        sel = select_algorithm(8192, 8192, 8192, threads=1, max_error=1e-9)
+        assert sel.algorithm == "classical"
+
+    def test_selection_faster_than_every_candidate_it_beat(self):
+        from repro.parallel.simulator import simulate_classical
+
+        sel = select_algorithm(4096, 4096, 4096, threads=6)
+        base = simulate_classical(4096, 4096, 4096, threads=6).total
+        assert sel.seconds <= base
+
+
+class TestCrossover:
+    def test_sequential_crossover_near_paper_value(self):
+        """§3.3: algorithms outperform classical 'for dimensions larger
+        than 2000 or so'."""
+        n = crossover_dimension("smirnov444", threads=1)
+        assert n is not None
+        assert 1500 <= n <= 3500
+
+    def test_crossover_grows_with_threads(self):
+        seq = crossover_dimension("smirnov442", threads=1)
+        par = crossover_dimension("smirnov442", threads=6)
+        assert seq is not None and par is not None
+        assert par >= seq
+
+    def test_none_when_no_win_below_bound(self):
+        """bini322 is well under 12-thread gemm across the whole Fig-3c
+        axis (its crossover sits beyond 8192), so a search capped there
+        reports None."""
+        assert crossover_dimension("bini322", threads=12, high=8192) is None
+        beyond = crossover_dimension("bini322", threads=12, high=32768)
+        assert beyond is not None and beyond > 8192
+
+    def test_low_bound_hit(self):
+        # with a generous starting point the function reports `low` itself
+        n = crossover_dimension("smirnov444", threads=1, low=8192)
+        assert n == 8192
+
+
+class TestSelectionTable:
+    def test_covers_grid(self):
+        table = selection_table(dims=(512, 8192), threads_list=(1, 12))
+        assert set(table) == {(512, 1), (512, 12), (8192, 1), (8192, 12)}
+
+    def test_small_dims_classical_large_dims_fast(self):
+        table = selection_table(dims=(512, 8192), threads_list=(1,))
+        assert table[(512, 1)].algorithm == "classical"
+        assert table[(8192, 1)].algorithm != "classical"

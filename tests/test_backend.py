@@ -1,0 +1,98 @@
+"""Tests for the matmul backend seam."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.catalog import get_algorithm
+from repro.core.backend import (
+    APABackend,
+    ClassicalBackend,
+    MatmulBackend,
+    make_backend,
+)
+
+
+class TestClassicalBackend:
+    def test_matches_numpy(self, rng):
+        be = ClassicalBackend()
+        A = rng.random((8, 6))
+        B = rng.random((6, 4))
+        assert np.allclose(be.matmul(A, B), A @ B)
+
+    def test_stats_accumulate(self, rng):
+        be = ClassicalBackend()
+        A = rng.random((8, 6))
+        B = rng.random((6, 4))
+        be.matmul(A, B)
+        be.matmul(A, B)
+        assert be.stats.calls == 2
+        assert be.stats.flops == 2 * (2 * 8 * 6 * 4)
+        be.stats.reset()
+        assert be.stats.calls == 0 and be.stats.flops == 0
+
+    def test_protocol(self):
+        assert isinstance(ClassicalBackend(), MatmulBackend)
+
+
+class TestAPABackend:
+    def test_exact_algorithm_matches(self, rng):
+        be = APABackend(algorithm=get_algorithm("strassen222"))
+        A = rng.random((12, 10))
+        B = rng.random((10, 8))
+        assert np.allclose(be.matmul(A, B), A @ B, rtol=1e-10)
+
+    def test_apa_error_bounded(self, rng):
+        alg = get_algorithm("bini322")
+        be = APABackend(algorithm=alg)
+        A = rng.random((60, 60)).astype(np.float32)
+        B = rng.random((60, 60)).astype(np.float32)
+        ref = A.astype(np.float64) @ B.astype(np.float64)
+        rel = np.linalg.norm(be.matmul(A, B) - ref) / np.linalg.norm(ref)
+        assert rel < 8 * alg.error_bound(d=23)
+
+    def test_min_dim_fallback(self, rng):
+        be = APABackend(algorithm=get_algorithm("bini322"), min_dim=100)
+        A = rng.random((50, 50)).astype(np.float32)
+        B = rng.random((50, 50)).astype(np.float32)
+        C = be.matmul(A, B)
+        assert be.fallback_calls == 1
+        assert np.allclose(C, A @ B)  # exact: it fell back to gemm
+
+    def test_default_name(self):
+        be = APABackend(algorithm=get_algorithm("bini322"))
+        assert be.name == "apa:bini322"
+
+    def test_fixed_lambda_used(self, rng):
+        be_default = APABackend(algorithm=get_algorithm("bini322"))
+        be_coarse = APABackend(algorithm=get_algorithm("bini322"), lam=0.25)
+        A = rng.random((30, 30)).astype(np.float32)
+        B = rng.random((30, 30)).astype(np.float32)
+        ref = A.astype(np.float64) @ B.astype(np.float64)
+        e_default = np.linalg.norm(be_default.matmul(A, B) - ref)
+        e_coarse = np.linalg.norm(be_coarse.matmul(A, B) - ref)
+        assert e_coarse > 10 * e_default
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            APABackend(algorithm=get_algorithm("bini322"), steps=0)
+        with pytest.raises(ValueError):
+            APABackend(algorithm=get_algorithm("bini322"), min_dim=-1)
+
+
+class TestMakeBackend:
+    def test_none_is_classical(self):
+        assert isinstance(make_backend(None), ClassicalBackend)
+
+    def test_classical_prefix(self):
+        assert isinstance(make_backend("classical222"), ClassicalBackend)
+
+    def test_catalog_name(self):
+        be = make_backend("bini322")
+        assert isinstance(be, APABackend)
+        assert be.algorithm.name == "bini322"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_backend("nope")

@@ -1,0 +1,71 @@
+"""Tests for the benchmark plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.metrics import effective_gflops, relative_frobenius_error
+from repro.bench.tables import format_table, to_csv
+from repro.bench.timing import MeasuredTime, measure
+
+
+class TestMeasure:
+    def test_statistics(self):
+        calls = []
+        out = measure(lambda: calls.append(1), repeats=5, warmup=2)
+        assert len(calls) == 7
+        assert out.repeats == 5
+        assert out.best <= out.mean
+        assert out.std >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            MeasuredTime(best=1, mean=1, std=0, repeats=0)
+
+
+class TestMetrics:
+    def test_effective_gflops(self):
+        assert effective_gflops(1000, 1000, 1000, 2.0) == pytest.approx(1.0)
+
+    def test_effective_gflops_validation(self):
+        with pytest.raises(ValueError):
+            effective_gflops(10, 10, 10, 0)
+        with pytest.raises(ValueError):
+            effective_gflops(0, 10, 10, 1)
+
+    def test_relative_error(self, rng):
+        C = rng.random((5, 5))
+        assert relative_frobenius_error(C, C) == 0.0
+        assert relative_frobenius_error(1.01 * C, C) == pytest.approx(0.01)
+
+    def test_relative_error_validation(self, rng):
+        with pytest.raises(ValueError):
+            relative_frobenius_error(rng.random((2, 2)), rng.random((3, 3)))
+        with pytest.raises(ValueError):
+            relative_frobenius_error(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestTables:
+    def test_format_basic(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4e-7]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "4.000e-07" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_csv(self):
+        csv = to_csv(["x", "y"], [[1, 2], [3, 4]])
+        assert csv.splitlines() == ["x,y", "1,2", "3,4"]
+
+    def test_csv_width_mismatch(self):
+        with pytest.raises(ValueError):
+            to_csv(["x"], [[1, 2]])

@@ -1,0 +1,134 @@
+"""Tests for block partitioning, padding and views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.blocking import (
+    BlockPartition,
+    join_blocks,
+    pad_to_multiple,
+    required_padding,
+    split_blocks,
+)
+
+
+class TestRequiredPadding:
+    @pytest.mark.parametrize("dim,div,steps,expected", [
+        (10, 2, 1, 10),
+        (11, 2, 1, 12),
+        (10, 4, 2, 16),
+        (300, 3, 1, 300),
+        (300, 4, 1, 300),
+        (1, 5, 1, 5),
+    ])
+    def test_cases(self, dim, div, steps, expected):
+        assert required_padding(dim, div, steps) == expected
+
+    @given(st.integers(1, 500), st.integers(1, 6), st.integers(1, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_properties(self, dim, div, steps):
+        p = required_padding(dim, div, steps)
+        assert p >= dim
+        assert p % div**steps == 0
+        assert p - dim < div**steps
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            required_padding(0, 2)
+        with pytest.raises(ValueError):
+            required_padding(5, 0)
+
+
+class TestPadSplitJoin:
+    def test_pad_noop_returns_same_object(self, rng):
+        X = rng.random((6, 4))
+        assert pad_to_multiple(X, 3, 2) is X
+
+    def test_pad_zero_fills(self, rng):
+        X = rng.random((5, 3))
+        P = pad_to_multiple(X, 3, 2)
+        assert P.shape == (6, 4)
+        assert np.array_equal(P[:5, :3], X)
+        assert P[5:, :].sum() == 0 and P[:, 3:].sum() == 0
+
+    def test_pad_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            pad_to_multiple(rng.random(5), 2, 2)
+
+    def test_split_returns_views(self, rng):
+        X = rng.random((4, 6))
+        blocks = split_blocks(X, 2, 3)
+        blocks[1][2][0, 0] = 99.0
+        assert X[2, 4] == 99.0  # write through the view hits the parent
+
+    def test_split_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            split_blocks(rng.random((5, 6)), 2, 3)
+
+    def test_join_inverts_split(self, rng):
+        X = rng.random((6, 8))
+        assert np.array_equal(join_blocks(split_blocks(X, 3, 2)), X)
+
+    def test_join_empty(self):
+        with pytest.raises(ValueError):
+            join_blocks([])
+
+
+class TestBlockPartition:
+    def test_padded_dims(self):
+        plan = BlockPartition(3, 2, 2, rows_a=10, cols_a=7, cols_b=5)
+        assert plan.padded_rows_a == 12
+        assert plan.padded_cols_a == 8
+        assert plan.padded_cols_b == 6
+
+    def test_multi_step_padding(self):
+        plan = BlockPartition(2, 2, 2, rows_a=10, cols_a=10, cols_b=10, steps=2)
+        assert plan.padded_rows_a == 12  # next multiple of 4
+
+    def test_pad_overhead_zero_when_aligned(self):
+        plan = BlockPartition(2, 2, 2, rows_a=8, cols_a=8, cols_b=8)
+        assert plan.pad_overhead == 0.0
+
+    def test_pad_overhead_positive(self):
+        plan = BlockPartition(3, 3, 3, rows_a=10, cols_a=10, cols_b=10)
+        assert plan.pad_overhead > 0
+
+    def test_prepare_validates_shapes(self, rng):
+        plan = BlockPartition(2, 2, 2, rows_a=4, cols_a=4, cols_b=4)
+        with pytest.raises(ValueError):
+            plan.prepare(rng.random((4, 5)), rng.random((4, 4)))
+        with pytest.raises(ValueError):
+            plan.prepare(rng.random((4, 4)), rng.random((5, 4)))
+
+    def test_prepare_and_crop_roundtrip(self, rng):
+        plan = BlockPartition(3, 2, 2, rows_a=7, cols_a=5, cols_b=3)
+        A, B = rng.random((7, 5)), rng.random((5, 3))
+        Ap, Bp = plan.prepare(A, B)
+        assert Ap.shape == (9, 6) and Bp.shape == (6, 4)
+        C_pad = Ap @ Bp
+        assert np.allclose(plan.crop(C_pad), A @ B)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BlockPartition(0, 2, 2, rows_a=4, cols_a=4, cols_b=4)
+        with pytest.raises(ValueError):
+            BlockPartition(2, 2, 2, rows_a=0, cols_a=4, cols_b=4)
+        with pytest.raises(ValueError):
+            BlockPartition(2, 2, 2, rows_a=4, cols_a=4, cols_b=4, steps=0)
+
+    @given(
+        st.integers(1, 40), st.integers(1, 40), st.integers(1, 40),
+        st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+        st.integers(1, 2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_padding_preserves_product(self, M, N, K, m, n, k, steps):
+        rng = np.random.default_rng(0)
+        plan = BlockPartition(m, n, k, rows_a=M, cols_a=N, cols_b=K, steps=steps)
+        A, B = rng.random((M, N)), rng.random((N, K))
+        Ap, Bp = plan.prepare(A, B)
+        assert np.allclose(plan.crop(Ap @ Bp), A @ B)

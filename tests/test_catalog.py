@@ -1,0 +1,101 @@
+"""Tests for the algorithm catalog and the Table-1 registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.catalog import (
+    PAPER_ALGORITHMS,
+    TABLE1,
+    get_algorithm,
+    list_algorithms,
+)
+
+
+class TestRegistry:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("does-not-exist")
+
+    def test_instances_cached(self):
+        assert get_algorithm("bini322") is get_algorithm("bini322")
+
+    def test_list_kinds_partition(self):
+        real = set(list_algorithms("real"))
+        surrogate = set(list_algorithms("surrogate"))
+        assert real | surrogate == set(list_algorithms("all"))
+        assert not real & surrogate
+
+    def test_list_apa_exact_partition(self):
+        apa = set(list_algorithms("apa"))
+        exact = set(list_algorithms("exact"))
+        assert apa | exact == set(list_algorithms("all"))
+        assert not apa & exact
+        assert "strassen222" in exact
+        assert "bini322" in apa
+
+    def test_list_invalid_kind(self):
+        with pytest.raises(ValueError):
+            list_algorithms("bogus")
+
+    def test_table1_kind_order(self):
+        assert list_algorithms("table1") == [row.name for row in TABLE1]
+
+
+class TestTable1Fidelity:
+    """Every catalogued algorithm matches its Table-1 row exactly."""
+
+    @pytest.mark.parametrize("row", TABLE1, ids=lambda r: r.name)
+    def test_dims_and_rank(self, row):
+        alg = get_algorithm(row.name)
+        assert alg.dims == row.dims
+        assert alg.rank == row.rank
+
+    @pytest.mark.parametrize("row", TABLE1, ids=lambda r: r.name)
+    def test_speedup_column(self, row):
+        alg = get_algorithm(row.name)
+        if row.speedup_percent is None:
+            assert alg.speedup_percent == 0
+        else:
+            # paper rounds to integer percent
+            assert round(alg.speedup_percent) == row.speedup_percent
+
+    @pytest.mark.parametrize("row", TABLE1[1:], ids=lambda r: r.name)
+    def test_sigma_phi_columns(self, row):
+        alg = get_algorithm(row.name)
+        assert alg.sigma == row.sigma
+        assert alg.phi == row.phi
+
+    @pytest.mark.parametrize("row", TABLE1[1:], ids=lambda r: r.name)
+    def test_error_column(self, row):
+        alg = get_algorithm(row.name)
+        # paper reports 2 significant digits of 2**(-23 sigma/(sigma+phi))
+        assert alg.error_bound(d=23) == pytest.approx(row.error, rel=0.05)
+
+    def test_classical_error_is_working_precision(self):
+        assert get_algorithm("classical222").error_bound(23) == pytest.approx(
+            1.2e-7, rel=0.01
+        )
+
+    def test_paper_algorithm_set(self):
+        assert len(PAPER_ALGORITHMS) == 12
+        assert "classical222" not in PAPER_ALGORITHMS
+
+
+class TestDerivedCatalogEntries:
+    @pytest.mark.parametrize("name,dims,rank", [
+        ("bini232", (2, 3, 2), 10),
+        ("bini223", (2, 2, 3), 10),
+        ("strassen444", (4, 4, 4), 49),
+        ("bini322xstrassen", (6, 4, 4), 70),
+        ("bini322sq", (9, 4, 4), 100),
+        ("strassen422", (4, 2, 2), 14),
+        ("bini522", (5, 2, 2), 17),
+        ("strassen888", (8, 8, 8), 343),
+        ("bini322xstrassen444", (12, 8, 8), 490),
+    ])
+    def test_derived_signature(self, name, dims, rank):
+        alg = get_algorithm(name)
+        assert alg.dims == dims
+        assert alg.rank == rank
+        assert not alg.is_surrogate

@@ -1,0 +1,157 @@
+"""Tests for the synthetic MNIST substitute and loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import batch_iterator, one_hot, train_test_split
+from repro.data.synth_mnist import (
+    DIGIT_SEGMENTS,
+    load_synth_mnist,
+    render_digit,
+)
+
+
+class TestRenderDigit:
+    def test_shape_and_range(self, rng):
+        img = render_digit(3, rng=rng)
+        assert img.shape == (28, 28)
+        assert img.dtype == np.float32
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_all_digits_renderable(self, rng):
+        for d in range(10):
+            assert render_digit(d, rng=rng).sum() > 0
+
+    def test_invalid_digit(self):
+        with pytest.raises(ValueError):
+            render_digit(10)
+
+    def test_deterministic_given_rng_state(self):
+        a = render_digit(5, rng=np.random.default_rng(7))
+        b = render_digit(5, rng=np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_jitter_changes_image(self):
+        rng = np.random.default_rng(0)
+        a = render_digit(2, rng=rng)
+        b = render_digit(2, rng=rng)
+        assert not np.array_equal(a, b)
+
+    def test_no_jitter_no_noise_canonical(self):
+        a = render_digit(8, rng=np.random.default_rng(0), jitter=0, noise=0,
+                         thickness=0.05)
+        b = render_digit(8, rng=np.random.default_rng(99), jitter=0, noise=0,
+                         thickness=0.05)
+        assert np.array_equal(a, b)
+
+    def test_digit_classes_visually_distinct(self):
+        """Canonical renderings of different digits differ substantially —
+        the classes are separable by construction."""
+        canon = [render_digit(d, rng=np.random.default_rng(0), jitter=0,
+                              noise=0, thickness=0.05) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                diff = np.abs(canon[i] - canon[j]).mean()
+                assert diff > 0.01, f"digits {i} and {j} too similar"
+
+    def test_segment_encoding_sane(self):
+        assert DIGIT_SEGMENTS[8] == "ABCDEFG"  # eight lights everything
+        assert len(DIGIT_SEGMENTS) == 10
+
+
+class TestLoadSynthMnist:
+    def test_shapes_and_types(self):
+        (xtr, ytr), (xte, yte) = load_synth_mnist(n_train=50, n_test=20, seed=1)
+        assert xtr.shape == (50, 784) and xte.shape == (20, 784)
+        assert ytr.shape == (50,) and yte.shape == (20,)
+        assert xtr.dtype == np.float32 and ytr.dtype == np.int64
+
+    def test_unflattened(self):
+        (xtr, _), _ = load_synth_mnist(n_train=10, n_test=0, flatten=False)
+        assert xtr.shape == (10, 28, 28)
+
+    def test_balanced_classes(self):
+        (_, ytr), _ = load_synth_mnist(n_train=100, n_test=0, seed=0)
+        counts = np.bincount(ytr, minlength=10)
+        assert counts.min() == counts.max() == 10
+
+    def test_deterministic_by_seed(self):
+        a = load_synth_mnist(n_train=20, n_test=5, seed=3)
+        b = load_synth_mnist(n_train=20, n_test=5, seed=3)
+        assert np.array_equal(a[0][0], b[0][0])
+        assert np.array_equal(a[1][1], b[1][1])
+
+    def test_seed_changes_data(self):
+        a = load_synth_mnist(n_train=20, n_test=0, seed=3)
+        b = load_synth_mnist(n_train=20, n_test=0, seed=4)
+        assert not np.array_equal(a[0][0], b[0][0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            load_synth_mnist(n_train=0)
+
+    def test_learnable_by_mlp(self):
+        """The substitution criterion from DESIGN.md: the paper's MLP
+        architecture learns this dataset to high accuracy quickly."""
+        from repro.nn.mlp import build_accuracy_mlp
+
+        (xtr, ytr), (xte, yte) = load_synth_mnist(n_train=2000, n_test=400,
+                                                  seed=0)
+        model = build_accuracy_mlp(rng=np.random.default_rng(0))
+        history = model.fit(xtr, ytr, epochs=4, batch_size=100, lr=0.2,
+                            x_test=xte, y_test=yte,
+                            rng=np.random.default_rng(1))
+        assert history.test_accuracy[-1] > 0.9
+
+
+class TestLoaders:
+    def test_batch_iterator_covers_everything(self, rng):
+        x = rng.random((53, 4))
+        y = np.arange(53)
+        seen = []
+        for xb, yb in batch_iterator(x, y, batch_size=10, rng=rng):
+            assert xb.shape[0] == yb.shape[0]
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(53))
+
+    def test_drop_last(self, rng):
+        x = rng.random((53, 4))
+        y = np.arange(53)
+        batches = list(batch_iterator(x, y, batch_size=10, drop_last=True))
+        assert len(batches) == 5
+        assert all(xb.shape[0] == 10 for xb, _ in batches)
+
+    def test_no_shuffle_preserves_order(self, rng):
+        x = rng.random((10, 2))
+        y = np.arange(10)
+        xb, yb = next(batch_iterator(x, y, batch_size=4, shuffle=False))
+        assert np.array_equal(yb, [0, 1, 2, 3])
+
+    def test_batch_validation(self, rng):
+        with pytest.raises(ValueError):
+            list(batch_iterator(rng.random((5, 2)), np.arange(4), 2))
+        with pytest.raises(ValueError):
+            list(batch_iterator(rng.random((5, 2)), np.arange(5), 0))
+
+    def test_one_hot(self):
+        oh = one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(oh, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_one_hot_validation(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            one_hot(np.array([[1]]), 3)
+
+    def test_train_test_split(self, rng):
+        x = rng.random((100, 3))
+        y = np.arange(100)
+        xtr, ytr, xte, yte = train_test_split(x, y, test_fraction=0.2, rng=rng)
+        assert xte.shape[0] == 20 and xtr.shape[0] == 80
+        assert sorted(np.concatenate([ytr, yte]).tolist()) == list(range(100))
+
+    def test_split_validation(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(rng.random((10, 2)), np.arange(10), 1.5)

@@ -1,0 +1,87 @@
+"""Tests for the real threaded executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.catalog import get_algorithm
+from repro.parallel.executor import threaded_apa_matmul
+from repro.parallel.strategy import build_schedule
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("strategy", ["hybrid", "bfs", "dfs"])
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_exact_algorithm_all_strategies(self, strategy, threads, rng):
+        A = rng.random((64, 48)).astype(np.float32)
+        B = rng.random((48, 40)).astype(np.float32)
+        C = threaded_apa_matmul(A, B, get_algorithm("strassen222"),
+                                threads=threads, strategy=strategy)
+        assert np.allclose(C, A @ B, rtol=1e-5, atol=1e-5)
+
+    def test_matches_sequential_interpreter_bitwise_for_exact(self, rng):
+        """Threading changes only *where* products run, not the arithmetic:
+        for an exact algorithm the threaded result equals the sequential
+        interpreter result exactly."""
+        from repro.core.apa_matmul import apa_matmul
+
+        A = rng.random((32, 32))
+        B = rng.random((32, 32))
+        alg = get_algorithm("strassen222")
+        assert np.array_equal(
+            threaded_apa_matmul(A, B, alg, threads=4),
+            apa_matmul(A, B, alg),
+        )
+
+    def test_apa_algorithm_error_in_bound(self, rng):
+        alg = get_algorithm("bini322")
+        A = rng.random((90, 90)).astype(np.float32)
+        B = rng.random((90, 90)).astype(np.float32)
+        ref = A.astype(np.float64) @ B.astype(np.float64)
+        C = threaded_apa_matmul(A, B, alg, threads=3)
+        rel = np.linalg.norm(C - ref) / np.linalg.norm(ref)
+        assert rel < 8 * alg.error_bound(d=23)
+
+    def test_ragged_shapes(self, rng):
+        A = rng.random((37, 23))
+        B = rng.random((23, 19))
+        C = threaded_apa_matmul(A, B, get_algorithm("strassen444"), threads=2)
+        assert C.shape == (37, 19)
+        assert np.allclose(C, A @ B, rtol=1e-9)
+
+
+class TestPlumbing:
+    def test_surrogate_rejected(self, rng):
+        with pytest.raises(ValueError, match="surrogate"):
+            threaded_apa_matmul(rng.random((8, 8)), rng.random((8, 8)),
+                                get_algorithm("smirnov444"), threads=2)
+
+    def test_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            threaded_apa_matmul(rng.random((8, 7)), rng.random((8, 8)),
+                                get_algorithm("strassen222"), threads=2)
+
+    def test_bad_threads(self, rng):
+        with pytest.raises(ValueError):
+            threaded_apa_matmul(rng.random((8, 8)), rng.random((8, 8)),
+                                get_algorithm("strassen222"), threads=0)
+
+    def test_custom_schedule(self, rng):
+        alg = get_algorithm("strassen222")
+        sched = build_schedule(alg.rank, 2, "bfs")
+        A = rng.random((16, 16))
+        B = rng.random((16, 16))
+        C = threaded_apa_matmul(A, B, alg, threads=2, schedule=sched)
+        assert np.allclose(C, A @ B, rtol=1e-9)
+
+    def test_custom_gemm_counts_products(self, rng):
+        calls = []
+
+        def spy(X, Y):
+            calls.append(1)
+            return X @ Y
+
+        threaded_apa_matmul(rng.random((8, 8)), rng.random((8, 8)),
+                            get_algorithm("strassen222"), threads=1, gemm=spy)
+        assert len(calls) == 7

@@ -1,0 +1,222 @@
+"""Tests for the per-figure experiment drivers (reduced-scale runs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.catalog import TABLE1, get_algorithm
+from repro.experiments.ablations import (
+    run_aspect_ratio_study,
+    run_lambda_sweep,
+    run_steps_ablation,
+    run_strategy_ablation,
+)
+from repro.experiments.fig1_error import format_fig1, run_fig1
+from repro.experiments.fig2_schedule import format_fig2, run_fig2
+from repro.experiments.fig3_matmul_perf import format_fig3, run_fig3
+from repro.experiments.fig5_mnist_accuracy import format_fig5, run_fig5
+from repro.experiments.fig6_mlp_training import format_fig6, run_fig6
+from repro.experiments.fig7_vgg import format_fig7, run_fig7
+from repro.experiments.table1_properties import format_table1, run_table1
+
+
+class TestTable1Driver:
+    def test_rows_in_paper_order(self):
+        rows = run_table1()
+        assert [r.name for r in rows] == [row.name for row in TABLE1]
+
+    def test_values_match_expected(self):
+        for ours, expected in zip(run_table1(), TABLE1):
+            assert ours.dims == expected.dims
+            assert ours.rank == expected.rank
+            assert ours.sigma == expected.sigma
+            assert ours.phi == expected.phi
+            assert ours.error == pytest.approx(expected.error, rel=0.05)
+
+    def test_format_contains_all_rows(self):
+        text = format_table1()
+        assert "<3,2,2>" in text and "<5,5,5>" in text
+        assert "surrogate" in text and "real" in text
+
+
+class TestFig1Driver:
+    def test_reduced_run_shape(self):
+        points = run_fig1(dims=(64,), algorithms=("bini322", "smirnov444"))
+        assert len(points) == 2
+        assert {p.algorithm for p in points} == {"bini322", "smirnov444"}
+
+    def test_errors_under_bounds(self):
+        """Fig 1's headline: the theoretical bound upper-bounds every
+        tuned measurement."""
+        points = run_fig1(dims=(96,),
+                          algorithms=("bini322", "smirnov444",
+                                      "schonhage333", "smirnov333"))
+        # the bound hides an O(1) constant; allow a small slack factor
+        for p in points:
+            assert p.error <= 1.6 * p.bound, (
+                f"{p.algorithm}: {p.error} > {p.bound}"
+            )
+
+    def test_error_ordering_follows_table(self):
+        """bini (phi=1) < schonhage (phi=2) < smirnov444 (phi=3) <
+        smirnov333 (phi=6) — the legend ordering of Fig 1."""
+        points = run_fig1(dims=(96,),
+                          algorithms=("bini322", "schonhage333",
+                                      "smirnov444", "smirnov333"))
+        err = {p.algorithm: p.error for p in points}
+        assert err["bini322"] < err["schonhage333"]
+        assert err["schonhage333"] < err["smirnov444"]
+        assert err["smirnov444"] < err["smirnov333"]
+
+    def test_error_stable_across_dimension(self):
+        """Paper: 'little fluctuation of the error over matrix
+        dimension'."""
+        points = run_fig1(dims=(64, 128, 256), algorithms=("bini322",))
+        errs = [p.error for p in points]
+        assert max(errs) / min(errs) < 10
+
+    def test_format(self):
+        text = format_fig1(run_fig1(dims=(64,), algorithms=("bini322",)))
+        assert "bini322" in text and "under_bound" in text
+
+
+class TestFig2Driver:
+    def test_paper_configuration(self):
+        s = run_fig2()
+        assert s.rank == 10 and s.threads == 4
+        assert "Fig 2" in format_fig2(s)
+
+
+class TestFig3Driver:
+    def test_simulated_panel(self):
+        points = run_fig3(threads=1, dims=(2048, 8192),
+                          algorithms=("smirnov444", "bini322"))
+        classical = [p for p in points if p.algorithm == "classical"]
+        assert len(classical) == 2
+        assert all(p.speedup_vs_classical == 0 for p in classical)
+        fast_8192 = [p for p in points
+                     if p.algorithm == "smirnov444" and p.n == 8192]
+        assert fast_8192[0].speedup_vs_classical > 0.2
+
+    def test_measured_mode_runs_real_executor(self):
+        points = run_fig3(threads=2, dims=(96,), algorithms=("strassen222",),
+                          mode="measured", repeats=1)
+        names = {p.algorithm for p in points}
+        assert names == {"classical", "strassen222"}
+        assert all(p.seconds > 0 for p in points)
+
+    def test_measured_mode_skips_surrogates(self):
+        points = run_fig3(threads=1, dims=(64,), algorithms=("smirnov444",),
+                          mode="measured", repeats=1)
+        assert {p.algorithm for p in points} == {"classical"}
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            run_fig3(mode="guess")
+
+    def test_format(self):
+        text = format_fig3(run_fig3(threads=6, dims=(4096,),
+                                    algorithms=("smirnov442",)))
+        assert "6 threads" in text and "smirnov442" in text
+
+
+class TestFig5Driver:
+    def test_reduced_training_run(self):
+        runs = run_fig5(algorithms=("bini322",), epochs=2, n_train=600,
+                        n_test=200, batch_size=100)
+        assert [r.algorithm for r in runs] == ["classical", "bini322"]
+        for r in runs:
+            assert r.history.epochs == 2
+            assert len(r.history.test_accuracy) == 2
+
+    def test_robustness_property(self):
+        """The paper's core claim: APA training reaches accuracy close to
+        classical — even for the largest-error algorithm class."""
+        runs = run_fig5(algorithms=("smirnov333",), epochs=6, n_train=3000,
+                        n_test=500, batch_size=100, lr=0.2)
+        acc = {r.algorithm: r.history.test_accuracy[-1] for r in runs}
+        assert acc["classical"] > 0.85
+        assert acc["smirnov333"] > acc["classical"] - 0.1
+
+    def test_format(self):
+        runs = run_fig5(algorithms=(), epochs=1, n_train=300, n_test=100)
+        assert "classical" in format_fig5(runs)
+
+
+class TestFig6Driver:
+    def test_relative_time_definition(self):
+        points = run_fig6(threads=1, widths=(4096,),
+                          algorithms=("smirnov444",))
+        classical = next(p for p in points if p.algorithm == "classical")
+        fast = next(p for p in points if p.algorithm == "smirnov444")
+        assert classical.relative_time == 1.0
+        assert fast.relative_time == pytest.approx(
+            fast.step_seconds / classical.step_seconds
+        )
+
+    def test_sequential_headline_at_8192(self):
+        points = run_fig6(threads=1, widths=(8192,),
+                          algorithms=("smirnov444",))
+        fast = next(p for p in points if p.algorithm == "smirnov444")
+        assert 0.60 <= fast.relative_time <= 0.90  # paper: ~0.75-0.8
+
+    def test_format(self):
+        text = format_fig6(run_fig6(threads=6, widths=(2048,),
+                                    algorithms=("smirnov442",)))
+        assert "relative" in text
+
+
+class TestFig7Driver:
+    def test_speedup_grows_with_batch_sequentially(self):
+        points = run_fig7(batches=(128, 1024), threads_list=(1,))
+        fast = [p for p in points if p.algorithm != "classical"]
+        assert fast[0].batch == 128 and fast[1].batch == 1024
+        assert fast[1].speedup_vs_classical > fast[0].speedup_vs_classical
+
+    def test_headline_band(self):
+        points = run_fig7(batches=(1024,), threads_list=(1, 6))
+        by_threads = {p.threads: p for p in points if p.algorithm != "classical"}
+        assert 0.05 <= by_threads[1].speedup_vs_classical <= 0.30
+        assert by_threads[6].speedup_vs_classical < by_threads[1].speedup_vs_classical
+
+    def test_format(self):
+        assert "VGG-19" in format_fig7(run_fig7(batches=(256,),
+                                                threads_list=(1,)))
+
+
+class TestAblations:
+    def test_strategy_ablation_hybrid_wins(self):
+        rows = run_strategy_ablation(n=8192, threads=6)
+        by = {r.strategy: r for r in rows}
+        assert by["hybrid"].relative_to_hybrid == 1.0
+        assert by["dfs"].relative_to_hybrid >= 1.0
+        assert by["bfs"].relative_to_hybrid >= 1.0
+
+    def test_steps_ablation_error_grows(self):
+        rows = run_steps_ablation(max_steps=2)
+        assert rows[0].steps == 1 and rows[1].steps == 2
+        assert rows[1].error_bound > rows[0].error_bound
+
+    def test_lambda_sweep_valley(self):
+        points = run_lambda_sweep(n=96, exponent_span=4)
+        errs = [p.error for p in points]
+        center = min(range(len(points)),
+                     key=lambda i: abs(points[i].lam - points[i].lam_optimal))
+        best = min(range(len(errs)), key=errs.__getitem__)
+        # the empirical minimum sits within 2 powers of two of theory
+        assert abs(best - center) <= 2
+        # both extremes are worse than the valley bottom
+        assert errs[0] > errs[best] and errs[-1] > errs[best]
+
+    def test_lambda_sweep_rejects_exact(self):
+        with pytest.raises(ValueError):
+            run_lambda_sweep(algorithm="strassen222")
+
+    def test_aspect_ratio_matching_wins(self):
+        """§6: on a (2,1,1)-skewed problem the matching <3,2,2>
+        orientation beats the mismatched orientations."""
+        rows = run_aspect_ratio_study(M=8192, N=4096, K=4096)
+        by = {r.algorithm: r.seconds for r in rows}
+        assert by["bini322"] <= by["bini232"]
+        assert by["bini322"] <= by["bini223"]

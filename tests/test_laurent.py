@@ -1,0 +1,213 @@
+"""Unit and property tests for the exact Laurent-polynomial ring."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.laurent import Laurent
+
+
+def laurents(max_terms: int = 4, max_exp: int = 3, max_coeff: int = 9):
+    """Hypothesis strategy for small Laurent polynomials."""
+    term = st.tuples(
+        st.integers(-max_exp, max_exp),
+        st.integers(-max_coeff, max_coeff),
+    )
+    return st.lists(term, max_size=max_terms).map(Laurent.from_pairs)
+
+
+class TestConstruction:
+    def test_zero_is_empty(self):
+        assert Laurent.zero().is_zero()
+        assert not Laurent.zero()
+
+    def test_one(self):
+        one = Laurent.one()
+        assert one.is_one()
+        assert one.coeff(0) == 1
+
+    def test_const(self):
+        c = Laurent.const(Fraction(3, 4))
+        assert c.coeff(0) == Fraction(3, 4)
+        assert c.is_constant()
+
+    def test_lam_monomial(self):
+        x = Laurent.lam(2, 5)
+        assert x.coeff(2) == 5
+        assert x.min_exponent() == x.max_exponent() == 2
+
+    def test_zero_coefficients_dropped(self):
+        p = Laurent({0: 1, 1: 0, 2: 0})
+        assert p.terms == {0: Fraction(1)}
+
+    def test_from_pairs_merges_duplicates(self):
+        p = Laurent.from_pairs([(1, 2), (1, 3), (0, 1)])
+        assert p.coeff(1) == 5
+        assert p.coeff(0) == 1
+
+    def test_from_pairs_cancellation(self):
+        p = Laurent.from_pairs([(1, 2), (1, -2)])
+        assert p.is_zero()
+
+    def test_float_dyadic_coefficient_exact(self):
+        p = Laurent.const(0.25)
+        assert p.coeff(0) == Fraction(1, 4)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            Laurent.const(float("inf"))
+
+    def test_bad_exponent_type(self):
+        with pytest.raises(TypeError):
+            Laurent({1.5: 1})  # type: ignore[dict-item]
+
+    def test_bad_coeff_type(self):
+        with pytest.raises(TypeError):
+            Laurent.const("x")  # type: ignore[arg-type]
+
+    def test_singletons_cached(self):
+        assert Laurent.zero() is Laurent.zero()
+        assert Laurent.one() is Laurent.one()
+
+
+class TestInspection:
+    def test_min_max_exponent(self):
+        p = Laurent({-2: 1, 3: 5})
+        assert p.min_exponent() == -2
+        assert p.max_exponent() == 3
+
+    def test_exponent_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            Laurent.zero().min_exponent()
+        with pytest.raises(ValueError):
+            Laurent.zero().max_exponent()
+
+    def test_negative_degree(self):
+        assert Laurent({-3: 1, 1: 1}).negative_degree() == 3
+        assert Laurent({1: 1}).negative_degree() == 0
+        assert Laurent.zero().negative_degree() == 0
+
+    def test_is_constant(self):
+        assert Laurent.const(5).is_constant()
+        assert Laurent.zero().is_constant()
+        assert not Laurent.lam().is_constant()
+
+
+class TestArithmetic:
+    def test_add(self):
+        p = Laurent({0: 1, 1: 2}) + Laurent({1: 3, -1: 1})
+        assert p.terms == {0: 1, 1: 5, -1: 1}
+
+    def test_add_cancels(self):
+        p = Laurent({1: 2}) + Laurent({1: -2})
+        assert p.is_zero()
+
+    def test_add_scalar(self):
+        assert (Laurent.lam() + 1).coeff(0) == 1
+        assert (1 + Laurent.lam()).coeff(1) == 1
+
+    def test_sub(self):
+        p = Laurent({1: 5}) - Laurent({1: 2})
+        assert p.terms == {1: 3}
+
+    def test_rsub(self):
+        p = 1 - Laurent.lam()
+        assert p.coeff(0) == 1 and p.coeff(1) == -1
+
+    def test_neg(self):
+        assert (-Laurent({2: 3})).coeff(2) == -3
+
+    def test_mul_exponents_add(self):
+        p = Laurent.lam(1) * Laurent.lam(-1)
+        assert p.is_one()
+
+    def test_mul_distributes(self):
+        p = Laurent({0: 1, 1: 1}) * Laurent({0: 1, 1: -1})
+        assert p.terms == {0: 1, 2: -1}  # (1+x)(1-x) = 1 - x**2
+
+    def test_mul_scalar(self):
+        assert (2 * Laurent.lam()).coeff(1) == 2
+        assert (Laurent.lam() * 0).is_zero()
+
+    def test_shift(self):
+        assert Laurent({0: 1}).shift(3).coeff(3) == 1
+        p = Laurent({1: 2, -1: 1})
+        assert p.shift(0) is p
+
+    def test_scale(self):
+        assert Laurent({1: 2}).scale(Fraction(1, 2)).coeff(1) == 1
+        assert Laurent({1: 2}).scale(0).is_zero()
+
+    def test_substitute_power(self):
+        p = Laurent({-1: 1, 2: 3}).substitute_power(3)
+        assert p.terms == {-3: 1, 6: 3}
+
+    def test_substitute_power_invalid(self):
+        with pytest.raises(ValueError):
+            Laurent.lam().substitute_power(0)
+
+    def test_coerce_unknown_type(self):
+        with pytest.raises(TypeError):
+            Laurent.lam() + "x"  # type: ignore[operator]
+
+
+class TestEvaluation:
+    def test_call(self):
+        p = Laurent({-1: 1, 1: 1})  # 1/x + x
+        assert p(0.5) == pytest.approx(2.5)
+
+    def test_call_zero_poly(self):
+        assert Laurent.zero()(0.3) == 0.0
+
+    def test_evaluate_exact(self):
+        p = Laurent({-1: 1, 0: 1})
+        assert p.evaluate_exact(Fraction(1, 4)) == Fraction(5)
+
+
+class TestDunder:
+    def test_eq_scalar(self):
+        assert Laurent.const(3) == 3
+        assert Laurent.zero() == 0
+        assert Laurent.lam() != 1
+
+    def test_hash_consistent(self):
+        assert hash(Laurent({1: 2})) == hash(Laurent.from_pairs([(1, 2)]))
+
+    def test_repr_roundtrip_info(self):
+        text = repr(Laurent({-1: 1, 0: 2, 1: -3}))
+        assert "L" in text and "2" in text
+
+    def test_repr_zero(self):
+        assert repr(Laurent.zero()) == "Laurent(0)"
+
+
+class TestRingAxiomsProperty:
+    @given(laurents(), laurents(), laurents())
+    @settings(max_examples=100, deadline=None)
+    def test_associativity_and_distributivity(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert (a * b) * c == a * (b * c)
+        assert a * (b + c) == a * b + a * c
+
+    @given(laurents(), laurents())
+    @settings(max_examples=100, deadline=None)
+    def test_commutativity(self, a, b):
+        assert a + b == b + a
+        assert a * b == b * a
+
+    @given(laurents())
+    @settings(max_examples=50, deadline=None)
+    def test_identities(self, a):
+        assert a + Laurent.zero() == a
+        assert a * Laurent.one() == a
+        assert (a - a).is_zero()
+
+    @given(laurents(), laurents(), st.fractions(min_value=-4, max_value=4).filter(lambda f: f != 0))
+    @settings(max_examples=60, deadline=None)
+    def test_evaluation_is_homomorphism(self, a, b, x):
+        assert (a + b).evaluate_exact(x) == a.evaluate_exact(x) + b.evaluate_exact(x)
+        assert (a * b).evaluate_exact(x) == a.evaluate_exact(x) * b.evaluate_exact(x)

@@ -1,0 +1,194 @@
+"""Tests for the machine model (spec, gemm curve, bandwidth, calibration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.bandwidth import BandwidthModel
+from repro.machine.calibrate import calibrated_spec, fit_gemm_curve
+from repro.machine.gemm_model import GemmModel
+from repro.machine.spec import MachineSpec, paper_machine
+
+
+class TestSpec:
+    def test_paper_machine_topology(self):
+        spec = paper_machine()
+        assert spec.sockets == 2
+        assert spec.cores_per_socket == 6
+        assert spec.total_cores == 12
+        assert spec.peak_flops(1) == 32e9
+        assert spec.peak_flops(12) == 384e9
+
+    def test_validate_threads(self):
+        spec = paper_machine()
+        with pytest.raises(ValueError):
+            spec.peak_flops(0)
+        with pytest.raises(ValueError):
+            spec.peak_flops(13)
+
+    def test_sockets_used(self):
+        spec = paper_machine()
+        assert spec.sockets_used(1) == 1
+        assert spec.sockets_used(6) == 1
+        assert spec.sockets_used(7) == 2
+        assert spec.sockets_used(12) == 2
+
+    def test_concurrency_throttle(self):
+        spec = paper_machine()
+        assert spec.concurrency_throttle(1) == 1.0
+        within = spec.concurrency_throttle(6)
+        across = spec.concurrency_throttle(12)
+        assert 1.0 < within < across
+
+    def test_throttle_validation(self):
+        with pytest.raises(ValueError):
+            paper_machine().concurrency_throttle(0)
+
+    def test_with_params(self):
+        spec = paper_machine().with_params(gemm_half_dim_seq=100.0)
+        assert spec.gemm_half_dim_seq == 100.0
+        assert spec.sockets == 2  # untouched
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(sockets=0)
+        with pytest.raises(ValueError):
+            MachineSpec(peak_flops_core=0)
+        with pytest.raises(ValueError):
+            MachineSpec(gemm_eff_max_seq=1.5)
+
+
+class TestGemmModel:
+    def test_efficiency_monotone_in_size(self):
+        gm = GemmModel(paper_machine())
+        effs = [gm.efficiency(n, n, n, 1) for n in (128, 512, 2048, 8192)]
+        assert all(a < b for a, b in zip(effs, effs[1:]))
+        assert effs[-1] < 1.0
+
+    def test_sequential_plateau(self):
+        gm = GemmModel(paper_machine())
+        assert gm.efficiency(8192, 8192, 8192, 1) > 0.9 * gm.eff_max(1)
+
+    def test_twelve_thread_ramp_is_shallow(self):
+        """Paper §3.4: at 12 threads the plateau isn't reached until
+        ~4000; at 2048 efficiency must be well below plateau."""
+        gm = GemmModel(paper_machine())
+        assert gm.efficiency(2048, 2048, 2048, 12) < 0.55 * gm.eff_max(12)
+        assert gm.efficiency(8192, 8192, 8192, 12) > 0.85 * gm.eff_max(12)
+
+    def test_half_dim_monotone_in_threads(self):
+        gm = GemmModel(paper_machine())
+        hs = [gm.half_dim(p) for p in (1, 3, 6, 9, 12)]
+        assert all(a <= b for a, b in zip(hs, hs[1:]))
+
+    def test_numa_penalty_applied(self):
+        gm = GemmModel(paper_machine())
+        assert gm.eff_max(12) < gm.eff_max(6) <= gm.eff_max(1)
+
+    def test_time_scales_inverse_with_threads_at_plateau(self):
+        gm = GemmModel(paper_machine())
+        t1 = gm.time(8192, 8192, 8192, threads=1)
+        t6 = gm.time(8192, 8192, 8192, threads=6)
+        assert 4.0 < t1 / t6 < 6.0  # sublinear but substantial scaling
+
+    def test_concurrent_throttle_slows(self):
+        gm = GemmModel(paper_machine())
+        t1 = gm.time(1024, 1024, 1024, threads=1, concurrent=1)
+        t12 = gm.time(1024, 1024, 1024, threads=1, concurrent=12)
+        assert t12 > t1
+
+    def test_gflops_metric(self):
+        gm = GemmModel(paper_machine())
+        g = gm.gflops(4096, 4096, 4096, threads=1)
+        assert 20 < g < 32  # below core peak, sensible
+
+    def test_validation(self):
+        gm = GemmModel(paper_machine())
+        with pytest.raises(ValueError):
+            gm.time(0, 4, 4)
+        with pytest.raises(ValueError):
+            gm.time(4, 4, 4, concurrent=0)
+
+    def test_small_problem_thread_fallback(self):
+        """A 12-thread gemm on a tiny matrix must not be slower than the
+        best intra-socket configuration (BLAS picks its internal thread
+        count)."""
+        gm = GemmModel(paper_machine())
+        t12 = gm.time(256, 256, 256, threads=12)
+        best_socket = min(gm.time(256, 256, 256, threads=t)
+                          for t in range(1, 7))
+        assert t12 <= best_socket * (1 + 1e-12)
+
+    def test_fallback_capped_at_one_socket(self):
+        """The fallback may not borrow the cross-socket configuration: at
+        sizes where 12 threads genuinely lose to 6, the 12-thread time
+        equals the 6-thread time (not better)."""
+        gm = GemmModel(paper_machine())
+        t12 = gm.time(1024, 1024, 1024, threads=12)
+        t6 = gm.time(1024, 1024, 1024, threads=6)
+        assert t12 >= t6 * (1 - 1e-12)
+
+    def test_fallback_inactive_at_large_sizes(self):
+        """At 8192 the full machine beats any socket subset — the
+        fallback must not mask real 12-thread performance."""
+        gm = GemmModel(paper_machine())
+        assert gm.time(8192, 8192, 8192, threads=12) < gm.time(
+            8192, 8192, 8192, threads=6)
+
+
+class TestBandwidth:
+    def test_single_core(self):
+        bw = BandwidthModel(paper_machine())
+        assert bw.bandwidth(1) == 14e9
+
+    def test_socket_saturation(self):
+        bw = BandwidthModel(paper_machine())
+        assert bw.bandwidth(3) == 42e9   # 3 cores saturate the socket
+        assert bw.bandwidth(6) == 42e9
+
+    def test_numa_second_socket_discounted(self):
+        spec = paper_machine()
+        bw = BandwidthModel(spec)
+        assert bw.bandwidth(12) == pytest.approx(42e9 * (1 + spec.numa_bw_factor))
+
+    def test_bandwidth_not_scaling_with_cores(self):
+        """Paper §3.4: memory bandwidth does not scale with cores."""
+        bw = BandwidthModel(paper_machine())
+        assert bw.bandwidth(12) / bw.bandwidth(1) < 12 / 2
+
+    def test_time(self):
+        bw = BandwidthModel(paper_machine())
+        assert bw.time(14e9, 1) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            bw.time(-1, 1)
+
+
+class TestCalibration:
+    def test_roundtrip_recovers_parameters(self):
+        spec = paper_machine()
+        gm = GemmModel(spec)
+        dims = np.array([256, 512, 1024, 2048, 4096, 8192])
+        gflops = np.array([gm.gflops(n, n, n, 1) for n in dims])
+        eff_max, half = fit_gemm_curve(dims, gflops, spec.peak_flops(1) / 1e9)
+        assert eff_max == pytest.approx(spec.gemm_eff_max_seq, rel=1e-3)
+        assert half == pytest.approx(spec.gemm_half_dim_seq, rel=1e-2)
+
+    def test_calibrated_spec_applies_fit(self):
+        spec = paper_machine()
+        dims = np.array([256, 1024, 4096])
+        fake = 25.0 * dims**2 / (dims**2 + 300.0**2)
+        out = calibrated_spec(spec, dims, fake)
+        assert out.gemm_half_dim_seq == pytest.approx(300.0, rel=0.05)
+        assert out.gemm_eff_max_seq == pytest.approx(25.0 / 32.0, rel=0.05)
+
+    def test_calibrated_spec_threads_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            calibrated_spec(paper_machine(), np.array([1.0, 2.0]),
+                            np.array([1.0, 2.0]), threads=6)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_gemm_curve(np.array([1.0]), np.array([1.0]), 32.0)
+        with pytest.raises(ValueError):
+            fit_gemm_curve(np.array([1.0, 2.0]), np.array([1.0, 2.0]), 0.0)

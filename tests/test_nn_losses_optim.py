@@ -1,0 +1,145 @@
+"""Tests for losses and optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropy
+from repro.nn.optim import SGD, Adam, Momentum
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        labels = np.array([0, 1])
+        assert loss.forward(logits, labels) < 1e-6
+
+    def test_uniform_prediction_log_classes(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 10))
+        labels = np.arange(4)
+        assert loss.forward(logits, labels) == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.random((3, 5))
+        labels = np.array([1, 4, 2])
+        loss.forward(logits, labels)
+        grad = loss.backward()
+
+        eps = 1e-6
+        num = np.zeros_like(logits)
+        for idx in np.ndindex(logits.shape):
+            orig = logits[idx]
+            logits[idx] = orig + eps
+            fp = loss.forward(logits, labels)
+            logits[idx] = orig - eps
+            fm = loss.forward(logits, labels)
+            logits[idx] = orig
+            num[idx] = (fp - fm) / (2 * eps)
+        loss.forward(logits, labels)
+        assert np.allclose(grad, num, rtol=1e-4, atol=1e-7)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.random((6, 4))
+        loss.forward(logits, np.zeros(6, dtype=int))
+        assert np.allclose(loss.backward().sum(axis=1), 0, atol=1e-12)
+
+    def test_numerical_stability_large_logits(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.array([[1e4, 0.0]]), np.array([0]))
+        assert np.isfinite(value) and value < 1e-6
+
+    def test_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.array([0, 5]))  # label range
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.array([0]))  # batch mismatch
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestMSE:
+    def test_value(self):
+        loss = MSELoss()
+        assert loss.forward(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == 5.0
+
+    def test_gradient(self):
+        loss = MSELoss()
+        pred = np.array([2.0, -1.0])
+        loss.forward(pred, np.zeros(2))
+        assert np.allclose(loss.backward(), 2 * pred / 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().forward(np.zeros(2), np.zeros(3))
+
+
+def quadratic_param(start):
+    """Parameter and loss-gradient pair for f(w) = 0.5 ||w||^2."""
+    p = Parameter(np.array(start, dtype=np.float64))
+    return p
+
+
+class TestOptimizers:
+    def test_sgd_step(self):
+        p = quadratic_param([1.0, -2.0])
+        opt = SGD([p], lr=0.1)
+        p.grad[:] = p.value  # gradient of 0.5||w||^2
+        opt.step()
+        assert np.allclose(p.value, [0.9, -1.8])
+
+    def test_sgd_converges_on_quadratic(self):
+        p = quadratic_param([5.0, -3.0])
+        opt = SGD([p], lr=0.2)
+        for _ in range(100):
+            opt.zero_grad()
+            p.grad += p.value
+            opt.step()
+        assert np.linalg.norm(p.value) < 1e-6
+
+    def test_momentum_faster_than_sgd_on_illconditioned(self):
+        def run(opt_cls, **kw):
+            p = quadratic_param([5.0, 5.0])
+            scales = np.array([1.0, 0.01])  # ill-conditioned quadratic
+            opt = opt_cls([p], lr=0.5, **kw)
+            for _ in range(200):
+                opt.zero_grad()
+                p.grad += scales * p.value
+                opt.step()
+            return np.linalg.norm(p.value * np.sqrt(scales))
+
+        assert run(Momentum, momentum=0.9) < run(SGD)
+
+    def test_adam_converges(self):
+        p = quadratic_param([5.0, -3.0])
+        opt = Adam([p], lr=0.3)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad += p.value
+            opt.step()
+        assert np.linalg.norm(p.value) < 1e-3
+
+    def test_zero_grad_clears_all(self):
+        p1, p2 = quadratic_param([1.0]), quadratic_param([2.0])
+        opt = SGD([p1, p2], lr=0.1)
+        p1.grad += 1
+        p2.grad += 1
+        opt.zero_grad()
+        assert p1.grad.sum() == 0 and p2.grad.sum() == 0
+
+    def test_validation(self):
+        p = quadratic_param([1.0])
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            Momentum([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, beta1=1.0)

@@ -1,0 +1,139 @@
+"""Tests for the simulated training-step timing (Figs 6-7 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.catalog import get_algorithm
+from repro.nn.timing import (
+    DenseLayerSpec,
+    mlp_step_timing,
+    simulate_training_step,
+    vgg_fc_step_timing,
+)
+
+
+class TestDenseLayerSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DenseLayerSpec(0, 5)
+
+
+class TestSimulateTrainingStep:
+    def test_three_products_priced(self):
+        step = simulate_training_step([DenseLayerSpec(512, 512)], batch=512)
+        layer = step.layers[0]
+        assert layer.t_forward > 0
+        assert layer.t_grad_input > 0
+        assert layer.t_grad_weight > 0
+        assert layer.t_elementwise > 0
+        assert step.total == pytest.approx(layer.total)
+
+    def test_square_products_symmetric(self):
+        """With batch == in == out, all three products have the same dims,
+        hence equal classical cost."""
+        step = simulate_training_step([DenseLayerSpec(1024, 1024)], batch=1024)
+        layer = step.layers[0]
+        assert layer.t_forward == pytest.approx(layer.t_grad_input)
+        assert layer.t_forward == pytest.approx(layer.t_grad_weight)
+
+    def test_apa_layer_faster_at_scale(self):
+        alg = get_algorithm("smirnov444")
+        base = simulate_training_step([DenseLayerSpec(8192, 8192)], batch=8192)
+        fast = simulate_training_step(
+            [DenseLayerSpec(8192, 8192, alg)], batch=8192
+        )
+        assert fast.total < base.total
+
+    def test_threads_speed_up(self):
+        spec = [DenseLayerSpec(4096, 4096)]
+        t1 = simulate_training_step(spec, batch=4096, threads=1).total
+        t6 = simulate_training_step(spec, batch=4096, threads=6).total
+        assert t6 < t1
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            simulate_training_step([DenseLayerSpec(4, 4)], batch=0)
+
+
+class TestMLPStepTiming:
+    def test_structure_matches_paradnn(self):
+        step = mlp_step_timing(512, algorithm=None, hidden_layers=4)
+        specs = [l.spec for l in step.layers]
+        assert (specs[0].in_features, specs[0].out_features) == (784, 512)
+        assert len(specs) == 5
+        assert (specs[-1].in_features, specs[-1].out_features) == (512, 10)
+
+    def test_apa_only_on_hidden_layers(self):
+        alg = get_algorithm("smirnov442")
+        step = mlp_step_timing(512, algorithm=alg)
+        specs = [l.spec for l in step.layers]
+        assert specs[0].algorithm is None
+        assert specs[-1].algorithm is None
+        assert all(s.algorithm is alg for s in specs[1:-1])
+
+    def test_batch_defaults_to_width(self):
+        step = mlp_step_timing(256)
+        assert step.batch == 256
+
+    def test_fig6_sequential_headline(self):
+        """At width 8192, 1 thread, <4,4,4> trains the MLP ~25% faster
+        (paper: 25%)."""
+        base = mlp_step_timing(8192, algorithm=None, threads=1).total
+        fast = mlp_step_timing(8192, algorithm=get_algorithm("smirnov444"),
+                               threads=1).total
+        assert 0.15 <= base / fast - 1 <= 0.40
+
+    def test_fig6_twelve_thread_only_442_wins(self):
+        """Paper Fig 6c: at 12 threads most algorithms underperform; the
+        remainder-free <4,4,2> stays faster."""
+        base = mlp_step_timing(8192, algorithm=None, threads=12).total
+        t442 = mlp_step_timing(8192, algorithm=get_algorithm("smirnov442"),
+                               threads=12).total
+        t322 = mlp_step_timing(8192, algorithm=get_algorithm("bini322"),
+                               threads=12).total
+        assert t442 < base
+        assert t322 > base
+
+    def test_fig6_small_width_no_gain(self):
+        """Paper: speedup only appears for dimensions >= 1024; at 512 the
+        APA network must not be meaningfully faster."""
+        base = mlp_step_timing(512, algorithm=None, threads=1).total
+        fast = mlp_step_timing(512, algorithm=get_algorithm("smirnov444"),
+                               threads=1).total
+        assert fast > base * 0.98
+
+
+class TestVGGStepTiming:
+    def test_structure(self):
+        step = vgg_fc_step_timing(512)
+        dims = [(l.spec.in_features, l.spec.out_features) for l in step.layers]
+        assert dims == [(25088, 4096), (4096, 4096), (4096, 1000)]
+
+    def test_fig7_sequential_speedup_band(self):
+        """<4,4,2> speeds up the FC layers sequentially at moderate batch
+        (paper headline: up to 15%)."""
+        alg = get_algorithm("smirnov442")
+        base = vgg_fc_step_timing(1024, algorithm=None, threads=1).total
+        fast = vgg_fc_step_timing(1024, algorithm=alg, threads=1).total
+        assert 0.05 <= base / fast - 1 <= 0.30
+
+    def test_fig7_six_thread_smaller_gain(self):
+        """The 6-thread speedup is smaller than sequential (paper: 10% vs
+        15%)."""
+        alg = get_algorithm("smirnov442")
+
+        def speedup(threads):
+            base = vgg_fc_step_timing(1024, algorithm=None, threads=threads).total
+            fast = vgg_fc_step_timing(1024, algorithm=alg, threads=threads).total
+            return base / fast - 1
+
+        assert speedup(6) < speedup(1)
+
+    def test_fig7_small_batch_slower(self):
+        """Small batches make the products skinny; the fast algorithm
+        should lose there (the crossover visible in Fig 7)."""
+        alg = get_algorithm("smirnov442")
+        base = vgg_fc_step_timing(64, algorithm=None, threads=1).total
+        fast = vgg_fc_step_timing(64, algorithm=alg, threads=1).total
+        assert fast > base

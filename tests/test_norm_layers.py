@@ -1,0 +1,143 @@
+"""Tests for the normalization layers (gradient-checked)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.norm import BatchNorm1d, LayerNorm
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self, rng):
+        bn = BatchNorm1d(5, dtype=np.float64)
+        x = rng.random((64, 5)) * 3 + 7
+        y = bn.forward(x, training=True)
+        assert np.allclose(y.mean(axis=0), 0, atol=1e-10)
+        assert np.allclose(y.std(axis=0), 1, atol=1e-2)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm1d(3, momentum=0.5, dtype=np.float64)
+        for _ in range(50):
+            bn.forward(rng.normal(2.0, 1.5, (128, 3)), training=True)
+        assert np.allclose(bn.running_mean, 2.0, atol=0.3)
+        assert np.allclose(np.sqrt(bn.running_var), 1.5, atol=0.3)
+
+    def test_inference_uses_running_stats(self, rng):
+        bn = BatchNorm1d(3, dtype=np.float64)
+        for _ in range(80):
+            bn.forward(rng.normal(5.0, 2.0, (64, 3)), training=True)
+        y = bn.forward(np.full((4, 3), 5.0), training=False)
+        assert np.allclose(y, 0, atol=0.2)
+
+    def test_gradients_match_numerical(self, rng):
+        bn = BatchNorm1d(4, dtype=np.float64)
+        x = rng.random((8, 4))
+        target = rng.random((8, 4))
+
+        def loss():
+            y = bn.forward(x.copy(), training=True)
+            return float(((y - target) ** 2).sum())
+
+        y = bn.forward(x, training=True)
+        bn.gamma.zero_grad()
+        bn.beta.zero_grad()
+        # freeze running stats' effect: grads are wrt the same forward
+        grad_in = bn.backward(2 * (y - target))
+        assert np.allclose(grad_in, numerical_grad(loss, x), rtol=2e-3,
+                           atol=1e-6)
+        assert np.allclose(bn.gamma.grad, numerical_grad(loss, bn.gamma.value),
+                           rtol=2e-3, atol=1e-6)
+        assert np.allclose(bn.beta.grad, numerical_grad(loss, bn.beta.value),
+                           rtol=2e-3, atol=1e-6)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm1d(0)
+        with pytest.raises(ValueError):
+            BatchNorm1d(3, momentum=0.0)
+        bn = BatchNorm1d(3)
+        with pytest.raises(ValueError):
+            bn.forward(rng.random((4, 2)).astype(np.float32))
+        with pytest.raises(ValueError):
+            bn.forward(rng.random((1, 3)).astype(np.float32), training=True)
+        with pytest.raises(RuntimeError):
+            BatchNorm1d(3).backward(np.zeros((2, 3)))
+
+    def test_parameters(self):
+        assert len(BatchNorm1d(3).parameters()) == 2
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self, rng):
+        ln = LayerNorm(16, dtype=np.float64)
+        x = rng.random((5, 16)) * 4 - 1
+        y = ln.forward(x)
+        assert np.allclose(y.mean(axis=1), 0, atol=1e-10)
+        assert np.allclose(y.std(axis=1), 1, atol=1e-2)
+
+    def test_batch_size_one_works(self, rng):
+        ln = LayerNorm(8, dtype=np.float64)
+        y = ln.forward(rng.random((1, 8)))
+        assert y.shape == (1, 8)
+
+    def test_gradients_match_numerical(self, rng):
+        ln = LayerNorm(6, dtype=np.float64)
+        x = rng.random((4, 6))
+        target = rng.random((4, 6))
+
+        def loss():
+            y = ln.forward(x.copy(), training=True)
+            return float(((y - target) ** 2).sum())
+
+        y = ln.forward(x, training=True)
+        ln.gamma.zero_grad()
+        ln.beta.zero_grad()
+        grad_in = ln.backward(2 * (y - target))
+        assert np.allclose(grad_in, numerical_grad(loss, x), rtol=2e-3,
+                           atol=1e-6)
+        assert np.allclose(ln.gamma.grad, numerical_grad(loss, ln.gamma.value),
+                           rtol=2e-3, atol=1e-6)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            LayerNorm(1)
+        ln = LayerNorm(4)
+        with pytest.raises(ValueError):
+            ln.forward(rng.random((2, 3)).astype(np.float32))
+        with pytest.raises(RuntimeError):
+            LayerNorm(4).backward(np.zeros((2, 4)))
+
+
+class TestInTrainingStack:
+    def test_mlp_with_batchnorm_trains(self, rng):
+        from repro.nn.layers import Dense, ReLU
+        from repro.nn.model import Sequential
+
+        half = 100
+        x0 = rng.normal(-1.5, 0.5, (half, 4))
+        x1 = rng.normal(+1.5, 0.5, (half, 4))
+        x = np.vstack([x0, x1]).astype(np.float32)
+        y = np.array([0] * half + [1] * half)
+        model = Sequential([
+            Dense(4, 16, rng=rng), BatchNorm1d(16), ReLU(),
+            Dense(16, 2, rng=rng),
+        ])
+        hist = model.fit(x, y, epochs=10, batch_size=20, lr=0.1,
+                         rng=np.random.default_rng(0))
+        assert hist.train_accuracy[-1] > 0.95

@@ -1,0 +1,128 @@
+"""Tests for the partial matrix multiplication machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.catalog import get_algorithm
+from repro.algorithms.partial import (
+    PartialTarget,
+    assemble_bini322,
+    bini_partial_lower,
+    bini_partial_upper,
+    verify_partial,
+)
+from repro.algorithms.spec import coeff_matrix
+from repro.algorithms.verify import verify_algorithm
+from repro.core.apa_matmul import apa_matmul
+
+
+class TestPartialTarget:
+    def test_target_tensor_ones(self):
+        target = PartialTarget.make(2, 2, 2,
+                                    products=[((0, 0), (0, 0)),
+                                              ((0, 1), (1, 0))])
+        T = target.target_tensor()
+        assert int(T.sum()) == 2
+        assert T.shape == (4, 4, 4)
+
+    def test_non_matmul_product_rejected(self):
+        target = PartialTarget.make(2, 2, 2, products=[((0, 0), (1, 0))])
+        with pytest.raises(ValueError, match="not a"):
+            target.target_tensor()
+
+
+class TestBiniCores:
+    def test_upper_core_verifies(self):
+        U, V, W, target = bini_partial_upper()
+        report = verify_partial(U, V, W, target)
+        assert report.valid, report.failures
+        assert report.sigma == 1
+
+    def test_lower_core_verifies(self):
+        U, V, W, target = bini_partial_lower()
+        report = verify_partial(U, V, W, target)
+        assert report.valid, report.failures
+        assert report.sigma == 1
+
+    def test_upper_core_never_reads_a21(self):
+        U, _, _, target = bini_partial_upper()
+        assert (1, 0) in target.forbidden_a
+        # row a_index(1,0) = 2 of U must be all zero
+        assert not any(U[2, t] for t in range(5))
+
+    def test_lower_core_never_reads_a12(self):
+        U, _, _, _ = bini_partial_lower()
+        assert not any(U[1, t] for t in range(5))
+
+    def test_forbidden_entry_violation_detected(self):
+        U, V, W, target = bini_partial_upper()
+        from repro.linalg.laurent import Laurent
+
+        U = U.copy()
+        U[2, 0] = Laurent.one()  # touch the forbidden A21
+        report = verify_partial(U, V, W, target)
+        assert not report.valid
+        assert any("forbidden" in f for f in report.failures)
+
+    def test_wrong_target_fails(self):
+        U, V, W, _ = bini_partial_upper()
+        wrong = PartialTarget.make(2, 2, 2, products=[((0, 0), (0, 0))])
+        assert not verify_partial(U, V, W, wrong).valid
+
+
+class TestAssembly:
+    def test_assembled_rule_is_valid_apa(self):
+        alg = assemble_bini322()
+        report = verify_algorithm(alg)
+        assert report.valid
+        assert report.sigma == 1
+        assert alg.rank == 10
+        assert alg.phi == 1
+
+    def test_assembled_matches_catalog_properties(self):
+        assembled = assemble_bini322()
+        catalog = get_algorithm("bini322")
+        assert assembled.dims == catalog.dims
+        assert assembled.rank == catalog.rank
+        assert assembled.phi == catalog.phi
+        assert assembled.nnz() == catalog.nnz()
+
+    def test_assembled_executes_numerically(self, rng):
+        alg = assemble_bini322()
+        A = rng.random((90, 60)).astype(np.float32)
+        B = rng.random((60, 50)).astype(np.float32)
+        ref = A.astype(np.float64) @ B.astype(np.float64)
+        C = apa_matmul(A, B, alg)
+        rel = np.linalg.norm(C - ref) / np.linalg.norm(ref)
+        assert rel < 8 * alg.error_bound(d=23)
+
+    def test_assembled_error_tensor_matches_catalog(self, rng):
+        """Same construction, same leading error — numerically identical
+        results at the same lambda."""
+        assembled = assemble_bini322()
+        catalog = get_algorithm("bini322")
+        A = rng.random((30, 20)).astype(np.float64)
+        B = rng.random((20, 16)).astype(np.float64)
+        lam = 2.0**-10
+        Ca = apa_matmul(A, B, assembled, lam=lam)
+        Cc = apa_matmul(A, B, catalog, lam=lam)
+        assert np.allclose(Ca, Cc, rtol=1e-12, atol=1e-12)
+
+
+class TestVerifyPartialEdges:
+    def test_zero_algorithm_fails_nonzero_target(self):
+        target = PartialTarget.make(1, 1, 1, products=[((0, 0), (0, 0))])
+        U = coeff_matrix(1, 1)
+        V = coeff_matrix(1, 1)
+        W = coeff_matrix(1, 1)
+        assert not verify_partial(U, V, W, target).valid
+
+    def test_empty_target_trivially_valid(self):
+        target = PartialTarget.make(1, 1, 1, products=[])
+        U = coeff_matrix(1, 1)
+        V = coeff_matrix(1, 1)
+        W = coeff_matrix(1, 1)
+        report = verify_partial(U, V, W, target)
+        assert report.valid and report.sigma == 0

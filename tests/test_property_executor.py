@@ -1,0 +1,110 @@
+"""Property-based tests of executor-level algebraic invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.catalog import get_algorithm
+from repro.algorithms.transforms import transpose_dual
+from repro.core.apa_matmul import apa_matmul
+
+
+def _rand(shape, seed):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+class TestBilinearity:
+    """An APA product at *fixed lambda* is exactly bilinear in (A, B) in
+    exact arithmetic; in float64 the defect is pure roundoff, orders of
+    magnitude below the approximation error."""
+
+    @given(st.integers(0, 10_000), st.floats(-3, 3), st.floats(-3, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_linear_in_A(self, seed, a, b):
+        alg = get_algorithm("bini322")
+        A1 = _rand((12, 10), seed)
+        A2 = _rand((12, 10), seed + 1)
+        B = _rand((10, 8), seed + 2)
+        lam = 2.0**-10
+        lhs = apa_matmul(a * A1 + b * A2, B, alg, lam=lam)
+        rhs = a * apa_matmul(A1, B, alg, lam=lam) + b * apa_matmul(A2, B, alg, lam=lam)
+        scale = max(1.0, np.abs(lhs).max())
+        assert np.abs(lhs - rhs).max() / scale < 1e-10
+
+    @given(st.integers(0, 10_000), st.floats(-3, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_in_B(self, seed, a):
+        alg = get_algorithm("bini322")
+        A = _rand((9, 8), seed)
+        B1 = _rand((8, 6), seed + 1)
+        B2 = _rand((8, 6), seed + 2)
+        lam = 2.0**-10
+        lhs = apa_matmul(A, a * B1 + B2, alg, lam=lam)
+        rhs = a * apa_matmul(A, B1, alg, lam=lam) + apa_matmul(A, B2, alg, lam=lam)
+        scale = max(1.0, np.abs(lhs).max())
+        assert np.abs(lhs - rhs).max() / scale < 1e-10
+
+    def test_zero_operands(self):
+        alg = get_algorithm("bini322")
+        Z = np.zeros((6, 4))
+        B = _rand((4, 4), 0)
+        assert np.array_equal(apa_matmul(Z, B, alg, lam=0.01), np.zeros((6, 4)))
+
+
+class TestSymmetryConsistency:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_transpose_dual_execution(self, seed):
+        """Executing the transpose-dual rule on (B^T, A^T) gives the
+        transpose of the original rule's result on (A, B) — with the
+        same lambda the two are algebraically identical."""
+        alg = get_algorithm("bini322")
+        dual = transpose_dual(alg)
+        A = _rand((6, 4), seed)
+        B = _rand((4, 4), seed + 1)
+        lam = 2.0**-10
+        direct = apa_matmul(A, B, alg, lam=lam)
+        via_dual = apa_matmul(B.T.copy(), A.T.copy(), dual, lam=lam).T
+        assert np.allclose(direct, via_dual, rtol=1e-9, atol=1e-11)
+
+    @given(st.integers(2, 40), st.integers(2, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_identity_multiplication(self, m, n):
+        """A @ I == A through a fast rule (a classic smoke invariant that
+        exercises padding on every shape)."""
+        alg = get_algorithm("strassen222")
+        A = _rand((m, n), m * 100 + n)
+        C = apa_matmul(A, np.eye(n), alg)
+        assert np.allclose(C, A, rtol=1e-10, atol=1e-12)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_determinism(self, seed):
+        """Same inputs, same lambda -> bitwise identical output."""
+        alg = get_algorithm("bini322")
+        A = _rand((10, 10), seed)
+        B = _rand((10, 10), seed + 1)
+        assert np.array_equal(apa_matmul(A, B, alg, lam=0.01),
+                              apa_matmul(A, B, alg, lam=0.01))
+
+
+class TestErrorScalingProperty:
+    @given(st.sampled_from([2.0**-6, 2.0**-8, 2.0**-10]))
+    @settings(max_examples=6, deadline=None)
+    def test_error_linear_in_lambda_above_roundoff(self, lam):
+        """In the approximation-dominated regime the error is ~linear in
+        lambda (sigma = 1): halving lambda roughly halves the error."""
+        alg = get_algorithm("bini322")
+        A = _rand((24, 24), 1)
+        B = _rand((24, 24), 2)
+        ref = A @ B
+
+        def err(l):
+            C = apa_matmul(A, B, alg, lam=l)
+            return np.linalg.norm(C - ref)
+
+        ratio = err(lam) / err(lam / 2)
+        assert 1.5 < ratio < 2.5

@@ -1,0 +1,92 @@
+"""Tests for the report generator and smoke tests of every example."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import REPORT_SECTIONS, generate_report
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+class TestReportGenerator:
+    def test_micro_report_contains_all_sections(self, tmp_path):
+        out = tmp_path / "REPORT.md"
+        text = generate_report(path=out, scale="micro",
+                               algorithms=("bini322", "smirnov442",
+                                           "smirnov444"))
+        assert out.exists()
+        for heading in ("Table 1", "Fig 1", "Fig 2", "Fig 3", "Fig 4",
+                        "Fig 5", "Fig 6", "Fig 7", "Ablation", "Extension"):
+            assert heading in text, f"missing section {heading}"
+
+    def test_section_selection(self):
+        text = generate_report(scale="micro", sections=("table1", "fig2"))
+        assert "Table 1" in text and "Fig 2" in text
+        assert "Fig 7" not in text
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown report sections"):
+            generate_report(scale="micro", sections=("fig99",))
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            generate_report(scale="huge")
+
+    def test_sections_constant_consistent(self):
+        assert "table1" in REPORT_SECTIONS and "extensions" in REPORT_SECTIONS
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    """Run an example script in a subprocess; return stdout."""
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExampleScripts:
+    """Every shipped example runs end to end (reduced arguments)."""
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "bini322" in out and "tuned lambda" in out
+
+    def test_mlp_mnist(self):
+        out = run_example("mlp_mnist.py", "--epochs", "1", "--train", "400",
+                          "--test", "100", "--algorithms", "bini322")
+        assert "Final test accuracy" in out
+
+    def test_vgg_fc_training(self):
+        out = run_example("vgg_fc_training.py", "--scale", "32",
+                          "--batch", "64")
+        assert "paper-scale projection" in out
+        assert "smirnov442" in out
+
+    def test_algorithm_explorer(self):
+        out = run_example("algorithm_explorer.py")
+        assert "symbolic verification" in out
+        assert "rank-7" in out
+
+    def test_performance_study(self):
+        out = run_example("performance_study.py", "--dims", "4096",
+                          "--threads", "1", "--algorithms", "smirnov444")
+        assert "Fig 3" in out and "Fig 6" in out
+
+    def test_autotune_and_analyze(self):
+        out = run_example("autotune_and_analyze.py")
+        assert "algorithm selection map" in out
+        assert "hardware sensitivity" in out.lower()
+
+    def test_full_report(self, tmp_path):
+        out_file = tmp_path / "R.md"
+        out = run_example("full_report.py", "--scale", "micro",
+                          "--out", str(out_file))
+        assert "wrote" in out
+        assert out_file.exists()

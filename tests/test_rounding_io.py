@@ -1,0 +1,156 @@
+"""Tests for ALS-factor rounding and algorithm serialization."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.algorithms.catalog import get_algorithm, list_algorithms
+from repro.algorithms.io import from_json, load_algorithm, save_algorithm, to_json
+from repro.algorithms.rounding import (
+    als_to_algorithm,
+    factors_to_algorithm,
+    normalize_factors,
+    round_factors,
+)
+from repro.algorithms.search import ALSResult
+from repro.algorithms.verify import verify_algorithm
+
+
+def strassen_numeric_factors() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Strassen's exact factors as float arrays (from the catalog)."""
+    alg = get_algorithm("strassen222")
+    U, V, W = alg.evaluate(1.0, dtype=np.float64)
+    return U, V, W
+
+
+class TestNormalize:
+    def test_scale_freedom_fixed(self, rng):
+        U, V, W = strassen_numeric_factors()
+        scales = rng.uniform(0.2, 5.0, U.shape[1])
+        U2 = U * scales
+        V2 = V * scales
+        W2 = W / scales**2
+        Un, Vn, Wn = normalize_factors(U2, V2, W2)
+        assert np.allclose(np.abs(Un).max(axis=0), 1.0)
+        assert np.allclose(np.abs(Vn).max(axis=0), 1.0)
+
+    def test_zero_column_untouched(self):
+        U = np.zeros((4, 2))
+        U[:, 1] = 1.0
+        V = np.ones((4, 2))
+        W = np.ones((4, 2))
+        Un, _, _ = normalize_factors(U, V, W)
+        assert np.array_equal(Un[:, 0], np.zeros(4))
+
+
+class TestRoundFactors:
+    def test_snaps_small_noise(self, rng):
+        U, V, W = strassen_numeric_factors()
+        noise = lambda M: M + rng.normal(0, 0.02, M.shape)
+        Uq, Vq, Wq = round_factors(noise(U), noise(V), noise(W))
+        assert Uq[0, 0] == Fraction(1)
+
+    def test_rejects_far_values(self):
+        U = np.array([[2.5]])  # midway in the menu gap between 2 and 3
+        with pytest.raises(ValueError, match="not within"):
+            round_factors(U, U, U)
+
+
+class TestFactorsToAlgorithm:
+    def test_noisy_strassen_recertified(self, rng):
+        """The headline pipeline: perturbed exact factors snap back to a
+        proof-carrying algorithm."""
+        U, V, W = strassen_numeric_factors()
+        noise = lambda M: M + rng.normal(0, 0.01, M.shape)
+        result = ALSResult(U=noise(U), V=noise(V), W=noise(W),
+                           residuals=[1e-12], converged=True)
+        alg = als_to_algorithm(result, 2, 2, 2, name="strassen_recovered")
+        assert alg.rank == 7
+        assert verify_algorithm(alg).is_exact
+
+    def test_wrong_factors_rejected_by_verifier(self):
+        U, V, W = strassen_numeric_factors()
+        U = U.copy()
+        U[0, 0] = 2.0  # breaks the decomposition
+        Uq, Vq, Wq = round_factors(U, V, W)
+        with pytest.raises(ValueError, match="not form an exact"):
+            factors_to_algorithm(Uq, Vq, Wq, 2, 2, 2)
+
+    def test_unconverged_als_rejected(self):
+        result = ALSResult(U=np.ones((4, 7)), V=np.ones((4, 7)),
+                           W=np.ones((4, 7)), residuals=[0.5], converged=False)
+        with pytest.raises(ValueError, match="did not converge"):
+            als_to_algorithm(result, 2, 2, 2)
+
+    def test_generic_als_orbit_point_refused(self):
+        """A generic converged ALS solution sits on a GL-orbit point with
+        non-menu coefficients — rounding must refuse rather than emit a
+        wrong algorithm (see module docstring)."""
+        from repro.algorithms.search import discover_algorithm
+
+        result = discover_algorithm(2, 2, 2, 7, restarts=4, iters=1500,
+                                    tol=1e-8, seed=0)
+        if not result.converged:
+            pytest.skip("ALS did not converge on this host")
+        with pytest.raises(ValueError):
+            als_to_algorithm(result, 2, 2, 2)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", list_algorithms("real"))
+    def test_roundtrip_every_real_algorithm(self, name):
+        alg = get_algorithm(name)
+        clone = from_json(to_json(alg))
+        assert clone.name == alg.name
+        assert clone.dims == alg.dims
+        assert clone.rank == alg.rank
+        assert np.array_equal(clone.U, alg.U)
+        assert np.array_equal(clone.V, alg.V)
+        assert np.array_equal(clone.W, alg.W)
+
+    def test_roundtrip_preserves_laurent_terms(self):
+        alg = get_algorithm("bini322")
+        clone = from_json(to_json(alg))
+        assert verify_algorithm(clone).valid
+        assert clone.phi == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        path = save_algorithm(get_algorithm("strassen222"),
+                              tmp_path / "strassen.json")
+        alg = load_algorithm(path)
+        assert alg.signature() == "<2,2,2>:7"
+
+    def test_load_verifies_by_default(self, tmp_path):
+        import json
+
+        path = save_algorithm(get_algorithm("strassen222"), tmp_path / "s.json")
+        doc = json.loads(path.read_text())
+        doc["W"][0][2] = [[0, 2, 1]]  # corrupt a coefficient to 2
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="failed verification"):
+            load_algorithm(path)
+        # verify=False loads the (broken) coefficients anyway
+        broken = load_algorithm(path, verify=False)
+        assert broken.rank == 7
+
+    def test_surrogate_not_serializable(self):
+        with pytest.raises(ValueError, match="surrogate"):
+            to_json(get_algorithm("smirnov444"))
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="not a"):
+            from_json('{"format": "other"}')
+        with pytest.raises(ValueError, match="version"):
+            from_json('{"format": "repro-bilinear", "version": 99}')
+
+    def test_out_of_range_entry(self):
+        text = to_json(get_algorithm("strassen222"))
+        import json
+
+        doc = json.loads(text)
+        doc["U"].append([99, 0, [[0, 1, 1]]])
+        with pytest.raises(ValueError, match="out of range"):
+            from_json(json.dumps(doc))

@@ -1,0 +1,97 @@
+"""Tests for the ALS decomposition search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.search import (
+    als_decompose,
+    discover_algorithm,
+    khatri_rao,
+)
+from repro.linalg.tensor import matmul_tensor
+
+
+class TestKhatriRao:
+    def test_shape(self, rng):
+        A = rng.random((3, 5))
+        B = rng.random((4, 5))
+        assert khatri_rao(A, B).shape == (12, 5)
+
+    def test_column_structure(self, rng):
+        A = rng.random((2, 3))
+        B = rng.random((3, 3))
+        Z = khatri_rao(A, B)
+        for c in range(3):
+            assert np.allclose(Z[:, c], np.kron(A[:, c], B[:, c]))
+
+    def test_mismatched_columns(self, rng):
+        with pytest.raises(ValueError):
+            khatri_rao(rng.random((2, 3)), rng.random((2, 4)))
+
+
+class TestALS:
+    def test_exact_rank_recovers_synthetic(self, rng):
+        """A random gaussian rank-3 tensor is fit exactly at rank 3 (take the
+        best of a few random starts; all-positive factors would swamp)."""
+        U = rng.normal(size=(4, 3))
+        V = rng.normal(size=(5, 3))
+        W = rng.normal(size=(6, 3))
+        T = np.einsum("ir,jr,kr->ijk", U, V, W)
+        best = min(
+            als_decompose(T, 3, iters=400, tol=1e-9,
+                          rng=np.random.default_rng(seed)).residual
+            for seed in range(5)
+        )
+        assert best < 1e-6
+
+    def test_classical_rank_matmul_tensor(self):
+        result = discover_algorithm(2, 2, 2, 8, restarts=5, iters=800,
+                                    tol=1e-6, seed=1)
+        assert result.residual < 1e-3
+
+    def test_residuals_nonincreasing_tail(self):
+        """ALS is a block-coordinate descent: the residual must not
+        increase (allowing tiny numerical wiggle)."""
+        T = matmul_tensor(2, 2, 2).astype(float)
+        result = als_decompose(T, 8, iters=100, rng=np.random.default_rng(2))
+        r = result.residuals
+        assert all(r[i + 1] <= r[i] + 1e-9 for i in range(len(r) - 1))
+
+    def test_validation(self):
+        T = matmul_tensor(2, 2, 2).astype(float)
+        with pytest.raises(ValueError):
+            als_decompose(T, 0)
+        with pytest.raises(ValueError):
+            als_decompose(T, 2, iters=0)
+        with pytest.raises(ValueError):
+            als_decompose(np.zeros((2, 2, 2)), 2)
+        with pytest.raises(ValueError):
+            als_decompose(np.zeros((2, 2)), 2)  # not order-3
+
+
+class TestDiscovery:
+    def test_strassen_rank_discoverable(self):
+        """The headline: ALS rediscovers a rank-7 <2,2,2> decomposition
+        (Strassen-class) from random starts."""
+        result = discover_algorithm(2, 2, 2, 7, restarts=8, iters=800, seed=0)
+        assert result.converged
+        assert result.residual < 1e-6
+
+    def test_below_border_rank_fails_cleanly(self):
+        """Rank 5 is below even the border rank of <2,2,2> (which is 7);
+        ALS must stall at a clearly nonzero residual."""
+        result = discover_algorithm(2, 2, 2, 5, restarts=2, iters=150, seed=0)
+        assert not result.converged
+        assert result.residual > 1e-2
+
+    def test_border_rank_signature(self):
+        """At rank 10 for <3,2,2> (Bini's border rank, strictly below the
+        true rank 11): either ALS stalls above zero, or it approaches
+        zero with exploding factors.  Both outcomes certify that no
+        well-conditioned exact rank-10 algorithm was found."""
+        result = discover_algorithm(3, 2, 2, 10, restarts=2, iters=300, seed=3)
+        stalls = result.residual > 1e-6
+        explodes = result.max_factor_norm > 10.0
+        assert stalls or explodes

@@ -1,0 +1,181 @@
+"""Tests for the machine-model simulator and its paper-shape guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.catalog import PAPER_ALGORITHMS, get_algorithm
+from repro.machine.spec import paper_machine
+from repro.parallel.simulator import (
+    effective_gflops,
+    simulate_classical,
+    simulate_fast,
+)
+from repro.parallel.strategy import build_schedule
+
+
+class TestBasics:
+    def test_classical_timing_fields(self):
+        t = simulate_classical(4096, 4096, 4096, threads=6)
+        assert t.t_input_combos == 0 and t.t_output_combos == 0
+        assert t.total == t.t_multiplications > 0
+        assert t.effective_gflops == pytest.approx(
+            2 * 4096**3 / t.total / 1e9
+        )
+
+    def test_fast_timing_breakdown_positive(self):
+        t = simulate_fast(get_algorithm("bini322"), 4096, 4096, 4096)
+        assert t.t_input_combos > 0
+        assert t.t_multiplications > 0
+        assert t.t_output_combos > 0
+
+    def test_effective_gflops_helper(self):
+        assert effective_gflops(1000, 1000, 1000, 1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            effective_gflops(10, 10, 10, 0.0)
+
+    def test_steps_validation(self):
+        with pytest.raises(ValueError):
+            simulate_fast(get_algorithm("bini322"), 256, 256, 256, steps=0)
+
+    def test_schedule_mismatch_rejected(self):
+        sched = build_schedule(7, 2)
+        with pytest.raises(ValueError):
+            simulate_fast(get_algorithm("bini322"), 256, 256, 256,
+                          threads=2, schedule=sched)
+
+    def test_explicit_schedule_used(self):
+        alg = get_algorithm("bini322")
+        sched = build_schedule(alg.rank, 4, "dfs")
+        t_dfs = simulate_fast(alg, 4096, 4096, 4096, threads=4, schedule=sched)
+        t_hyb = simulate_fast(alg, 4096, 4096, 4096, threads=4)
+        assert t_dfs.total != t_hyb.total
+        assert t_dfs.strategy == "dfs"
+
+
+class TestScalingProperties:
+    def test_time_grows_with_size(self):
+        alg = get_algorithm("smirnov444")
+        ts = [simulate_fast(alg, n, n, n).total for n in (1024, 2048, 4096)]
+        assert ts[0] < ts[1] < ts[2]
+
+    def test_more_threads_faster(self):
+        alg = get_algorithm("smirnov442")
+        t1 = simulate_fast(alg, 8192, 8192, 8192, threads=1).total
+        t6 = simulate_fast(alg, 8192, 8192, 8192, threads=6).total
+        t12 = simulate_fast(alg, 8192, 8192, 8192, threads=12).total
+        assert t1 > t6 > t12
+
+    def test_padding_overhead_counted(self):
+        """A problem just above a block multiple pays for the padded size."""
+        alg = get_algorithm("smirnov444")
+        aligned = simulate_fast(alg, 4096, 4096, 4096).total
+        ragged = simulate_fast(alg, 4097, 4097, 4097).total
+        assert ragged > aligned
+
+    def test_two_steps_cheaper_at_huge_size(self):
+        """At very large dims a second recursive step pays off (mult time
+        shrinks by another mnk/r) — §2.4's '1 or 2 recursive levels'."""
+        alg = get_algorithm("smirnov444")
+        one = simulate_fast(alg, 16384, 16384, 16384, steps=1).total
+        two = simulate_fast(alg, 16384, 16384, 16384, steps=2).total
+        assert two < one
+
+    def test_two_steps_slower_at_small_size(self):
+        alg = get_algorithm("smirnov444")
+        one = simulate_fast(alg, 512, 512, 512, steps=1).total
+        two = simulate_fast(alg, 512, 512, 512, steps=2).total
+        assert two > one
+
+
+class TestPaperShapes:
+    """The headline assertions: the simulator reproduces the paper's
+    qualitative results (who wins, by roughly what factor, crossovers)."""
+
+    def test_fig3a_sequential_headline(self):
+        """<4,4,4> beats gemm by ~28% at n=8192, 1 thread (paper: 28%)."""
+        base = simulate_classical(8192, 8192, 8192, threads=1).total
+        fast = simulate_fast(get_algorithm("smirnov444"), 8192, 8192, 8192,
+                             threads=1).total
+        speedup = base / fast - 1
+        assert 0.20 <= speedup <= 0.36
+
+    def test_fig3a_all_algorithms_win_sequentially_at_8192(self):
+        base = simulate_classical(8192, 8192, 8192, threads=1).total
+        for name in PAPER_ALGORITHMS:
+            fast = simulate_fast(get_algorithm(name), 8192, 8192, 8192,
+                                 threads=1).total
+            assert fast < base, f"{name} slower than classical at 1 thread"
+
+    def test_fig3a_crossover_near_2000(self):
+        """Paper: algorithms outperform classical for dims larger than
+        2000 or so; at 1024 the best algorithm must still lose."""
+        base = simulate_classical(1024, 1024, 1024, threads=1).total
+        fast = simulate_fast(get_algorithm("smirnov444"), 1024, 1024, 1024,
+                             threads=1).total
+        assert fast > base
+        base4k = simulate_classical(4096, 4096, 4096, threads=1).total
+        fast4k = simulate_fast(get_algorithm("smirnov444"), 4096, 4096, 4096,
+                               threads=1).total
+        assert fast4k < base4k
+
+    def test_fig3b_six_thread_headline(self):
+        """Best speedup ~25% at 6 threads (paper: up to 25%)."""
+        base = simulate_classical(8192, 8192, 8192, threads=6).total
+        best = min(
+            simulate_fast(get_algorithm(name), 8192, 8192, 8192, threads=6).total
+            for name in PAPER_ALGORITHMS
+        )
+        assert 0.15 <= base / best - 1 <= 0.30
+
+    def test_fig3c_majority_do_not_beat_gemm(self):
+        """Paper: at 12 threads a majority of algorithms are slower than
+        classical even for large matrices."""
+        base = simulate_classical(8192, 8192, 8192, threads=12).total
+        slower_or_marginal = sum(
+            simulate_fast(get_algorithm(name), 8192, 8192, 8192,
+                          threads=12).total > base * 0.97
+            for name in PAPER_ALGORITHMS
+        )
+        assert slower_or_marginal >= len(PAPER_ALGORITHMS) / 2
+
+    def test_fig3c_remainder_free_442_wins(self):
+        """<4,4,2> has 24 = 2x12 sub-products (no remainder) and beats
+        gemm by ~21% at 12 threads (paper: 21%, 389 effective GFLOPS)."""
+        base = simulate_classical(8192, 8192, 8192, threads=12).total
+        t = simulate_fast(get_algorithm("smirnov442"), 8192, 8192, 8192,
+                          threads=12)
+        speedup = base / t.total - 1
+        assert 0.10 <= speedup <= 0.30
+        assert t.effective_gflops > 300  # paper: 389
+
+    def test_fig3c_442_beats_444_at_12_threads(self):
+        """Remainder sub-products are what kill <4,4,4> (46 = 3x12 + 10)
+        at 12 threads."""
+        t442 = simulate_fast(get_algorithm("smirnov442"), 8192, 8192, 8192,
+                             threads=12).total
+        t444 = simulate_fast(get_algorithm("smirnov444"), 8192, 8192, 8192,
+                             threads=12).total
+        assert t442 < t444
+
+    def test_hybrid_beats_dfs_and_bfs(self):
+        """§3.2's design claim, quantified: hybrid is the fastest strategy
+        on a remainder-bearing configuration."""
+        alg = get_algorithm("smirnov444")  # 46 mults on 6 threads: rem 4
+        times = {
+            s: simulate_fast(alg, 8192, 8192, 8192, threads=6, strategy=s).total
+            for s in ("hybrid", "bfs", "dfs")
+        }
+        assert times["hybrid"] <= times["bfs"]
+        assert times["hybrid"] <= times["dfs"]
+
+    def test_additions_bottleneck_grows_with_threads(self):
+        """§3.4: additions (bandwidth-bound) eat a larger share of the
+        total as threads increase."""
+        alg = get_algorithm("smirnov444")
+
+        def add_share(threads):
+            t = simulate_fast(alg, 8192, 8192, 8192, threads=threads)
+            return (t.t_input_combos + t.t_output_combos) / t.total
+
+        assert add_share(6) > add_share(1)

@@ -1,0 +1,98 @@
+"""Tests for the metadata surrogate algorithm class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.smirnov import SurrogateAlgorithm
+from repro.algorithms.spec import AlgorithmLike
+
+
+def make(name="s", m=4, n=4, k=4, rank=46, sigma=1, phi=3, **kw):
+    return SurrogateAlgorithm(name=name, m=m, n=n, k=k, _rank=rank,
+                              _sigma=sigma, _phi=phi, **kw)
+
+
+class TestValidation:
+    def test_rank_must_beat_classical(self):
+        with pytest.raises(ValueError, match="not below classical"):
+            make(rank=64)
+
+    def test_sigma_must_be_apa(self):
+        with pytest.raises(ValueError):
+            make(sigma=0)
+
+    def test_density_range(self):
+        with pytest.raises(ValueError):
+            make(density=0.0)
+        with pytest.raises(ValueError):
+            make(density=1.5)
+
+    def test_prefactor_range(self):
+        with pytest.raises(ValueError):
+            make(error_prefactor=0.0)
+
+    def test_negative_phi(self):
+        with pytest.raises(ValueError):
+            make(phi=-1)
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            make(m=0)
+
+
+class TestInterface:
+    def test_satisfies_protocol(self):
+        assert isinstance(make(), AlgorithmLike)
+
+    def test_flags(self):
+        alg = make()
+        assert alg.is_surrogate and alg.is_apa and not alg.is_exact
+
+    def test_speedup(self):
+        assert make().speedup_percent == pytest.approx((64 / 46 - 1) * 100)
+
+    def test_signature(self):
+        assert make().signature() == "<4,4,4>:46"
+
+    def test_nnz_scales_with_density(self):
+        lo = make(density=0.3).nnz()
+        hi = make(density=0.6).nnz()
+        assert all(h > l for h, l in zip(hi, lo))
+
+    def test_nnz_floor_two_per_column(self):
+        alg = make(m=2, n=1, k=1, rank=1, density=0.01)
+        nnz_u, nnz_v, nnz_w = alg.nnz()
+        assert nnz_u == 2 and nnz_v == 2 and nnz_w == 2
+
+    def test_addition_counts_consistent_with_nnz(self):
+        alg = make()
+        nnz_u, nnz_v, nnz_w = alg.nnz()
+        au, av, aw = alg.addition_counts()
+        assert au == nnz_u - alg.rank
+        assert av == nnz_v - alg.rank
+        assert aw == nnz_w - alg.m * alg.k
+
+
+class TestErrorModel:
+    def test_bound_formula(self):
+        alg = make(sigma=1, phi=3)
+        assert alg.error_bound(d=23) == pytest.approx(2.0 ** (-23 / 4))
+
+    def test_bound_steps(self):
+        alg = make(sigma=1, phi=3)
+        assert alg.error_bound(d=23, steps=2) == pytest.approx(2.0 ** (-23 / 7))
+
+    def test_empirical_below_bound(self):
+        alg = make()
+        assert alg.empirical_error_scale() < alg.error_bound()
+
+    def test_prefactor_reduces_error(self):
+        assert (make(error_prefactor=0.25).empirical_error_scale()
+                < make().empirical_error_scale())
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            make().error_bound(d=-1)
+        with pytest.raises(ValueError):
+            make().error_bound(steps=0)

@@ -1,0 +1,130 @@
+"""Tests for the BilinearAlgorithm container and derived properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bini import bini322_algorithm
+from repro.algorithms.classical import classical_algorithm
+from repro.algorithms.spec import BilinearAlgorithm, coeff_matrix
+from repro.algorithms.strassen import strassen_algorithm
+from repro.linalg.laurent import Laurent
+
+
+class TestCoeffMatrix:
+    def test_zero_initialized(self):
+        M = coeff_matrix(3, 2)
+        assert all(entry.is_zero() for entry in M.flat)
+
+    def test_entries_applied(self):
+        M = coeff_matrix(2, 2, {(0, 1): 3, (1, 0): Laurent.lam()})
+        assert M[0, 1] == Laurent.const(3)
+        assert M[1, 0] == Laurent.lam()
+
+
+class TestConstructionValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BilinearAlgorithm("bad", 2, 2, 2,
+                              U=coeff_matrix(3, 7),
+                              V=coeff_matrix(4, 7),
+                              W=coeff_matrix(4, 7))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BilinearAlgorithm("bad", 2, 2, 2,
+                              U=coeff_matrix(4, 7),
+                              V=coeff_matrix(4, 6),
+                              W=coeff_matrix(4, 7))
+
+    def test_non_object_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            BilinearAlgorithm("bad", 2, 2, 2,
+                              U=np.zeros((4, 7)),
+                              V=coeff_matrix(4, 7),
+                              W=coeff_matrix(4, 7))
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            BilinearAlgorithm("bad", 0, 2, 2,
+                              U=coeff_matrix(0, 1),
+                              V=coeff_matrix(4, 1),
+                              W=coeff_matrix(0, 1))
+
+
+class TestDerivedProperties:
+    def test_strassen_basics(self):
+        alg = strassen_algorithm()
+        assert alg.dims == (2, 2, 2)
+        assert alg.rank == 7
+        assert alg.classical_rank == 8
+        assert alg.speedup_percent == pytest.approx(100 / 7, rel=1e-12)
+        assert alg.is_exact and not alg.is_apa
+        assert alg.phi == 0
+        assert not alg.is_surrogate
+
+    def test_bini_paper_row(self):
+        """Bini's Table-1 row: <3,2,2>, rank 10, 20%, sigma=1, phi=1,
+        error 3.5e-4 at d=23."""
+        alg = bini322_algorithm()
+        assert alg.dims == (3, 2, 2)
+        assert alg.rank == 10
+        assert alg.speedup_percent == pytest.approx(20.0)
+        assert alg.sigma == 1
+        assert alg.phi == 1
+        assert alg.error_bound(d=23) == pytest.approx(2.0**-11.5)
+        assert alg.error_bound(d=23) == pytest.approx(3.5e-4, rel=0.02)
+
+    def test_error_bound_steps_scaling(self):
+        alg = bini322_algorithm()
+        # two recursive steps double phi's influence: 2**(-23/3)
+        assert alg.error_bound(d=23, steps=2) == pytest.approx(2.0 ** (-23 / 3))
+
+    def test_error_bound_exact_algorithm(self):
+        assert strassen_algorithm().error_bound(d=23) == 2.0**-23
+
+    def test_error_bound_validation(self):
+        alg = bini322_algorithm()
+        with pytest.raises(ValueError):
+            alg.error_bound(d=0)
+        with pytest.raises(ValueError):
+            alg.error_bound(steps=0)
+
+    def test_nnz_counts(self):
+        alg = strassen_algorithm()
+        assert alg.nnz() == (12, 12, 12)
+
+    def test_addition_counts_strassen(self):
+        # Strassen: 5 input adds each side, 8 output adds (write-once).
+        assert strassen_algorithm().addition_counts() == (5, 5, 8)
+
+    def test_classical_has_no_input_adds(self):
+        alg = classical_algorithm(3, 2, 4)
+        adds_u, adds_v, adds_w = alg.addition_counts()
+        assert adds_u == 0 and adds_v == 0
+        # each output entry accumulates n products -> n-1 adds each
+        assert adds_w == 3 * 4 * (2 - 1)
+
+    def test_signature(self):
+        assert bini322_algorithm().signature() == "<3,2,2>:10"
+
+
+class TestEvaluate:
+    def test_exact_evaluation_dtype(self):
+        Un, Vn, Wn = strassen_algorithm().evaluate(1.0, dtype=np.float32)
+        assert Un.dtype == np.float32
+        assert Un.shape == (4, 7)
+
+    def test_apa_requires_positive_lambda(self):
+        with pytest.raises(ValueError):
+            bini322_algorithm().evaluate(0.0)
+
+    def test_evaluation_matches_laurent(self):
+        alg = bini322_algorithm()
+        lam = 0.125
+        Un, _, Wn = alg.evaluate(lam)
+        # M4's A-combination contains lam*A12: row a_index(0,1)=1, col 3
+        assert Un[1, 3] == pytest.approx(lam)
+        # C11 = lam**-1 * (...): row 0 of W references M1 with lam**-1
+        assert Wn[0, 0] == pytest.approx(1 / lam)

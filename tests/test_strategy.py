@@ -1,0 +1,105 @@
+"""Tests for the hybrid/BFS/DFS schedules (paper §3.2, Fig 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.strategy import Phase, Schedule, build_schedule
+
+
+class TestFig2Configuration:
+    def test_paper_illustration(self):
+        """r=10, p=4: two balanced rounds of 4, then 2 all-thread mults."""
+        s = build_schedule(10, 4, "hybrid")
+        assert s.q == 2 and s.remainder == 2
+        assert len(s.phases) == 4
+        assert [p.concurrency for p in s.phases] == [4, 4, 1, 1]
+        assert s.phases[0].jobs == ((0, 1), (1, 1), (2, 1), (3, 1))
+        assert s.phases[2].jobs == ((8, 4),)
+        assert s.phases[3].jobs == ((9, 4),)
+
+    def test_describe_mentions_structure(self):
+        text = build_schedule(10, 4).describe()
+        assert "q=2" in text and "remainder=2" in text
+        assert "M9(x4)" in text
+
+
+class TestStrategies:
+    def test_hybrid_no_remainder(self):
+        s = build_schedule(24, 12, "hybrid")
+        assert s.remainder == 0
+        assert len(s.phases) == 2
+        assert all(p.concurrency == 12 for p in s.phases)
+
+    def test_bfs_remainder_single_phase(self):
+        s = build_schedule(10, 4, "bfs")
+        assert len(s.phases) == 3
+        assert s.phases[2].jobs == ((8, 1), (9, 1))  # 2 threads busy, 2 idle
+        assert s.phases[2].threads_used() == 2
+
+    def test_dfs_all_multithreaded(self):
+        s = build_schedule(7, 4, "dfs")
+        assert len(s.phases) == 7
+        assert all(p.jobs[0][1] == 4 for p in s.phases)
+
+    def test_single_thread_degenerates(self):
+        for strategy in ("hybrid", "bfs", "dfs"):
+            s = build_schedule(10, 1, strategy)
+            assert len(s.phases) == 10
+            assert all(p.jobs[0][1] == 1 for p in s.phases)
+
+    def test_more_threads_than_mults(self):
+        s = build_schedule(3, 8, "hybrid")
+        assert s.q == 0 and s.remainder == 3
+        assert all(job[1] == 8 for p in s.phases for job in p.jobs)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            build_schedule(10, 4, "magic")
+
+    def test_invalid_rank_threads(self):
+        with pytest.raises(ValueError):
+            build_schedule(0, 4)
+        with pytest.raises(ValueError):
+            build_schedule(4, 0)
+
+
+class TestScheduleInvariants:
+    @given(st.integers(1, 100), st.integers(1, 16),
+           st.sampled_from(["hybrid", "bfs", "dfs"]))
+    @settings(max_examples=150, deadline=None)
+    def test_every_mult_scheduled_exactly_once(self, rank, threads, strategy):
+        s = build_schedule(rank, threads, strategy)
+        scheduled = [m for p in s.phases for m, _ in p.jobs]
+        assert sorted(scheduled) == list(range(rank))
+
+    @given(st.integers(1, 100), st.integers(1, 16),
+           st.sampled_from(["hybrid", "bfs", "dfs"]))
+    @settings(max_examples=100, deadline=None)
+    def test_no_phase_oversubscribes(self, rank, threads, strategy):
+        s = build_schedule(rank, threads, strategy)
+        for p in s.phases:
+            assert p.threads_used() <= threads
+
+    @given(st.integers(1, 100), st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_hybrid_balanced_rounds_saturate(self, rank, threads):
+        s = build_schedule(rank, threads, "hybrid")
+        q = rank // threads
+        for p in s.phases[:q]:
+            assert p.threads_used() == threads
+
+    def test_validation_duplicate_mult(self):
+        with pytest.raises(ValueError, match="twice"):
+            Schedule("hybrid", 2, 2,
+                     (Phase(jobs=((0, 1), (0, 1))), Phase(jobs=((1, 1),))))
+
+    def test_validation_missing_mult(self):
+        with pytest.raises(ValueError, match="not scheduled"):
+            Schedule("hybrid", 3, 2, (Phase(jobs=((0, 1), (1, 1))),))
+
+    def test_validation_thread_range(self):
+        with pytest.raises(ValueError):
+            Schedule("hybrid", 1, 2, (Phase(jobs=((0, 3),)),))

@@ -1,0 +1,104 @@
+"""Tests for the matmul tensor and exact trilinear contraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.laurent import Laurent
+from repro.linalg.tensor import (
+    a_index,
+    b_index,
+    c_index,
+    matmul_tensor,
+    triple_product_tensor,
+)
+
+
+class TestIndexing:
+    def test_row_major(self):
+        assert a_index(1, 2, 3, 4) == 6
+        assert b_index(0, 3, 2, 5) == 3
+        assert c_index(2, 1, 3, 2) == 5
+
+    @pytest.mark.parametrize("fn,args", [
+        (a_index, (3, 0, 3, 4)),
+        (a_index, (0, 4, 3, 4)),
+        (b_index, (-1, 0, 2, 2)),
+        (c_index, (0, 2, 3, 2)),
+    ])
+    def test_out_of_range(self, fn, args):
+        with pytest.raises(IndexError):
+            fn(*args)
+
+
+class TestMatmulTensor:
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_has_mnk_ones(self, m, n, k):
+        T = matmul_tensor(m, n, k)
+        assert T.shape == (m * n, n * k, m * k)
+        assert int(T.sum()) == m * n * k
+        assert set(np.unique(T)) <= {0, 1}
+
+    def test_entries_match_definition(self):
+        m, n, k = 2, 3, 2
+        T = matmul_tensor(m, n, k)
+        for i in range(m):
+            for l in range(n):
+                for j in range(k):
+                    assert T[a_index(i, l, m, n), b_index(l, j, n, k),
+                             c_index(i, j, m, k)] == 1
+
+    def test_contraction_computes_matmul(self, rng):
+        """Contracting T against vec(A), vec(B) gives vec(A @ B)."""
+        m, n, k = 3, 2, 4
+        T = matmul_tensor(m, n, k).astype(float)
+        A = rng.random((m, n))
+        B = rng.random((n, k))
+        C_vec = np.einsum("psq,p,s->q", T, A.ravel(), B.ravel())
+        assert np.allclose(C_vec.reshape(m, k), A @ B)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            matmul_tensor(0, 2, 2)
+
+
+class TestTripleProduct:
+    def test_classical_decomposition_reproduces_tensor(self):
+        from repro.algorithms.classical import classical_algorithm
+
+        alg = classical_algorithm(2, 3, 2)
+        S = triple_product_tensor(alg.U, alg.V, alg.W)
+        T = matmul_tensor(2, 3, 2)
+        for idx in np.ndindex(S.shape):
+            assert S[idx] == Laurent.const(int(T[idx]))
+
+    def test_rank_mismatch_rejected(self):
+        from repro.algorithms.spec import coeff_matrix
+
+        U = coeff_matrix(4, 7)
+        V = coeff_matrix(4, 7)
+        W = coeff_matrix(4, 6)
+        with pytest.raises(ValueError):
+            triple_product_tensor(U, V, W)
+
+    def test_non_2d_rejected(self):
+        from repro.algorithms.spec import coeff_matrix
+
+        U = coeff_matrix(4, 7)
+        with pytest.raises(ValueError):
+            triple_product_tensor(U.ravel(), U, U)
+
+    def test_zero_columns_skipped(self):
+        from repro.algorithms.spec import coeff_matrix
+
+        # A rank-2 'algorithm' whose second column is all zero contributes
+        # nothing.
+        U = coeff_matrix(1, 2, {(0, 0): 1})
+        V = coeff_matrix(1, 2, {(0, 0): 1})
+        W = coeff_matrix(1, 2, {(0, 0): 1})
+        S = triple_product_tensor(U, V, W)
+        assert S[0, 0, 0].is_one()

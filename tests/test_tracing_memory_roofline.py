@@ -1,0 +1,141 @@
+"""Tests for schedule tracing, workspace accounting, and rooflines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.catalog import get_algorithm
+from repro.core.memory import workspace_bytes
+from repro.machine.roofline import roofline_analysis
+from repro.parallel.simulator import simulate_fast
+from repro.parallel.tracing import render_gantt, trace_schedule
+
+
+class TestTracing:
+    def test_trace_total_matches_simulator(self):
+        """The trace is a decomposition of the simulated time, exactly."""
+        alg = get_algorithm("bini322")
+        for threads, strategy in ((1, "hybrid"), (4, "hybrid"), (4, "bfs"),
+                                  (6, "dfs")):
+            trace = trace_schedule(alg, 4096, 4096, 4096, threads=threads,
+                                   strategy=strategy)
+            sim = simulate_fast(alg, 4096, 4096, 4096, threads=threads,
+                                strategy=strategy)
+            assert trace.total == pytest.approx(sim.total, rel=1e-12)
+
+    def test_every_multiplication_traced(self):
+        alg = get_algorithm("smirnov444")
+        trace = trace_schedule(alg, 8192, 8192, 8192, threads=6)
+        mults = trace.by_kind("mult")
+        assert len(mults) == alg.rank
+        labels = {m.label for m in mults}
+        assert labels == {f"M{i + 1}" for i in range(alg.rank)}
+
+    def test_phases_do_not_overlap_in_wall_time(self):
+        alg = get_algorithm("bini322")
+        trace = trace_schedule(alg, 2048, 2048, 2048, threads=4)
+        combine_in = trace.by_kind("combine-in")[0]
+        first_mult = min(trace.by_kind("mult"), key=lambda s: s.start)
+        assert first_mult.start >= combine_in.end - 1e-15
+        combine_out = trace.by_kind("combine-out")[0]
+        last_mult = max(trace.by_kind("mult"), key=lambda s: s.end)
+        assert combine_out.start >= last_mult.end - 1e-15
+
+    def test_remainder_products_visible_at_12_threads(self):
+        """The Fig-3c story in the trace: <4,4,4>'s 10 remainder products
+        occupy a large chunk of the 12-thread timeline."""
+        alg = get_algorithm("smirnov444")
+        trace = trace_schedule(alg, 8192, 8192, 8192, threads=12)
+        remainder = [s for s in trace.by_kind("mult") if s.threads == 12]
+        assert len(remainder) == 46 % 12
+        remainder_time = sum(s.duration for s in remainder)
+        assert remainder_time > 0.25 * trace.total
+
+    def test_render_gantt(self):
+        alg = get_algorithm("bini322")
+        text = render_gantt(trace_schedule(alg, 2048, 2048, 2048, threads=4))
+        assert "bini322" in text
+        assert "M10" in text
+        assert "#" in text
+
+    def test_render_width_validation(self):
+        alg = get_algorithm("bini322")
+        trace = trace_schedule(alg, 1024, 1024, 1024)
+        with pytest.raises(ValueError):
+            render_gantt(trace, width=5)
+
+
+class TestWorkspace:
+    def test_aligned_problem_has_no_padding_terms(self):
+        est = workspace_bytes(get_algorithm("strassen222"), 1024, 1024, 1024)
+        assert est.padded_inputs == 0
+        assert est.padded_output == 0
+        assert est.combination_buffers > 0
+
+    def test_ragged_problem_pays_padding(self):
+        est = workspace_bytes(get_algorithm("strassen222"), 1023, 1023, 1023)
+        assert est.padded_inputs > 0
+        assert est.padded_output > 0
+
+    def test_streaming_buffers_are_block_sized(self):
+        alg = get_algorithm("strassen222")
+        est = workspace_bytes(alg, 1024, 1024, 1024, dtype_bytes=4)
+        block = (512 * 512) * 4
+        assert est.combination_buffers == 3 * block
+        assert est.product_buffers == block
+
+    def test_parallel_holds_all_products(self):
+        alg = get_algorithm("smirnov444")  # rank 46 — big difference
+        seq = workspace_bytes(alg, 4096, 4096, 4096, parallel=False)
+        par = workspace_bytes(alg, 4096, 4096, 4096, parallel=True)
+        assert par.product_buffers > 10 * seq.product_buffers
+
+    def test_two_steps_add_inner_buffers(self):
+        alg = get_algorithm("strassen222")
+        one = workspace_bytes(alg, 1024, 1024, 1024, steps=1)
+        two = workspace_bytes(alg, 1024, 1024, 1024, steps=2)
+        assert two.total > one.total
+
+    def test_overhead_metric(self):
+        alg = get_algorithm("strassen222")
+        est = workspace_bytes(alg, 1024, 1024, 1024)
+        # one-step Strassen workspace is ~1/4 of a classical footprint
+        assert 0.1 < est.overhead_vs_classical(1024, 1024, 1024) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            workspace_bytes(get_algorithm("strassen222"), 8, 8, 8, steps=0)
+
+
+class TestRoofline:
+    def test_intensity_grows_with_problem_size(self):
+        alg = get_algorithm("smirnov444")
+        small = roofline_analysis(alg, 1024, 1024, 1024)
+        large = roofline_analysis(alg, 8192, 8192, 8192)
+        assert large.arithmetic_intensity > small.arithmetic_intensity
+
+    def test_balance_grows_with_threads(self):
+        """More cores raise the compute roof while bandwidth saturates —
+        the §3.4 mechanism."""
+        alg = get_algorithm("smirnov444")
+        b1 = roofline_analysis(alg, 8192, 8192, 8192, threads=1)
+        b6 = roofline_analysis(alg, 8192, 8192, 8192, threads=6)
+        b12 = roofline_analysis(alg, 8192, 8192, 8192, threads=12)
+        assert b1.machine_balance < b6.machine_balance < b12.machine_balance
+
+    def test_large_products_compute_bound_sequentially(self):
+        alg = get_algorithm("smirnov444")
+        point = roofline_analysis(alg, 8192, 8192, 8192, threads=1)
+        assert not point.bandwidth_limited
+
+    def test_addition_share_bound_grows_with_threads(self):
+        alg = get_algorithm("smirnov444")
+        s1 = roofline_analysis(alg, 8192, 8192, 8192, threads=1)
+        s12 = roofline_analysis(alg, 8192, 8192, 8192, threads=12)
+        assert s12.addition_time_share_bound > s1.addition_time_share_bound
+
+    def test_denser_algorithm_lower_intensity(self):
+        """More nonzeros -> more addition traffic -> lower intensity."""
+        lean = roofline_analysis(get_algorithm("strassen222"), 4096, 4096, 4096)
+        dense = roofline_analysis(get_algorithm("smirnov555"), 4096, 4096, 4096)
+        assert dense.arithmetic_intensity < lean.arithmetic_intensity

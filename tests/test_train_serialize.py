@@ -1,0 +1,196 @@
+"""Tests for the Trainer (schedules, clipping, early stopping) and
+model checkpointing."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Parameter, ReLU
+from repro.nn.model import Sequential
+from repro.nn.serialize import load_weights, model_signature, save_weights
+from repro.nn.train import (
+    ConstantLR,
+    CosineLR,
+    EarlyStopping,
+    StepLR,
+    Trainer,
+    clip_gradients,
+)
+
+
+def blobs(n=160, rng=None):
+    rng = rng or np.random.default_rng(0)
+    half = n // 2
+    x = np.vstack([
+        rng.normal(-2, 0.5, (half, 4)),
+        rng.normal(+2, 0.5, (n - half, 4)),
+    ]).astype(np.float32)
+    y = np.array([0] * half + [1] * (n - half))
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+def small_model(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return Sequential([Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR(0.3).rate(0) == ConstantLR(0.3).rate(99) == 0.3
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+
+    def test_step(self):
+        s = StepLR(1.0, step=2, gamma=0.5)
+        assert [s.rate(e) for e in range(5)] == [1.0, 1.0, 0.5, 0.5, 0.25]
+        with pytest.raises(ValueError):
+            StepLR(1.0, step=0)
+
+    def test_cosine_endpoints(self):
+        s = CosineLR(1.0, total=10, lr_min=0.1)
+        assert s.rate(0) == pytest.approx(1.0)
+        assert s.rate(10) == pytest.approx(0.1)
+        assert s.rate(5) == pytest.approx(0.55)
+        assert s.rate(20) == pytest.approx(0.1)  # clamped past total
+
+    def test_cosine_monotone_decreasing(self):
+        s = CosineLR(1.0, total=8)
+        rates = [s.rate(e) for e in range(9)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+
+class TestClip:
+    def test_norm_reduced(self):
+        p = Parameter(np.zeros(4))
+        p.grad[:] = [3.0, 4.0, 0.0, 0.0]
+        pre = clip_gradients([p], max_norm=1.0)
+        assert pre == pytest.approx(5.0)
+        assert math.sqrt(float((p.grad**2).sum())) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self):
+        p = Parameter(np.zeros(2))
+        p.grad[:] = [0.1, 0.1]
+        clip_gradients([p], max_norm=10.0)
+        assert np.allclose(p.grad, [0.1, 0.1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_gradients([], max_norm=0.0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        es = EarlyStopping(patience=2)
+        assert not es.update(0.5)
+        assert not es.update(0.4)   # stale 1
+        assert es.update(0.4)        # stale 2 -> stop
+
+    def test_improvement_resets(self):
+        es = EarlyStopping(patience=2)
+        es.update(0.5)
+        es.update(0.4)
+        assert not es.update(0.6)   # improvement
+        assert not es.update(0.5)
+        assert es.update(0.5)
+
+    def test_min_delta(self):
+        es = EarlyStopping(patience=1, min_delta=0.1)
+        es.update(0.5)
+        assert es.update(0.55)  # below min_delta -> counts as stale
+
+
+class TestTrainer:
+    def test_learns_with_cosine_schedule(self, rng):
+        x, y = blobs(rng=rng)
+        trainer = Trainer(small_model(rng), schedule=CosineLR(0.2, total=8))
+        hist = trainer.fit(x, y, epochs=8, batch_size=16,
+                           rng=np.random.default_rng(1))
+        assert hist.train_accuracy[-1] > 0.95
+
+    def test_early_stopping_cuts_epochs(self, rng):
+        x, y = blobs(rng=rng)
+        trainer = Trainer(small_model(rng), schedule=ConstantLR(0.2),
+                          early_stopping=EarlyStopping(patience=2))
+        hist = trainer.fit(x[:120], y[:120], epochs=50, batch_size=16,
+                           x_test=x[120:], y_test=y[120:],
+                           rng=np.random.default_rng(1))
+        assert hist.epochs < 50
+
+    def test_grad_clip_path_trains(self, rng):
+        x, y = blobs(rng=rng)
+        trainer = Trainer(small_model(rng), schedule=ConstantLR(0.2),
+                          grad_clip=1.0)
+        hist = trainer.fit(x, y, epochs=6, batch_size=16,
+                           rng=np.random.default_rng(1))
+        assert hist.train_accuracy[-1] > 0.9
+
+    def test_epoch_callback_invoked(self, rng):
+        x, y = blobs(rng=rng)
+        seen = []
+        trainer = Trainer(small_model(rng),
+                          epoch_callback=lambda e, h: seen.append(e))
+        trainer.fit(x, y, epochs=3, batch_size=32,
+                    rng=np.random.default_rng(1))
+        assert seen == [0, 1, 2]
+
+    def test_schedule_drives_optimizer_lr(self, rng):
+        x, y = blobs(rng=rng)
+        rates = []
+        trainer = Trainer(small_model(rng), schedule=StepLR(0.4, step=1,
+                                                            gamma=0.5))
+        trainer.epoch_callback = lambda e, h: rates.append(trainer.optimizer.lr)
+        trainer.fit(x, y, epochs=3, batch_size=32,
+                    rng=np.random.default_rng(1))
+        assert rates == [0.4, 0.2, 0.1]
+
+    def test_validation(self, rng):
+        x, y = blobs(rng=rng)
+        trainer = Trainer(small_model(rng))
+        with pytest.raises(ValueError):
+            trainer.fit(x, y, epochs=0, batch_size=8)
+        with pytest.raises(ValueError):
+            trainer.fit(x, y[:-1], epochs=1, batch_size=8)
+
+
+class TestSerialization:
+    def test_roundtrip_restores_exact_weights(self, rng, tmp_path):
+        model = small_model(rng)
+        path = save_weights(model, tmp_path / "ckpt.npz")
+        clone = small_model(np.random.default_rng(99))  # different init
+        load_weights(clone, path)
+        x = rng.random((5, 4)).astype(np.float32)
+        assert np.array_equal(model.forward(x, training=False),
+                              clone.forward(x, training=False))
+
+    def test_signature_detects_architecture_change(self, rng, tmp_path):
+        model = small_model(rng)
+        path = save_weights(model, tmp_path / "ckpt.npz")
+        other = Sequential([Dense(4, 16, rng=rng), ReLU(), Dense(16, 2, rng=rng)])
+        with pytest.raises(ValueError, match="architecture mismatch"):
+            load_weights(other, path)
+
+    def test_non_strict_still_checks_shapes(self, rng, tmp_path):
+        model = small_model(rng)
+        path = save_weights(model, tmp_path / "ckpt.npz")
+        other = Sequential([Dense(4, 16, rng=rng), ReLU(), Dense(16, 2, rng=rng)])
+        with pytest.raises(ValueError, match="shape"):
+            load_weights(other, path, strict=False)
+
+    def test_signature_format(self, rng):
+        sig = model_signature(small_model(rng))
+        assert "Dense" in sig and "ReLU" in sig
+        assert "(4, 8)" in sig
+
+    def test_checkpointing_via_trainer_callback(self, rng, tmp_path):
+        x, y = blobs(rng=rng)
+        model = small_model(rng)
+        trainer = Trainer(model, epoch_callback=lambda e, h: save_weights(
+            model, tmp_path / f"epoch{e}.npz"))
+        trainer.fit(x, y, epochs=2, batch_size=32,
+                    rng=np.random.default_rng(1))
+        assert (tmp_path / "epoch0.npz").exists()
+        assert (tmp_path / "epoch1.npz").exists()

@@ -1,0 +1,159 @@
+"""Tests for the algebraic transforms — every output is re-verified."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algorithms.bini import bini322_algorithm
+from repro.algorithms.classical import classical_algorithm
+from repro.algorithms.strassen import strassen_algorithm
+from repro.algorithms.transforms import (
+    permute,
+    rotate,
+    stack_m,
+    substitute_lambda,
+    tensor_product,
+    transpose_dual,
+)
+from repro.algorithms.verify import verify_algorithm
+
+
+class TestRotateAndDual:
+    def test_rotate_dims(self):
+        alg = rotate(bini322_algorithm())
+        assert alg.dims == (2, 2, 3)
+        assert alg.rank == 10
+
+    def test_rotate_verifies(self):
+        assert verify_algorithm(rotate(bini322_algorithm())).valid
+
+    def test_rotate_thrice_is_identity_dims(self):
+        alg = bini322_algorithm()
+        r3 = rotate(rotate(rotate(alg)))
+        assert r3.dims == alg.dims
+        assert verify_algorithm(r3).valid
+
+    def test_transpose_dual_dims(self):
+        alg = transpose_dual(bini322_algorithm())
+        assert alg.dims == (2, 2, 3)
+        assert verify_algorithm(alg).valid
+
+    def test_transpose_dual_involution(self):
+        alg = bini322_algorithm()
+        tt = transpose_dual(transpose_dual(alg))
+        assert tt.dims == alg.dims
+        assert verify_algorithm(tt).valid
+
+
+class TestPermute:
+    @pytest.mark.parametrize("perm", list(itertools.permutations((0, 1, 2))))
+    def test_all_six_orderings(self, perm):
+        alg = bini322_algorithm()
+        out = permute(alg, perm)
+        assert out.dims == tuple(alg.dims[p] for p in perm)
+        assert out.rank == alg.rank
+        report = verify_algorithm(out)
+        assert report.valid
+        assert report.sigma == 1  # APA order preserved
+
+    def test_phi_preserved(self):
+        alg = bini322_algorithm()
+        for perm in itertools.permutations((0, 1, 2)):
+            assert permute(alg, perm).phi == alg.phi
+
+    def test_invalid_perm(self):
+        with pytest.raises(ValueError):
+            permute(bini322_algorithm(), (0, 0, 1))
+
+
+class TestTensorProduct:
+    def test_strassen_squared(self):
+        alg = tensor_product(strassen_algorithm(), strassen_algorithm())
+        assert alg.dims == (4, 4, 4)
+        assert alg.rank == 49
+        report = verify_algorithm(alg)
+        assert report.valid and report.is_exact
+
+    def test_rectangular_padding_product(self):
+        alg = tensor_product(classical_algorithm(2, 1, 1), strassen_algorithm())
+        assert alg.dims == (4, 2, 2)
+        assert alg.rank == 14
+        assert verify_algorithm(alg).is_exact
+
+    def test_apa_times_exact(self):
+        alg = tensor_product(bini322_algorithm(), strassen_algorithm())
+        assert alg.dims == (6, 4, 4)
+        assert alg.rank == 70
+        report = verify_algorithm(alg)
+        assert report.valid and report.sigma == 1
+        assert alg.phi == 1  # exact factor adds no negative powers
+
+    def test_apa_times_apa_auto_grading(self):
+        """'auto' keeps the ungraded product when it verifies — here it
+        does, with phi = phi1 + phi2 = 2 (the conservative regrade would
+        inflate phi to 4 and the error floor by an order of magnitude)."""
+        alg = tensor_product(bini322_algorithm(), bini322_algorithm())
+        assert alg.dims == (9, 4, 4)
+        assert alg.rank == 100
+        report = verify_algorithm(alg)
+        assert report.valid and report.sigma >= 1
+        assert alg.phi == 2
+
+    def test_apa_times_apa_forced_regrade(self):
+        alg = tensor_product(bini322_algorithm(), bini322_algorithm(),
+                             regrade=True)
+        report = verify_algorithm(alg)
+        assert report.valid and report.sigma >= 1
+        assert alg.phi == 4
+
+    def test_speedup_multiplies(self):
+        s2 = tensor_product(strassen_algorithm(), strassen_algorithm())
+        assert s2.classical_rank / s2.rank == pytest.approx((8 / 7) ** 2)
+
+
+class TestStackM:
+    def test_bini_plus_strassen(self):
+        alg = stack_m(bini322_algorithm(), strassen_algorithm())
+        assert alg.dims == (5, 2, 2)
+        assert alg.rank == 17
+        report = verify_algorithm(alg)
+        assert report.valid and report.sigma == 1
+
+    def test_exact_plus_exact_is_exact(self):
+        alg = stack_m(strassen_algorithm(), strassen_algorithm())
+        assert alg.dims == (4, 2, 2)
+        assert verify_algorithm(alg).is_exact
+
+    def test_mismatched_nk_rejected(self):
+        with pytest.raises(ValueError):
+            stack_m(bini322_algorithm(), classical_algorithm(2, 3, 2))
+
+
+class TestSubstituteLambda:
+    def test_sigma_and_phi_scale(self):
+        alg = substitute_lambda(bini322_algorithm(), 3)
+        report = verify_algorithm(alg)
+        assert report.valid
+        assert report.sigma == 3
+        assert alg.phi == 3
+
+    def test_identity_power(self):
+        alg = substitute_lambda(bini322_algorithm(), 1)
+        assert verify_algorithm(alg).sigma == 1
+
+
+class TestComposedPipelines:
+    def test_rotate_then_tensor(self):
+        """Transforms compose: a rotated Bini tensored with Strassen."""
+        alg = tensor_product(rotate(bini322_algorithm()), strassen_algorithm())
+        assert alg.dims == (4, 4, 6)
+        assert verify_algorithm(alg).valid
+
+    def test_stack_of_permuted(self):
+        b = bini322_algorithm()
+        alg = stack_m(b, permute(b, (0, 1, 2)))
+        assert alg.dims == (6, 2, 2)
+        assert alg.rank == 20
+        assert verify_algorithm(alg).valid

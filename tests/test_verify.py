@@ -1,0 +1,122 @@
+"""Tests for symbolic verification — the proofs behind the catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.bini import bini322_algorithm
+from repro.algorithms.classical import classical_algorithm
+from repro.algorithms.dsl import L, Li, rule_to_algorithm
+from repro.algorithms.spec import coeff_matrix, BilinearAlgorithm
+from repro.algorithms.strassen import strassen_algorithm, strassen_winograd_algorithm
+from repro.algorithms.verify import assert_valid, verify_algorithm
+from repro.linalg.tensor import a_index, b_index
+
+
+class TestExactAlgorithms:
+    @pytest.mark.parametrize("builder", [
+        lambda: classical_algorithm(2, 2, 2),
+        lambda: classical_algorithm(3, 2, 4),
+        lambda: classical_algorithm(1, 1, 1),
+        strassen_algorithm,
+        strassen_winograd_algorithm,
+    ])
+    def test_verify_exact(self, builder):
+        report = verify_algorithm(builder())
+        assert report.valid
+        assert report.is_exact
+        assert report.sigma == 0
+        assert report.error_leading is None
+
+    def test_report_backfills_algorithm_cache(self):
+        alg = strassen_algorithm()
+        verify_algorithm(alg)
+        assert alg._sigma == 0 and alg._exact is True
+
+
+class TestBini:
+    def test_bini_is_valid_apa(self):
+        report = verify_algorithm(bini322_algorithm())
+        assert report.valid and not report.is_exact
+        assert report.sigma == 1
+
+    def test_bini_error_entry_matches_paper(self):
+        """Paper: C11_hat = A11 B11 + A12 B21 - lam A12 B11, i.e. the
+        leading error at C11 involves the (A12, B11) slot."""
+        alg = bini322_algorithm()
+        report = verify_algorithm(alg)
+        E = report.error_leading
+        p = a_index(0, 1, 3, 2)  # A12
+        s = b_index(0, 0, 2, 2)  # B11
+        assert E[p, s, 0] == -1  # contributes -lam*A12*B11 to C11
+
+    def test_paper_transcription_of_m10_fails(self):
+        """The OCR'd rule (M10 with B-part 'B12 - lam B22') must NOT verify
+        — regression-pins the correction documented in DESIGN.md."""
+        alg = bini322_algorithm()
+        U = alg.U.copy()
+        V = alg.V.copy()
+        # overwrite M10's B combination with the paper text's (wrong) one
+        for row in range(4):
+            V[row, 9] = V[row, 8]  # copy M9's B-part: B12 - lam B22
+        broken = BilinearAlgorithm("bini_ocr", 3, 2, 2, U=U, V=V, W=alg.W.copy())
+        report = verify_algorithm(broken)
+        assert not report.valid
+
+
+class TestInvalidAlgebra:
+    def test_wrong_constant_term_detected(self):
+        # classical 1x1x1 with coefficient 2: computes 2*A*B
+        U = coeff_matrix(1, 1, {(0, 0): 2})
+        V = coeff_matrix(1, 1, {(0, 0): 1})
+        W = coeff_matrix(1, 1, {(0, 0): 1})
+        alg = BilinearAlgorithm("double", 1, 1, 1, U=U, V=V, W=W)
+        report = verify_algorithm(alg)
+        assert not report.valid
+        assert any("lambda**0" in msg for msg in report.failures)
+
+    def test_uncancelled_negative_power_detected(self):
+        U = coeff_matrix(1, 1, {(0, 0): Li})
+        V = coeff_matrix(1, 1, {(0, 0): 1})
+        W = coeff_matrix(1, 1, {(0, 0): 1})
+        alg = BilinearAlgorithm("singular", 1, 1, 1, U=U, V=V, W=W)
+        report = verify_algorithm(alg)
+        assert not report.valid
+        assert any("uncancelled" in msg for msg in report.failures)
+
+    def test_assert_valid_raises(self):
+        U = coeff_matrix(1, 1, {(0, 0): 2})
+        V = coeff_matrix(1, 1, {(0, 0): 1})
+        W = coeff_matrix(1, 1, {(0, 0): 1})
+        alg = BilinearAlgorithm("double", 1, 1, 1, U=U, V=V, W=W)
+        with pytest.raises(ValueError, match="failed verification"):
+            assert_valid(alg)
+
+    def test_assert_valid_passes(self):
+        report = assert_valid(strassen_algorithm())
+        assert report.is_exact
+
+
+class TestHandWrittenApa:
+    def test_toy_apa_rank2_for_111_with_higher_sigma(self):
+        """A synthetic rule computing A*B + lam**2 * A*B (sigma=2)."""
+        a = [{(0, 0): 1}, {(0, 0): L}]
+        b = [{(0, 0): 1}, {(0, 0): L}]
+        c = {(0, 0): {0: 1, 1: 1}}
+        alg = rule_to_algorithm("toy", 1, 1, 1, a, b, c)
+        report = verify_algorithm(alg)
+        assert report.valid and report.sigma == 2
+
+    def test_summary_strings(self):
+        assert "EXACT" in verify_algorithm(strassen_algorithm()).summary()
+        assert "sigma=1" in verify_algorithm(bini322_algorithm()).summary()
+
+
+class TestCatalogWideVerification:
+    def test_every_real_algorithm_verifies(self, real_algorithm):
+        """The headline guarantee: every fully-coefficiented algorithm in
+        the catalog is symbolically proven correct."""
+        report = verify_algorithm(real_algorithm)
+        assert report.valid, (
+            f"{real_algorithm.name} failed: {report.summary()}"
+        )
