@@ -13,7 +13,41 @@ from dataclasses import dataclass
 
 from repro.bench.tables import format_table
 
-__all__ = ["AlgorithmReport", "analyze_algorithm", "catalog_report"]
+__all__ = [
+    "AlgorithmReport",
+    "analyze_algorithm",
+    "catalog_report",
+    "predicted_error_bound",
+]
+
+
+def predicted_error_bound(
+    algorithm=None,
+    d: int = 23,
+    steps: int = 1,
+    inner_dim: int = 1,
+) -> float:
+    """Predicted relative error of one product — the guard's yardstick.
+
+    For an APA/exact algorithm this is its analytic floor
+    :meth:`~repro.algorithms.spec.Algorithm.error_bound`, never below the
+    classical forward-error growth ``inner_dim * 2**-d`` that any gemm
+    over ``inner_dim``-long dot products accrues.  With no algorithm
+    (classical gemm) only the growth term remains.  Runtime health checks
+    compare a measured residual against a small multiple of this value.
+    """
+    if d <= 0:
+        raise ValueError("precision bits d must be positive")
+    if inner_dim < 1:
+        raise ValueError("inner_dim must be >= 1")
+    classical = inner_dim * 2.0**-d
+    if algorithm is None:
+        return classical
+    if isinstance(algorithm, str):
+        from repro.algorithms.catalog import get_algorithm
+
+        algorithm = get_algorithm(algorithm)
+    return max(algorithm.error_bound(d=d, steps=steps), classical)
 
 
 @dataclass(frozen=True)

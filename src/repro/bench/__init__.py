@@ -3,10 +3,13 @@
 from repro.bench.timing import measure, MeasuredTime
 from repro.bench.metrics import effective_gflops, relative_frobenius_error
 from repro.bench.tables import format_table, to_csv
+from repro.bench.guard_overhead import GuardOverhead, measure_guard_overhead
 
 __all__ = [
     "measure",
     "MeasuredTime",
+    "GuardOverhead",
+    "measure_guard_overhead",
     "effective_gflops",
     "relative_frobenius_error",
     "format_table",

@@ -10,6 +10,8 @@ Commands
 ``fig N``         — regenerate a figure (1-7)
 ``matmul``        — run one APA product and report the error
 ``save/load``     — algorithm file round-trip
+``guard-study``   — guarded-vs-unguarded mid-training fault recovery
+``guard-overhead``— wall-clock cost of the guarded backend's checks
 """
 
 from __future__ import annotations
@@ -55,6 +57,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=1)
     p.add_argument("--dtype", choices=["float32", "float64"],
                    default="float32")
+    p.add_argument("--guarded", action="store_true",
+                   help="run through GuardedBackend (health checks + "
+                        "escalation) and report guard events")
+
+    p = sub.add_parser("guard-study",
+                       help="guarded-vs-unguarded fault recovery study")
+    p.add_argument("--epochs", type=int, default=6)
+    p.add_argument("--fault-epoch", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("guard-overhead",
+                       help="wall-clock overhead of the guarded backend")
+    p.add_argument("name", nargs="?", default="bini322")
+    p.add_argument("--n", type=int, default=1024)
+    p.add_argument("--repeats", type=int, default=3)
 
     p = sub.add_parser("save", help="write an algorithm file")
     p.add_argument("name")
@@ -118,7 +135,7 @@ def _cmd_fig(number: int, threads: int, out) -> int:
 
 def _cmd_matmul(args, out) -> int:
     from repro.algorithms.catalog import get_algorithm
-    from repro.core.apa_matmul import apa_matmul
+    from repro.core.backend import make_backend
     from repro.core.lam import optimal_lambda, precision_bits
 
     alg = get_algorithm(args.name)
@@ -126,7 +143,8 @@ def _cmd_matmul(args, out) -> int:
     rng = np.random.default_rng(0)
     A = rng.random((args.n, args.n)).astype(dtype)
     B = rng.random((args.n, args.n)).astype(dtype)
-    C = apa_matmul(A, B, alg, steps=args.steps)
+    backend = make_backend(args.name, steps=args.steps, guarded=args.guarded)
+    C = backend.matmul(A, B)
     ref = A.astype(np.float64) @ B.astype(np.float64)
     err = float(np.linalg.norm(C - ref) / np.linalg.norm(ref))
     d = precision_bits(dtype)
@@ -135,6 +153,32 @@ def _cmd_matmul(args, out) -> int:
     print(f"lambda*={optimal_lambda(alg, d=d, steps=args.steps):.2e} "
           f"rel_error={err:.2e} bound={alg.error_bound(d=d, steps=args.steps):.2e}",
           file=out)
+    if args.guarded:
+        print(f"guard: {backend.calls} call(s), {backend.violations} "
+              f"violation(s), {backend.fallback_calls} fallback(s)", file=out)
+        for event in backend.log:
+            print(f"  {event}", file=out)
+    return 0
+
+
+def _cmd_guard_study(args, out) -> int:
+    from repro.experiments.robustness import (
+        format_guarded_recovery_study,
+        run_guarded_recovery_study,
+    )
+
+    result = run_guarded_recovery_study(
+        fault_epoch=args.fault_epoch, epochs=args.epochs, seed=args.seed)
+    print(format_guarded_recovery_study(result), file=out)
+    return 0
+
+
+def _cmd_guard_overhead(args, out) -> int:
+    from repro.bench.guard_overhead import measure_guard_overhead
+
+    result = measure_guard_overhead(args.name, n=args.n,
+                                    repeats=args.repeats)
+    print(result.describe(), file=out)
     return 0
 
 
@@ -167,6 +211,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_fig(args.number, args.threads, out)
     if args.command == "matmul":
         return _cmd_matmul(args, out)
+    if args.command == "guard-study":
+        return _cmd_guard_study(args, out)
+    if args.command == "guard-overhead":
+        return _cmd_guard_overhead(args, out)
     if args.command == "save":
         from repro.algorithms.catalog import get_algorithm
         from repro.algorithms.io import save_algorithm

@@ -122,6 +122,8 @@ def apa_matmul(
         raise ValueError(f"inner dims mismatch: {A.shape} @ {B.shape}")
     if steps < 1:
         raise ValueError("steps must be >= 1")
+    if lam is not None and (not np.isfinite(lam) or lam <= 0):
+        raise ValueError(f"lam must be finite and > 0, got {lam!r}")
 
     if algorithm.is_surrogate:
         from repro.core.surrogate import surrogate_matmul
@@ -209,6 +211,8 @@ def apa_matmul_nonstationary(
     """
     if not algorithms:
         raise ValueError("need at least one algorithm")
+    if lam is not None and (not np.isfinite(lam) or lam <= 0):
+        raise ValueError(f"lam must be finite and > 0, got {lam!r}")
     for alg in algorithms:
         if alg.is_surrogate:
             raise ValueError(

@@ -84,12 +84,18 @@ class APABackend:
         default 0 never falls back, which is what the paper's NN setup
         does: the *network builder* decides which layers get the APA
         operator.
+    gemm:
+        Base-case multiply handed to :func:`apa_matmul`; ``None`` uses
+        ``np.matmul``.  The fault injectors in
+        :mod:`repro.robustness.inject` hook this seam to poison
+        individual sub-products.
     """
 
     algorithm: object
     lam: float | None = None
     steps: int = 1
     min_dim: int = 0
+    gemm: object = None
     name: str = ""
     stats: _CallStats = field(default_factory=_CallStats)
     fallback_calls: int = 0
@@ -101,13 +107,18 @@ class APABackend:
             raise ValueError("steps must be >= 1")
         if self.min_dim < 0:
             raise ValueError("min_dim must be >= 0")
+        if self.lam is not None and (
+            not np.isfinite(self.lam) or self.lam <= 0
+        ):
+            raise ValueError(f"lam must be finite and > 0, got {self.lam!r}")
 
     def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         self.stats.record(A, B)
         if self.min_dim and min(A.shape[0], A.shape[1], B.shape[1]) < self.min_dim:
             self.fallback_calls += 1
             return A @ B
-        return apa_matmul(A, B, self.algorithm, lam=self.lam, steps=self.steps)
+        return apa_matmul(A, B, self.algorithm, lam=self.lam,
+                          steps=self.steps, gemm=self.gemm)
 
 
 def make_backend(
@@ -115,15 +126,38 @@ def make_backend(
     lam: float | None = None,
     steps: int = 1,
     min_dim: int = 0,
+    guarded: bool = False,
+    policy=None,
 ) -> MatmulBackend:
-    """Convenience factory: ``None``/'classical' → gemm, else catalog name."""
-    if algorithm_name is None or algorithm_name.startswith("classical"):
-        return ClassicalBackend()
-    from repro.algorithms.catalog import get_algorithm
+    """Convenience factory: ``None``/``'classical'`` → gemm, else catalog name.
 
-    return APABackend(
-        algorithm=get_algorithm(algorithm_name),
-        lam=lam,
-        steps=steps,
-        min_dim=min_dim,
-    )
+    The classical name must match exactly — near-misses like
+    ``'classical_v2'`` raise ``KeyError`` with the known names instead of
+    silently handing back the baseline.  ``guarded=True`` wraps the result
+    in a :class:`~repro.robustness.guard.GuardedBackend` running the
+    per-call health checks and escalation ``policy`` (an
+    :class:`~repro.robustness.policy.EscalationPolicy`, defaulted).
+    """
+    if algorithm_name is None or algorithm_name == "classical":
+        backend: MatmulBackend = ClassicalBackend()
+    else:
+        from repro.algorithms.catalog import get_algorithm, list_algorithms
+
+        try:
+            algorithm = get_algorithm(algorithm_name)
+        except KeyError:
+            raise KeyError(
+                f"unknown backend {algorithm_name!r}; known names: "
+                f"classical, {', '.join(list_algorithms('all'))}"
+            ) from None
+        backend = APABackend(
+            algorithm=algorithm,
+            lam=lam,
+            steps=steps,
+            min_dim=min_dim,
+        )
+    if guarded:
+        from repro.robustness.guard import GuardedBackend
+
+        return GuardedBackend(backend, policy=policy)
+    return backend

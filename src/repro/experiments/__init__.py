@@ -33,6 +33,8 @@ from repro.experiments.robustness import (
     run_error_tolerance_study,
     format_error_tolerance_study,
     run_bad_lambda_study,
+    run_guarded_recovery_study,
+    format_guarded_recovery_study,
 )
 from repro.experiments.hardware import (
     run_hardware_sensitivity,
@@ -57,5 +59,6 @@ __all__ = [
     "run_roofline_study", "format_roofline_study",
     "run_error_tolerance_study", "format_error_tolerance_study",
     "run_bad_lambda_study",
+    "run_guarded_recovery_study", "format_guarded_recovery_study",
     "run_hardware_sensitivity", "format_hardware_sensitivity",
 ]

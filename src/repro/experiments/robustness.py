@@ -13,7 +13,14 @@ answered here by failure injection:
   the paper's conclusion;
 - :func:`run_bad_lambda_study` injects mis-tuned lambda instead: it
   degrades the same way, confirming the mechanism (error magnitude, not
-  lambda per se) is what matters.
+  lambda per se) is what matters;
+- :func:`run_guarded_recovery_study` closes the loop: with a seeded
+  fault poisoning the hidden-layer products mid-training, an unguarded
+  run collapses to chance while a
+  :class:`~repro.robustness.divergence.DivergenceGuard`-equipped run
+  rolls back, downgrades the backend, and finishes within noise of the
+  un-faulted baseline — the runtime *reacting* to the cliff this module
+  otherwise only measures.
 """
 
 from __future__ import annotations
@@ -33,6 +40,9 @@ __all__ = [
     "run_error_tolerance_study",
     "format_error_tolerance_study",
     "run_bad_lambda_study",
+    "RecoveryResult",
+    "run_guarded_recovery_study",
+    "format_guarded_recovery_study",
 ]
 
 
@@ -130,3 +140,101 @@ def run_bad_lambda_study(
         effective = alg.empirical_error_scale(d=23) * scale**alg.sigma
         points.append(TolerancePoint(effective, acc, classical))
     return points
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of the guarded-vs-unguarded mid-training fault study."""
+
+    clean_accuracy: float
+    guarded_accuracy: float
+    unguarded_accuracy: float
+    rollbacks: int
+    guard_events: tuple[str, ...]
+
+    @property
+    def guarded_gap(self) -> float:
+        return self.clean_accuracy - self.guarded_accuracy
+
+    @property
+    def unguarded_gap(self) -> float:
+        return self.clean_accuracy - self.unguarded_accuracy
+
+
+def run_guarded_recovery_study(
+    fault_epoch: int = 1,
+    epochs: int = 6,
+    n_train: int = 900,
+    n_test: int = 300,
+    batch_size: int = 100,
+    lr: float = 0.2,
+    seed: int = 0,
+    max_rollbacks: int = 2,
+) -> RecoveryResult:
+    """Inject a mid-training divergence; compare guarded vs unguarded.
+
+    From epoch ``fault_epoch + 1`` on, every hidden-layer product is
+    NaN-poisoned (a persistent, seeded fault).  The unguarded run's
+    parameters go non-finite and accuracy collapses to chance; the
+    guarded run detects the diverged epoch, restores the checkpoint of
+    epoch ``fault_epoch``, swaps the poisoned backend for classical
+    gemm, and resumes.  Deterministic end to end given ``seed``.
+    """
+    from repro.nn.train import ConstantLR, Trainer
+    from repro.robustness.divergence import DivergenceGuard
+    from repro.robustness.inject import FaultSpec, FaultyBackend
+
+    (x, y), (xt, yt) = load_synth_mnist(n_train=n_train, n_test=n_test,
+                                        seed=seed)
+
+    def run(faulted: bool, guarded: bool):
+        backend = make_backend(None)
+        if faulted:
+            backend = FaultyBackend(
+                make_backend(None),
+                FaultSpec(kind="nan", probability=1.0, seed=seed),
+            )
+            backend.active = False
+
+        model = build_accuracy_mlp(hidden_backend=backend,
+                                   rng=np.random.default_rng(seed + 1))
+
+        def arm(epoch, history):
+            if faulted and epoch == fault_epoch:
+                backend.active = True
+
+        guard = DivergenceGuard(max_rollbacks=max_rollbacks) if guarded else None
+        trainer = Trainer(model, schedule=ConstantLR(lr), epoch_callback=arm,
+                          divergence_guard=guard)
+        hist = trainer.fit(x, y, epochs=epochs, batch_size=batch_size,
+                           x_test=xt, y_test=yt,
+                           rng=np.random.default_rng(seed + 2))
+        return hist.test_accuracy[-1], guard
+
+    clean, _ = run(faulted=False, guarded=False)
+    guarded_acc, guard = run(faulted=True, guarded=True)
+    unguarded_acc, _ = run(faulted=True, guarded=False)
+    return RecoveryResult(
+        clean_accuracy=clean,
+        guarded_accuracy=guarded_acc,
+        unguarded_accuracy=unguarded_acc,
+        rollbacks=guard.rollbacks,
+        guard_events=tuple(e.kind for e in guard.log),
+    )
+
+
+def format_guarded_recovery_study(result: RecoveryResult) -> str:
+    rows = [
+        ["clean (no fault)", f"{result.clean_accuracy:.4f}", "-"],
+        ["guarded + fault", f"{result.guarded_accuracy:.4f}",
+         f"{result.guarded_gap:+.4f}"],
+        ["unguarded + fault", f"{result.unguarded_accuracy:.4f}",
+         f"{result.unguarded_gap:+.4f}"],
+    ]
+    table = format_table(
+        ["run", "final accuracy", "gap vs clean"],
+        rows,
+        title="Mid-training fault: guarded rollback vs unguarded collapse",
+    )
+    events = ", ".join(result.guard_events) or "none"
+    return f"{table}\nguard events: {events} ({result.rollbacks} rollback(s))"

@@ -26,6 +26,7 @@ __all__ = [
     "CosineLR",
     "EarlyStopping",
     "Trainer",
+    "TrainerCheckpoint",
     "clip_gradients",
 ]
 
@@ -106,6 +107,29 @@ class EarlyStopping:
         return self._stale >= self.patience
 
 
+@dataclass(frozen=True)
+class TrainerCheckpoint:
+    """In-memory snapshot of a :class:`Trainer`'s mutable training state.
+
+    Holds deep copies of every model parameter and the optimizer's slot
+    state (momentum velocities, Adam moments/step count), so restoring
+    resumes the run exactly as it was — the restore path the
+    :class:`~repro.robustness.divergence.DivergenceGuard` rollback and
+    checkpointing users both need.
+    """
+
+    epoch: int
+    params: tuple[np.ndarray, ...]
+    opt_arrays: dict[str, tuple[np.ndarray, ...]]
+    opt_scalars: dict[str, float | int]
+
+
+# Optimizer slot state captured by Trainer.checkpoint: per-parameter
+# array lists and plain counters (Momentum._velocity, Adam._m/_v/_t).
+_OPT_ARRAY_SLOTS = ("_velocity", "_m", "_v")
+_OPT_SCALAR_SLOTS = ("_t",)
+
+
 def clip_gradients(params, max_norm: float) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
@@ -138,6 +162,13 @@ class Trainer:
     epoch_callback:
         Optional ``fn(epoch_index, history)`` invoked after each epoch
         (checkpointing hook).
+    divergence_guard:
+        Optional :class:`~repro.robustness.divergence.DivergenceGuard`.
+        When set, every epoch's mean loss and parameters are health
+        checked; a diverged epoch is rolled back to the last healthy
+        checkpoint, the model's matmul backends are downgraded one
+        escalation rung, and the epoch reruns (bounded — the guard aborts
+        cleanly once its rollback budget is spent).
     """
 
     def __init__(
@@ -149,6 +180,7 @@ class Trainer:
         early_stopping: EarlyStopping | None = None,
         grad_clip: float | None = None,
         epoch_callback: Callable[[int, History], None] | None = None,
+        divergence_guard=None,
     ) -> None:
         self.model = model
         self.schedule = schedule or ConstantLR(0.1)
@@ -158,6 +190,56 @@ class Trainer:
         self.early_stopping = early_stopping
         self.grad_clip = grad_clip
         self.epoch_callback = epoch_callback
+        self.divergence_guard = divergence_guard
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, epoch: int = -1) -> TrainerCheckpoint:
+        """Snapshot parameters + optimizer slot state (deep copies)."""
+        opt_arrays = {
+            slot: tuple(np.copy(a) for a in getattr(self.optimizer, slot))
+            for slot in _OPT_ARRAY_SLOTS if hasattr(self.optimizer, slot)
+        }
+        opt_scalars = {
+            slot: getattr(self.optimizer, slot)
+            for slot in _OPT_SCALAR_SLOTS if hasattr(self.optimizer, slot)
+        }
+        return TrainerCheckpoint(
+            epoch=epoch,
+            params=tuple(np.copy(p.value) for p in self.model.parameters()),
+            opt_arrays=opt_arrays,
+            opt_scalars=opt_scalars,
+        )
+
+    def restore(self, checkpoint: TrainerCheckpoint) -> None:
+        """Restore a :meth:`checkpoint` snapshot in place.
+
+        Parameter values, gradients (zeroed), and optimizer slot state
+        all revert; the model's backends are left untouched — they are
+        runtime policy, managed by the caller (or the divergence guard).
+        """
+        params = self.model.parameters()
+        if len(params) != len(checkpoint.params):
+            raise ValueError(
+                f"checkpoint has {len(checkpoint.params)} parameters, "
+                f"model has {len(params)}"
+            )
+        for p, saved in zip(params, checkpoint.params):
+            if p.value.shape != saved.shape:
+                raise ValueError(
+                    f"parameter shape {p.value.shape} does not match "
+                    f"checkpoint shape {saved.shape}"
+                )
+            p.value[...] = saved
+            p.zero_grad()
+        for slot, arrays in checkpoint.opt_arrays.items():
+            live = getattr(self.optimizer, slot)
+            for buf, saved in zip(live, arrays):
+                buf[...] = saved
+        for slot, value in checkpoint.opt_scalars.items():
+            setattr(self.optimizer, slot, value)
 
     def fit(
         self,
@@ -177,9 +259,19 @@ class Trainer:
         history = History()
         n = x_train.shape[0]
 
-        for epoch in range(epochs):
+        if self.divergence_guard is not None:
+            self.divergence_guard.on_train_begin(self)
+
+        epoch = 0
+        retry_order = None
+        while epoch < epochs:
             self.optimizer.lr = self.schedule.rate(epoch)
-            order = rng.permutation(n)
+            # A rolled-back epoch reruns with the same permutation it
+            # failed with, keeping the rng stream — and therefore the
+            # whole post-recovery trajectory — aligned with a run that
+            # never faulted.
+            order = retry_order if retry_order is not None else rng.permutation(n)
+            retry_order = None
             total_loss, correct, batches = 0.0, 0, 0
             for start in range(0, n, batch_size):
                 idx = order[start : start + batch_size]
@@ -193,7 +285,15 @@ class Trainer:
                 self.optimizer.step()
                 correct += int((np.argmax(logits, axis=1) == yb).sum())
                 batches += 1
-            history.train_loss.append(total_loss / batches)
+            mean_loss = total_loss / batches
+            if self.divergence_guard is not None:
+                verdict = self.divergence_guard.check(self, epoch, mean_loss)
+                if verdict == "rollback":
+                    retry_order = order
+                    continue  # state recovered — rerun this epoch
+                if verdict == "abort":
+                    break
+            history.train_loss.append(mean_loss)
             history.train_accuracy.append(correct / n)
             history.epoch_seconds.append(0.0)
             if x_test is not None and y_test is not None:
@@ -205,4 +305,5 @@ class Trainer:
                           else -history.train_loss[-1])
                 if self.early_stopping.update(metric):
                     break
+            epoch += 1
         return history

@@ -15,20 +15,67 @@ the real thing and are exercised by the test suite.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.apa_matmul import linear_combination
 from repro.linalg.blocking import BlockPartition, split_blocks
 from repro.parallel.strategy import Schedule, build_schedule
+from repro.robustness.events import EventLog
 
-__all__ = ["threaded_apa_matmul"]
+__all__ = ["threaded_apa_matmul", "JobOutcome", "ExecutionReport"]
 
 
 def _flatten(X: np.ndarray, rows: int, cols: int) -> list[np.ndarray]:
     grid = split_blocks(X, rows, cols)
     return [grid[i][j] for i in range(rows) for j in range(cols)]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """How one scheduled sub-multiplication actually went.
+
+    ``status`` is ``'ok'`` (first try), ``'retried'`` (succeeded after
+    retry), ``'fallback'`` (all attempts failed; classical gemm computed
+    the block), or ``'timeout-fallback'`` (worker overran its deadline;
+    classical gemm computed the block in the caller thread).
+    """
+
+    mult: int
+    status: str
+    attempts: int
+    start: float
+    end: float
+    error: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionReport:
+    """Per-job outcomes + structured failure events of one threaded call.
+
+    Pass a fresh instance as ``threaded_apa_matmul(..., report=...)`` to
+    capture it; :func:`repro.parallel.tracing.render_execution_gantt`
+    renders the timeline with failures highlighted.
+    """
+
+    jobs: list[JobOutcome] = field(default_factory=list)
+    events: EventLog = field(default_factory=EventLog)
+
+    @property
+    def failed_jobs(self) -> list[JobOutcome]:
+        return [j for j in self.jobs if j.status != "ok"]
+
+
+class _WorkerNonFinite(ArithmeticError):
+    """Internal: a worker's block came back with NaN/Inf entries."""
 
 
 def threaded_apa_matmul(
@@ -41,6 +88,10 @@ def threaded_apa_matmul(
     schedule: Schedule | None = None,
     gemm=None,
     steps: int = 1,
+    retries: int = 0,
+    timeout: float | None = None,
+    check_finite: bool = False,
+    report: ExecutionReport | None = None,
 ) -> np.ndarray:
     """``steps`` recursive levels of ``algorithm``, outer level threaded.
 
@@ -50,6 +101,16 @@ def threaded_apa_matmul(
     sequentially inside each scheduled job — the paper parallelizes only
     across the top-level sub-products).  Surrogate algorithms are
     rejected — they have no coefficients to run.
+
+    Failure handling (the guarded-execution contract): a job whose gemm
+    raises is retried up to ``retries`` times and then recomputed with
+    classical gemm — only the failed sub-multiplication loses its
+    speedup, the call still returns.  ``check_finite=True`` additionally
+    treats a NaN/Inf block as a failure.  ``timeout`` (seconds, threaded
+    path only) bounds each job's wall-clock; an overrunning worker's
+    block is recomputed classically in the caller thread (the stale
+    worker result is discarded).  Every recovery action is recorded in
+    ``report`` when one is passed.
     """
     if algorithm.is_surrogate:
         raise ValueError(
@@ -97,23 +158,82 @@ def threaded_apa_matmul(
     a_blocks = _flatten(Ap, m, n)
     b_blocks = _flatten(Bp, n, k)
 
-    def run_mult(i: int) -> np.ndarray:
-        S = linear_combination(a_blocks, Un[:, i])
-        T = linear_combination(b_blocks, Vn[:, i])
-        return gemm(S, T)
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive")
+
+    def operands(i: int) -> tuple[np.ndarray, np.ndarray]:
+        return (linear_combination(a_blocks, Un[:, i]),
+                linear_combination(b_blocks, Vn[:, i]))
+
+    def record(outcome: JobOutcome) -> None:
+        if report is not None:
+            report.jobs.append(outcome)
+
+    def emit(kind: str, mult: int, detail: str, attempt: int = 0) -> None:
+        if report is not None:
+            report.events.emit(kind, f"mult {mult}", detail, attempt=attempt)
+
+    def run_mult(i: int) -> tuple[np.ndarray, str, int, str]:
+        """Returns ``(block, status, attempts, error_text)``."""
+        S, T = operands(i)
+        error_text = ""
+        for attempt in range(1, retries + 2):
+            try:
+                M = gemm(S, T)
+                if check_finite and not np.isfinite(M).all():
+                    raise _WorkerNonFinite("block contains NaN/Inf")
+            except Exception as exc:
+                kind = ("worker-nonfinite"
+                        if isinstance(exc, _WorkerNonFinite)
+                        else "worker-error")
+                error_text = f"{type(exc).__name__}: {exc}"
+                emit(kind, i, error_text, attempt=attempt)
+                if attempt <= retries:
+                    emit("retry", i, f"attempt {attempt + 1} of "
+                         f"{retries + 1}", attempt=attempt)
+                continue
+            status = "ok" if attempt == 1 else "retried"
+            return M, status, attempt, ""
+        # All attempts failed: classical gemm for this block only.
+        emit("job-fallback", i, "classical gemm recomputed the block")
+        return np.matmul(S, T), "fallback", retries + 1, error_text
+
+    def classical_rescue(i: int) -> np.ndarray:
+        S, T = operands(i)
+        return np.matmul(S, T)
 
     products: dict[int, np.ndarray] = {}
     if threads == 1:
         for i in range(r):
-            products[i] = run_mult(i)
+            t0 = time.perf_counter()
+            M, status, attempts, err = run_mult(i)
+            products[i] = M
+            record(JobOutcome(i, status, attempts, t0, time.perf_counter(),
+                              error=err))
     else:
         with ThreadPoolExecutor(max_workers=threads) as pool:
             for phase in schedule.phases:
+                t0 = time.perf_counter()
                 futures = {
                     mult: pool.submit(run_mult, mult) for mult, _ in phase.jobs
                 }
                 for mult, future in futures.items():
-                    products[mult] = future.result()
+                    try:
+                        M, status, attempts, err = future.result(
+                            timeout=timeout)
+                    except FutureTimeoutError:
+                        emit("worker-timeout", mult,
+                             f"no result within {timeout}s; classical gemm "
+                             "recomputed the block in the caller thread")
+                        M, status, attempts, err = (
+                            classical_rescue(mult), "timeout-fallback", 1,
+                            f"timeout after {timeout}s")
+                        future.cancel()
+                    products[mult] = M
+                    record(JobOutcome(mult, status, attempts, t0,
+                                      time.perf_counter(), error=err))
 
     C = np.zeros((plan.padded_rows_a, plan.padded_cols_b), dtype=dtype)
     c_blocks = _flatten(C, m, k)

@@ -22,7 +22,8 @@ from repro.machine.gemm_model import GemmModel
 from repro.machine.spec import MachineSpec, paper_machine
 from repro.parallel.strategy import build_schedule
 
-__all__ = ["JobSpan", "ScheduleTrace", "trace_schedule", "render_gantt"]
+__all__ = ["JobSpan", "ScheduleTrace", "trace_schedule", "render_gantt",
+           "render_execution_gantt"]
 
 
 @dataclass(frozen=True)
@@ -134,4 +135,48 @@ def render_gantt(trace: ScheduleTrace, width: int = 72) -> str:
             f"{span.label:<{label_w}}|{bar:<{bar_w}}| "
             f"{span.duration:8.4f}s x{span.threads}"
         )
+    return "\n".join(lines)
+
+
+_STATUS_GLYPH = {"ok": "#", "retried": "~", "fallback": "!",
+                 "timeout-fallback": "X"}
+
+
+def render_execution_gantt(report, width: int = 72) -> str:
+    """ASCII Gantt of a *real* threaded run, failures highlighted.
+
+    ``report`` is the :class:`~repro.parallel.executor.ExecutionReport`
+    filled in by ``threaded_apa_matmul(..., report=...)``.  Healthy jobs
+    draw with ``#``; retried jobs with ``~``; jobs recovered by the
+    classical fallback with ``!``; timed-out jobs with ``X``.  Recovery
+    events are appended below the chart so the timeline and the failure
+    log read together.
+    """
+    if width < 20:
+        raise ValueError("width too small to render")
+    if not report.jobs:
+        return "(no jobs recorded)"
+    origin = min(j.start for j in report.jobs)
+    total = max(j.end for j in report.jobs) - origin
+    total = total or 1e-12
+    failed = len(report.failed_jobs)
+    lines = [
+        f"execution trace: {len(report.jobs)} jobs, "
+        f"{failed} recovered" if failed else
+        f"execution trace: {len(report.jobs)} jobs, all healthy"
+    ]
+    label_w = max(len(f"M{j.mult + 1}") for j in report.jobs) + 2
+    bar_w = max(10, width - label_w - 24)
+    for job in sorted(report.jobs, key=lambda j: (j.start, j.mult)):
+        lo = int(round((job.start - origin) / total * bar_w))
+        hi = max(lo + 1, int(round((job.end - origin) / total * bar_w)))
+        glyph = _STATUS_GLYPH.get(job.status, "?")
+        bar = " " * lo + glyph * (hi - lo)
+        label = f"M{job.mult + 1}"
+        lines.append(
+            f"{label:<{label_w}}|{bar:<{bar_w}}| "
+            f"{job.duration:8.4f}s {job.status}"
+        )
+    for event in report.events:
+        lines.append(f"  {event}")
     return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Structured events emitted by the guarded-execution stack.
+
+Every guard rail in the runtime — the :class:`~repro.robustness.guard.
+GuardedBackend` health checks, the hardened executor's per-job recovery,
+and the training-loop :class:`~repro.robustness.divergence.DivergenceGuard`
+— reports what it did through the same small record type, so callers can
+log, count, or render them uniformly (the executor's events feed the
+Gantt view in :mod:`repro.parallel.tracing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RobustnessEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class RobustnessEvent:
+    """One guard-rail action.
+
+    ``kind`` is a short machine-readable tag:
+
+    - health checks: ``nonfinite``, ``residual``,
+    - escalation actions: ``retune``, ``reduce-steps``, ``fallback``,
+    - circuit breaker: ``breaker-open``, ``breaker-probe``,
+      ``breaker-close``,
+    - executor recovery: ``worker-error``, ``worker-nonfinite``,
+      ``worker-timeout``, ``retry``, ``job-fallback``,
+    - training: ``divergence``, ``rollback``, ``downgrade``.
+
+    ``where`` locates the event (backend name, ``mult 3``, ``epoch 7``)
+    and ``detail`` carries a human-readable explanation.
+    """
+
+    kind: str
+    where: str
+    detail: str = ""
+    attempt: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tail = f" (attempt {self.attempt})" if self.attempt else ""
+        return f"[{self.kind}] {self.where}: {self.detail}{tail}"
+
+
+@dataclass
+class EventLog:
+    """Append-only event sink shared by the guard components."""
+
+    events: list[RobustnessEvent] = field(default_factory=list)
+
+    def emit(self, kind: str, where: str, detail: str = "",
+             attempt: int = 0) -> RobustnessEvent:
+        event = RobustnessEvent(kind=kind, where=where, detail=detail,
+                                attempt=attempt)
+        self.events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> list[RobustnessEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return len(self.of_kind(kind))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -80,19 +80,89 @@ class TestAPABackend:
         with pytest.raises(ValueError):
             APABackend(algorithm=get_algorithm("bini322"), min_dim=-1)
 
+    @pytest.mark.parametrize("lam", [0.0, -0.5, float("nan"), float("inf")])
+    def test_bad_lambda_rejected(self, lam):
+        with pytest.raises(ValueError, match="lam"):
+            APABackend(algorithm=get_algorithm("bini322"), lam=lam)
+
+    def test_custom_gemm_seam(self, rng):
+        calls = []
+
+        def spy(X, Y):
+            calls.append(1)
+            return X @ Y
+
+        be = APABackend(algorithm=get_algorithm("bini322"), gemm=spy)
+        A = rng.random((30, 30)).astype(np.float32)
+        be.matmul(A, A)
+        assert len(calls) == get_algorithm("bini322").rank
+
+
+class TestApaMatmulLambdaValidation:
+    @pytest.mark.parametrize("lam", [0.0, -1e-3, float("nan"), float("inf")])
+    def test_bad_lambda_rejected(self, lam, rng):
+        from repro.core.apa_matmul import apa_matmul
+
+        A = rng.random((6, 4)).astype(np.float32)
+        B = rng.random((4, 4)).astype(np.float32)
+        with pytest.raises(ValueError, match="lam"):
+            apa_matmul(A, B, get_algorithm("bini322"), lam=lam)
+
+    @pytest.mark.parametrize("lam", [0.0, float("nan")])
+    def test_nonstationary_rejects_bad_lambda(self, lam, rng):
+        from repro.core.apa_matmul import apa_matmul_nonstationary
+
+        A = rng.random((6, 4)).astype(np.float32)
+        B = rng.random((4, 4)).astype(np.float32)
+        with pytest.raises(ValueError, match="lam"):
+            apa_matmul_nonstationary(A, B, [get_algorithm("bini322")], lam=lam)
+
 
 class TestMakeBackend:
     def test_none_is_classical(self):
         assert isinstance(make_backend(None), ClassicalBackend)
 
-    def test_classical_prefix(self):
-        assert isinstance(make_backend("classical222"), ClassicalBackend)
+    def test_classical_exact_match(self):
+        assert isinstance(make_backend("classical"), ClassicalBackend)
+
+    def test_classical_prefix_no_longer_hijacks_catalog_names(self):
+        # "classical222" used to prefix-match to the baseline; it is a
+        # real catalog algorithm and must resolve to it.
+        be = make_backend("classical222")
+        assert isinstance(be, APABackend)
+        assert be.algorithm.name == "classical222"
+
+    def test_classical_near_miss_raises(self):
+        # A typo'd near-miss must fail loudly, naming the known backends.
+        with pytest.raises(KeyError, match="classical"):
+            make_backend("classical_v2")
 
     def test_catalog_name(self):
         be = make_backend("bini322")
         assert isinstance(be, APABackend)
         assert be.algorithm.name == "bini322"
 
-    def test_unknown_name_raises(self):
-        with pytest.raises(KeyError):
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="bini322"):
             make_backend("nope")
+
+    def test_guarded_wraps_and_satisfies_protocol(self, rng):
+        from repro.robustness.guard import GuardedBackend
+
+        be = make_backend("bini322", guarded=True)
+        assert isinstance(be, GuardedBackend)
+        assert isinstance(be, MatmulBackend)
+        assert be.name == "guarded:apa:bini322"
+        A = rng.random((16, 16)).astype(np.float32)
+        assert np.isfinite(be.matmul(A, A)).all()
+
+    def test_guarded_accepts_policy(self):
+        from repro.robustness.policy import EscalationPolicy
+
+        policy = EscalationPolicy(strikes_to_open=5)
+        be = make_backend("bini322", guarded=True, policy=policy)
+        assert be.policy.strikes_to_open == 5
+
+    def test_guarded_classical(self):
+        be = make_backend("classical", guarded=True)
+        assert be.name == "guarded:classical"

@@ -194,3 +194,194 @@ class TestSerialization:
                     rng=np.random.default_rng(1))
         assert (tmp_path / "epoch0.npz").exists()
         assert (tmp_path / "epoch1.npz").exists()
+
+
+class TestTrainerCheckpointRestore:
+    def test_roundtrip_restores_parameters_exactly(self, rng):
+        x, y = blobs(rng=rng)
+        trainer = Trainer(small_model(rng), schedule=ConstantLR(0.2))
+        trainer.fit(x, y, epochs=2, batch_size=16,
+                    rng=np.random.default_rng(1))
+        ckpt = trainer.checkpoint(epoch=1)
+        saved = [np.copy(p.value) for p in trainer.model.parameters()]
+        trainer.fit(x, y, epochs=2, batch_size=16,
+                    rng=np.random.default_rng(2))  # drift the weights
+        trainer.restore(ckpt)
+        for p, ref in zip(trainer.model.parameters(), saved):
+            np.testing.assert_array_equal(p.value, ref)
+            assert not p.grad.any()  # gradients zeroed on restore
+
+    def test_checkpoint_is_a_deep_copy(self, rng):
+        trainer = Trainer(small_model(rng))
+        ckpt = trainer.checkpoint()
+        before = np.copy(ckpt.params[0])
+        trainer.model.parameters()[0].value += 1.0
+        np.testing.assert_array_equal(ckpt.params[0], before)
+
+    @pytest.mark.parametrize("optimizer_name", ["momentum", "adam"])
+    def test_optimizer_slot_state_roundtrips(self, optimizer_name, rng):
+        from repro.nn.optim import Adam, Momentum
+
+        x, y = blobs(rng=rng)
+        model = small_model(rng)
+        opt = (Momentum(model.parameters(), lr=0.1)
+               if optimizer_name == "momentum"
+               else Adam(model.parameters(), lr=0.01))
+        trainer = Trainer(model, optimizer=opt, schedule=ConstantLR(0.1))
+        trainer.fit(x, y, epochs=1, batch_size=16,
+                    rng=np.random.default_rng(1))
+        ckpt = trainer.checkpoint(epoch=0)
+        assert ckpt.opt_arrays  # slot buffers captured
+        trainer.fit(x, y, epochs=1, batch_size=16,
+                    rng=np.random.default_rng(2))
+        trainer.restore(ckpt)
+        for slot, arrays in ckpt.opt_arrays.items():
+            for live, saved in zip(getattr(opt, slot), arrays):
+                np.testing.assert_array_equal(live, saved)
+        for slot, value in ckpt.opt_scalars.items():
+            assert getattr(opt, slot) == value
+
+    def test_restored_trajectory_is_deterministic(self, rng):
+        """Restore + identical data order reproduces identical weights."""
+        x, y = blobs(rng=rng)
+        trainer = Trainer(small_model(rng), schedule=ConstantLR(0.2))
+        ckpt = trainer.checkpoint()
+        hist1 = trainer.fit(x, y, epochs=2, batch_size=16,
+                            rng=np.random.default_rng(7))
+        after1 = [np.copy(p.value) for p in trainer.model.parameters()]
+        trainer.restore(ckpt)
+        hist2 = trainer.fit(x, y, epochs=2, batch_size=16,
+                            rng=np.random.default_rng(7))
+        assert hist1.train_loss == hist2.train_loss
+        for p, ref in zip(trainer.model.parameters(), after1):
+            np.testing.assert_array_equal(p.value, ref)
+
+    def test_restore_rejects_mismatched_model(self, rng):
+        trainer = Trainer(small_model(rng))
+        other = Trainer(Sequential([Dense(4, 16, rng=rng), ReLU(),
+                                    Dense(16, 2, rng=rng)]))
+        with pytest.raises(ValueError, match="shape"):
+            other.restore(trainer.checkpoint())
+
+
+class TestDivergenceGuard:
+    def _trainer(self, rng):
+        return Trainer(small_model(rng), schedule=ConstantLR(0.1))
+
+    def test_validation(self):
+        from repro.robustness.divergence import DivergenceGuard
+
+        with pytest.raises(ValueError):
+            DivergenceGuard(loss_factor=1.0)
+        with pytest.raises(ValueError):
+            DivergenceGuard(max_rollbacks=0)
+
+    def test_healthy_epochs_are_ok_and_snapshotted(self, rng):
+        from repro.robustness.divergence import DivergenceGuard
+
+        guard = DivergenceGuard()
+        trainer = self._trainer(rng)
+        guard.on_train_begin(trainer)
+        assert guard.check(trainer, 0, 0.5) == "ok"
+        assert guard.check(trainer, 1, 0.4) == "ok"
+        assert guard.rollbacks == 0 and len(guard.log) == 0
+
+    @pytest.mark.parametrize("bad_loss", [float("nan"), float("inf")])
+    def test_nonfinite_loss_triggers_rollback(self, bad_loss, rng):
+        from repro.robustness.divergence import DivergenceGuard
+
+        guard = DivergenceGuard()
+        trainer = self._trainer(rng)
+        guard.on_train_begin(trainer)
+        guard.check(trainer, 0, 0.5)
+        assert guard.check(trainer, 1, bad_loss) == "rollback"
+        assert guard.rollbacks == 1
+        assert guard.log.count("divergence") == 1
+        assert guard.log.count("rollback") == 1
+
+    def test_exploding_loss_triggers_rollback(self, rng):
+        from repro.robustness.divergence import DivergenceGuard
+
+        guard = DivergenceGuard(loss_factor=10.0)
+        trainer = self._trainer(rng)
+        guard.on_train_begin(trainer)
+        guard.check(trainer, 0, 0.5)
+        assert guard.check(trainer, 1, 4.9) == "ok"  # within 10x of 0.5
+        assert guard.check(trainer, 2, 50.1) == "rollback"
+
+    def test_nonfinite_parameters_trigger_rollback(self, rng):
+        from repro.robustness.divergence import DivergenceGuard
+
+        guard = DivergenceGuard()
+        trainer = self._trainer(rng)
+        guard.on_train_begin(trainer)
+        good = np.copy(trainer.model.parameters()[0].value)
+        trainer.model.parameters()[0].value[0, 0] = np.nan
+        assert guard.check(trainer, 0, 0.5) == "rollback"
+        # the rollback restored the pre-training snapshot
+        np.testing.assert_array_equal(trainer.model.parameters()[0].value,
+                                      good)
+
+    def test_budget_exhaustion_aborts(self, rng):
+        from repro.robustness.divergence import DivergenceGuard
+
+        guard = DivergenceGuard(max_rollbacks=1)
+        trainer = self._trainer(rng)
+        guard.on_train_begin(trainer)
+        assert guard.check(trainer, 0, float("nan")) == "rollback"
+        assert guard.check(trainer, 0, float("nan")) == "abort"
+        assert guard.log.count("divergence-unrecovered") == 1
+
+    def test_downgrade_walks_steps_then_classical(self, rng):
+        from repro.algorithms.catalog import get_algorithm
+        from repro.core.backend import APABackend, ClassicalBackend
+        from repro.robustness.divergence import downgrade_backends
+
+        model = small_model(rng)
+        model.layers[0].backend = APABackend(
+            algorithm=get_algorithm("bini322"), steps=2)
+        assert downgrade_backends(model) == 1
+        assert model.layers[0].backend.steps == 1  # rung 1: depth
+        assert downgrade_backends(model) == 1
+        assert isinstance(model.layers[0].backend, ClassicalBackend)
+        assert downgrade_backends(model) == 0  # nothing left to downgrade
+
+    def test_downgrade_unwraps_faulty_backend(self, rng):
+        from repro.core.backend import ClassicalBackend, make_backend
+        from repro.robustness.divergence import downgrade_backends
+        from repro.robustness.inject import FaultSpec, FaultyBackend
+
+        model = small_model(rng)
+        model.layers[0].backend = FaultyBackend(
+            make_backend(None), FaultSpec(kind="nan"))
+        assert downgrade_backends(model) == 1
+        assert isinstance(model.layers[0].backend, ClassicalBackend)
+
+    def test_fit_with_guard_recovers_midtraining_nan(self, rng):
+        """End-to-end: a NaN-poisoning backend armed mid-training is
+        detected, rolled back, and replaced; training finishes healthy."""
+        from repro.core.backend import ClassicalBackend, make_backend
+        from repro.robustness.divergence import DivergenceGuard
+        from repro.robustness.inject import FaultSpec, FaultyBackend
+
+        x, y = blobs(rng=rng)
+        model = small_model(rng)
+        backend = FaultyBackend(make_backend(None),
+                                FaultSpec(kind="nan", probability=1.0))
+        backend.active = False
+        model.layers[0].backend = backend
+
+        def arm(epoch, history):
+            if epoch == 1:
+                backend.active = True
+
+        guard = DivergenceGuard(max_rollbacks=2)
+        trainer = Trainer(model, schedule=ConstantLR(0.2),
+                          epoch_callback=arm, divergence_guard=guard)
+        hist = trainer.fit(x, y, epochs=5, batch_size=16,
+                           rng=np.random.default_rng(1))
+        assert guard.rollbacks >= 1
+        assert hist.epochs == 5  # recovered, did not abort
+        assert all(math.isfinite(l) for l in hist.train_loss)
+        assert isinstance(model.layers[0].backend, ClassicalBackend)
+        assert hist.train_accuracy[-1] > 0.9
