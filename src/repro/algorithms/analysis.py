@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.algorithms.spec import AlgorithmLike
 from repro.bench.tables import format_table
 
 __all__ = [
@@ -22,7 +23,7 @@ __all__ = [
 
 
 def predicted_error_bound(
-    algorithm=None,
+    algorithm: AlgorithmLike | str | None = None,
     d: int = 23,
     steps: int = 1,
     inner_dim: int = 1,
@@ -89,7 +90,7 @@ class AlgorithmReport:
         return "\n".join(lines)
 
 
-def analyze_algorithm(algorithm, crossover: bool = True,
+def analyze_algorithm(algorithm: AlgorithmLike | str, crossover: bool = True,
                       cse_max_rank: int = 200) -> AlgorithmReport:
     """Build the full report for one algorithm (catalog object or name).
 
@@ -142,7 +143,8 @@ def analyze_algorithm(algorithm, crossover: bool = True,
     )
 
 
-def catalog_report(names=None, crossover: bool = False) -> str:
+def catalog_report(names: list[str] | None = None,
+                   crossover: bool = False) -> str:
     """One-row-per-algorithm summary table of the whole catalog."""
     from repro.algorithms.catalog import list_algorithms
 

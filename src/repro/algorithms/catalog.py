@@ -23,11 +23,19 @@ from typing import Callable
 from repro.algorithms.bini import bini322_algorithm
 from repro.algorithms.classical import classical_algorithm
 from repro.algorithms.smirnov import SurrogateAlgorithm
-from repro.algorithms.spec import AlgorithmLike
+from repro.algorithms.spec import AlgorithmLike, BilinearAlgorithm
 from repro.algorithms.strassen import strassen_algorithm, strassen_winograd_algorithm
 from repro.algorithms.transforms import permute, stack_m, tensor_product
 
-__all__ = ["get_algorithm", "list_algorithms", "TABLE1", "Table1Row", "PAPER_ALGORITHMS"]
+__all__ = [
+    "get_algorithm",
+    "list_algorithms",
+    "TABLE1",
+    "Table1Row",
+    "PAPER_ALGORITHMS",
+    "AlgorithmProperties",
+    "EXPECTED_PROPERTIES",
+]
 
 
 # ----------------------------------------------------------------------
@@ -35,47 +43,47 @@ __all__ = ["get_algorithm", "list_algorithms", "TABLE1", "Table1Row", "PAPER_ALG
 # ----------------------------------------------------------------------
 
 
-def _bini232():
+def _bini232() -> BilinearAlgorithm:
     return permute(bini322_algorithm(), (1, 0, 2), name="bini232")
 
 
-def _bini223():
+def _bini223() -> BilinearAlgorithm:
     return permute(bini322_algorithm(), (1, 2, 0), name="bini223")
 
 
-def _strassen_squared():
+def _strassen_squared() -> BilinearAlgorithm:
     return tensor_product(
         strassen_algorithm(), strassen_algorithm(), name="strassen444"
     )
 
 
-def _bini_x_strassen():
+def _bini_x_strassen() -> BilinearAlgorithm:
     return tensor_product(
         bini322_algorithm(), strassen_algorithm(), name="bini322xstrassen"
     )
 
 
-def _bini_x_bini():
+def _bini_x_bini() -> BilinearAlgorithm:
     return tensor_product(bini322_algorithm(), bini322_algorithm(), name="bini322sq")
 
 
-def _pad422():
+def _pad422() -> BilinearAlgorithm:
     return tensor_product(
         classical_algorithm(2, 1, 1), strassen_algorithm(), name="strassen422"
     )
 
 
-def _bini_stack522():
+def _bini_stack522() -> BilinearAlgorithm:
     return stack_m(bini322_algorithm(), strassen_algorithm(), name="bini522")
 
 
-def _strassen_cubed():
+def _strassen_cubed() -> BilinearAlgorithm:
     return tensor_product(
         strassen_algorithm(), _strassen_squared(), name="strassen888"
     )
 
 
-def _bini_x_strassen444():
+def _bini_x_strassen444() -> BilinearAlgorithm:
     return tensor_product(
         bini322_algorithm(), _strassen_squared(), name="bini322xstrassen444"
     )
@@ -227,3 +235,64 @@ TABLE1: tuple[Table1Row, ...] = (
 #: The algorithm set used throughout the paper's evaluation figures
 #: (every Table-1 row except the classical baseline).
 PAPER_ALGORITHMS: tuple[str, ...] = tuple(row.name for row in TABLE1[1:])
+
+
+# ----------------------------------------------------------------------
+# Expected derived properties (the static-verification contract)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AlgorithmProperties:
+    """Pinned ``(dims, rank, sigma, phi, speedup)`` for one catalog entry.
+
+    ``repro lint`` re-derives these from the Laurent coefficient tensors
+    (real algorithms) or the stored surrogate metadata and flags any
+    disagreement (rule ``APA001``).  ``sigma`` follows the repo
+    convention: 0 for exact algorithms (the paper's Table 1 writes 1 for
+    the classical row; the checker maps between the two).
+    ``speedup_percent`` is ``round((m*n*k / r - 1) * 100)``.
+    """
+
+    dims: tuple[int, int, int]
+    rank: int
+    sigma: int
+    phi: int
+    speedup_percent: int
+
+
+#: Every catalog name with the values an audit of the coefficient
+#: tensors must reproduce.  A 2026 audit of the seed catalog derived
+#: exactly these numbers — no stored entry disagreed — and the table now
+#: pins them against regressions (transcription defects like the Bini
+#: M10 OCR bug change these values and are caught by ``repro lint``).
+EXPECTED_PROPERTIES: dict[str, AlgorithmProperties] = {
+    # real, exact
+    "classical222": AlgorithmProperties((2, 2, 2), 8, 0, 0, 0),
+    "classical333": AlgorithmProperties((3, 3, 3), 27, 0, 0, 0),
+    "strassen222": AlgorithmProperties((2, 2, 2), 7, 0, 0, 14),
+    "winograd222": AlgorithmProperties((2, 2, 2), 7, 0, 0, 14),
+    "strassen422": AlgorithmProperties((4, 2, 2), 14, 0, 0, 14),
+    "strassen444": AlgorithmProperties((4, 4, 4), 49, 0, 0, 31),
+    "strassen888": AlgorithmProperties((8, 8, 8), 343, 0, 0, 49),
+    # real, APA
+    "bini322": AlgorithmProperties((3, 2, 2), 10, 1, 1, 20),
+    "bini232": AlgorithmProperties((2, 3, 2), 10, 1, 1, 20),
+    "bini223": AlgorithmProperties((2, 2, 3), 10, 1, 1, 20),
+    "bini522": AlgorithmProperties((5, 2, 2), 17, 1, 1, 18),
+    "bini322xstrassen": AlgorithmProperties((6, 4, 4), 70, 1, 1, 37),
+    "bini322sq": AlgorithmProperties((9, 4, 4), 100, 1, 2, 44),
+    "bini322xstrassen444": AlgorithmProperties((12, 8, 8), 490, 1, 1, 57),
+    # surrogates (Table-1 metadata; sigma = 1 for all published rules)
+    "alekseev422": AlgorithmProperties((4, 2, 2), 13, 1, 2, 23),
+    "smirnov332": AlgorithmProperties((3, 3, 2), 14, 1, 3, 29),
+    "smirnov522": AlgorithmProperties((5, 2, 2), 16, 1, 3, 25),
+    "smirnov333": AlgorithmProperties((3, 3, 3), 20, 1, 6, 35),
+    "schonhage333": AlgorithmProperties((3, 3, 3), 21, 1, 2, 29),
+    "smirnov722": AlgorithmProperties((7, 2, 2), 22, 1, 5, 27),
+    "smirnov442": AlgorithmProperties((4, 4, 2), 24, 1, 3, 33),
+    "smirnov433": AlgorithmProperties((4, 3, 3), 27, 1, 3, 33),
+    "smirnov552": AlgorithmProperties((5, 5, 2), 37, 1, 3, 35),
+    "smirnov444": AlgorithmProperties((4, 4, 4), 46, 1, 3, 39),
+    "smirnov555": AlgorithmProperties((5, 5, 5), 90, 1, 3, 39),
+}

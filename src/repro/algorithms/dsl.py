@@ -37,7 +37,7 @@ L = Laurent.lam(1)
 Li = Laurent.lam(-1)
 
 
-def _as_laurent(value) -> Laurent:
+def _as_laurent(value: Laurent | int | float) -> Laurent:
     return value if isinstance(value, Laurent) else Laurent.const(value)
 
 

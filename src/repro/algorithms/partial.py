@@ -23,13 +23,14 @@ A), which is where these cores apply directly.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.algorithms.spec import BilinearAlgorithm, coeff_matrix
 from repro.linalg.laurent import Laurent
-from repro.linalg.tensor import a_index, b_index, c_index, matmul_tensor, triple_product_tensor
+from repro.linalg.tensor import a_index, b_index, c_index, triple_product_tensor
 
 __all__ = [
     "PartialTarget",
@@ -62,7 +63,14 @@ class PartialTarget:
     forbidden_a: frozenset = frozenset()
 
     @classmethod
-    def make(cls, m, n, k, products, forbidden_a=()):
+    def make(
+        cls,
+        m: int,
+        n: int,
+        k: int,
+        products: Iterable[tuple[tuple[int, int], tuple[int, int]]],
+        forbidden_a: Iterable[tuple[int, int]] = (),
+    ) -> "PartialTarget":
         return cls(m=m, n=n, k=k,
                    products=frozenset(products),
                    forbidden_a=frozenset(forbidden_a))
@@ -248,7 +256,9 @@ def assemble_bini322(name: str = "bini322_assembled") -> BilinearAlgorithm:
     uU, uV, uW, _ = bini_partial_upper()
     lU, lV, lW, _ = bini_partial_lower()
 
-    def place(block_U, block_V, block_W, row_map, col_offset):
+    def place(block_U: np.ndarray, block_V: np.ndarray,
+              block_W: np.ndarray, row_map: dict[int, int],
+              col_offset: int) -> None:
         for t in range(5):
             for i2 in range(2):
                 for j2 in range(2):

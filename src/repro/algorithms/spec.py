@@ -27,17 +27,23 @@ Derived quantities follow the paper's §2.3/§2.5 definitions exactly:
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.linalg.laurent import Laurent
 
 __all__ = ["AlgorithmLike", "BilinearAlgorithm", "coeff_matrix"]
 
 
-def coeff_matrix(rows: int, cols: int, entries=None) -> np.ndarray:
+def coeff_matrix(
+    rows: int,
+    cols: int,
+    entries: Mapping[tuple[int, int], Laurent | int | float] | None = None,
+) -> np.ndarray:
     """Allocate a Laurent-valued coefficient matrix initialized to zero.
 
     ``entries`` may be a ``{(row, col): Laurent | int | float}`` mapping of
@@ -85,7 +91,7 @@ class AlgorithmLike(Protocol):
     def nnz(self) -> tuple[int, int, int]: ...
 
 
-def _column_negative_degree(col) -> int:
+def _column_negative_degree(col: Iterable[Laurent]) -> int:
     """Largest negative-exponent magnitude in a coefficient column."""
     worst = 0
     for entry in col:
@@ -270,7 +276,9 @@ class BilinearAlgorithm:
     # numeric evaluation
     # ------------------------------------------------------------------
 
-    def evaluate(self, lam: float, dtype=np.float64) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def evaluate(
+        self, lam: float, dtype: npt.DTypeLike = np.float64
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Evaluate the Laurent coefficients at a concrete ``lambda``.
 
         Returns float arrays ``(Un, Vn, Wn)`` with the same shapes as

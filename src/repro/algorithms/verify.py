@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.algorithms.spec import BilinearAlgorithm
 from repro.linalg.laurent import Laurent
 from repro.linalg.tensor import matmul_tensor, triple_product_tensor
 
@@ -75,7 +76,7 @@ class VerificationReport:
         return text
 
 
-def verify_algorithm(alg) -> VerificationReport:
+def verify_algorithm(alg: BilinearAlgorithm) -> VerificationReport:
     """Symbolically verify a :class:`BilinearAlgorithm`.
 
     Also back-fills the algorithm's cached ``sigma`` / exactness so
@@ -146,7 +147,7 @@ def verify_algorithm(alg) -> VerificationReport:
     return report
 
 
-def assert_valid(alg) -> VerificationReport:
+def assert_valid(alg: BilinearAlgorithm) -> VerificationReport:
     """Verify and raise ``ValueError`` with details when invalid."""
     report = verify_algorithm(alg)
     if not report.valid:

@@ -12,6 +12,7 @@ Commands
 ``save/load``     — algorithm file round-trip
 ``guard-study``   — guarded-vs-unguarded mid-training fault recovery
 ``guard-overhead``— wall-clock cost of the guarded backend's checks
+``lint``          — static verification & lint (no gemms executed)
 """
 
 from __future__ import annotations
@@ -72,6 +73,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", nargs="?", default="bini322")
     p.add_argument("--n", type=int, default=1024)
     p.add_argument("--repeats", type=int, default=3)
+
+    p = sub.add_parser(
+        "lint",
+        help="static verification & lint (catalog, codegen, executor)")
+    p.add_argument("--families", default=None,
+                   help="comma-separated subset of "
+                        "algorithms,codegen,concurrency (default: all)")
+    p.add_argument("--algorithms", nargs="*", default=None,
+                   help="catalog names to check (default: whole catalog)")
+    p.add_argument("--paths", nargs="*", default=None,
+                   help="files/dirs for the concurrency linter "
+                        "(default: parallel/ and robustness/)")
+    p.add_argument("--select", default=None,
+                   help="comma-separated rule ids to keep")
+    p.add_argument("--ignore", default=None,
+                   help="comma-separated rule ids to drop")
+    p.add_argument("--fail-on", choices=["error", "warning", "never"],
+                   default="error", help="gate threshold (default: error)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("--seed-defect", choices=["bini322-m10-ocr"],
+                   default=None,
+                   help="self-test: lint with a known-corrupted catalog "
+                        "entry substituted in; must exit non-zero")
+    p.add_argument("--max-cse-rank", type=int, default=128,
+                   help="skip (and report) CSE-mode codegen audits above "
+                        "this rank (default: 128)")
 
     p = sub.add_parser("save", help="write an algorithm file")
     p.add_argument("name")
@@ -182,6 +211,38 @@ def _cmd_guard_overhead(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from repro.staticcheck import LintConfig, render_json, render_text, run_lint
+    from repro.staticcheck.rules import describe_rules
+
+    if args.rules:
+        print(describe_rules(), file=out)
+        return 0
+
+    def _split(text):
+        return tuple(part.strip() for part in text.split(",") if part.strip())
+
+    config = LintConfig(
+        families=_split(args.families) if args.families else
+        ("algorithms", "codegen", "concurrency"),
+        algorithms=tuple(args.algorithms or ()),
+        paths=tuple(args.paths or ()),
+        select=_split(args.select) if args.select else (),
+        ignore=_split(args.ignore) if args.ignore else (),
+        fail_on=args.fail_on,
+        seed_defect=args.seed_defect,
+        max_cse_rank=args.max_cse_rank,
+    )
+    result = run_lint(config)
+    if args.format == "json":
+        print(render_json(result.findings), file=out)
+    else:
+        if result.findings:
+            print(render_text(result.findings), file=out)
+        print(result.summary(), file=out)
+    return result.exit_code()
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -215,6 +276,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_guard_study(args, out)
     if args.command == "guard-overhead":
         return _cmd_guard_overhead(args, out)
+    if args.command == "lint":
+        return _cmd_lint(args, out)
     if args.command == "save":
         from repro.algorithms.catalog import get_algorithm
         from repro.algorithms.io import save_algorithm

@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.spec import AlgorithmLike
 from repro.linalg.blocking import BlockPartition, split_blocks
+from repro.types import GemmFn
 
 __all__ = ["apa_matmul", "apa_matmul_nonstationary", "linear_combination"]
 
@@ -80,12 +82,12 @@ def _flatten_blocks(X: np.ndarray, rows: int, cols: int) -> list[np.ndarray]:
 def apa_matmul(
     A: np.ndarray,
     B: np.ndarray,
-    algorithm,
+    algorithm: AlgorithmLike | str,
     lam: float | None = None,
     steps: int = 1,
-    gemm=None,
+    gemm: GemmFn | None = None,
     d: int | None = None,
-):
+) -> np.ndarray:
     """Multiply ``A @ B`` with a catalogued algorithm.
 
     Parameters
@@ -193,11 +195,11 @@ def apa_matmul(
 def apa_matmul_nonstationary(
     A: np.ndarray,
     B: np.ndarray,
-    algorithms: list,
+    algorithms: list[AlgorithmLike | str],
     lam: float | None = None,
-    gemm=None,
+    gemm: GemmFn | None = None,
     d: int | None = None,
-):
+) -> np.ndarray:
     """Uniform non-stationary recursion (paper §6): one algorithm per level.
 
     ``algorithms[0]`` is applied at the outermost level, ``algorithms[1]``

@@ -14,11 +14,14 @@ attribute training time to individual products.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.core.apa_matmul import apa_matmul
+
+if TYPE_CHECKING:
+    from repro.robustness.policy import EscalationPolicy
 
 __all__ = ["MatmulBackend", "ClassicalBackend", "APABackend", "make_backend"]
 
@@ -127,7 +130,7 @@ def make_backend(
     steps: int = 1,
     min_dim: int = 0,
     guarded: bool = False,
-    policy=None,
+    policy: EscalationPolicy | None = None,
 ) -> MatmulBackend:
     """Convenience factory: ``None``/``'classical'`` → gemm, else catalog name.
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.spec import AlgorithmLike
 from repro.linalg.blocking import required_padding
 
 __all__ = ["apa_matmul_batched"]
@@ -29,7 +30,7 @@ __all__ = ["apa_matmul_batched"]
 def apa_matmul_batched(
     A: np.ndarray,
     B: np.ndarray,
-    algorithm,
+    algorithm: AlgorithmLike | str,
     lam: float | None = None,
     mode: str = "stacked",
     d: int | None = None,
@@ -91,7 +92,8 @@ def apa_matmul_batched(
                 for i in range(m) for j in range(k)]
     initialized = [False] * len(c_blocks)
 
-    def combine(blocks, coeffs):
+    def combine(blocks: list[np.ndarray],
+                coeffs: np.ndarray) -> np.ndarray | None:
         out = None
         for c, blk in zip(coeffs, blocks):
             if c == 0:

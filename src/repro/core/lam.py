@@ -17,12 +17,17 @@ both the closed form and that tuner.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
+import numpy.typing as npt
+
+from repro.algorithms.spec import AlgorithmLike
 
 __all__ = ["precision_bits", "optimal_lambda", "lambda_candidates", "tune_lambda"]
 
 
-def precision_bits(dtype) -> int:
+def precision_bits(dtype: npt.DTypeLike) -> int:
     """Fractional bits ``d`` of the significand for a float dtype.
 
     23 for float32, 52 for float64 (the ``2**-d`` working precisions the
@@ -38,7 +43,8 @@ def precision_bits(dtype) -> int:
     raise ValueError(f"unsupported floating dtype {dt}")
 
 
-def optimal_lambda(algorithm, d: int = 23, steps: int = 1) -> float:
+def optimal_lambda(algorithm: AlgorithmLike, d: int = 23,
+                   steps: int = 1) -> float:
     """Theory-optimal ``lambda`` rounded to a power of two.
 
     Exact algorithms have no lambda dependence; 1.0 is returned so callers
@@ -55,7 +61,8 @@ def optimal_lambda(algorithm, d: int = 23, steps: int = 1) -> float:
     return float(2.0 ** round(exponent))
 
 
-def lambda_candidates(algorithm, d: int = 23, steps: int = 1, count: int = 5) -> list[float]:
+def lambda_candidates(algorithm: AlgorithmLike, d: int = 23,
+                      steps: int = 1, count: int = 5) -> list[float]:
     """The ``count`` powers of two nearest the theory optimum (paper §2.3)."""
     if count < 1:
         raise ValueError("count must be >= 1")
@@ -69,14 +76,14 @@ def lambda_candidates(algorithm, d: int = 23, steps: int = 1, count: int = 5) ->
 
 
 def tune_lambda(
-    algorithm,
+    algorithm: AlgorithmLike,
     n: int = 256,
     d: int | None = None,
     steps: int = 1,
     count: int = 5,
-    dtype=np.float32,
+    dtype: npt.DTypeLike = np.float32,
     rng: np.random.Generator | None = None,
-    matmul=None,
+    matmul: Callable[..., np.ndarray] | None = None,
 ) -> tuple[float, float]:
     """Empirically pick the best of the nearest powers of two.
 

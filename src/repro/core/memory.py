@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.algorithms.spec import AlgorithmLike
 from repro.linalg.blocking import required_padding
 
 __all__ = ["WorkspaceEstimate", "workspace_bytes"]
@@ -52,7 +53,7 @@ class WorkspaceEstimate:
 
 
 def workspace_bytes(
-    algorithm,
+    algorithm: AlgorithmLike,
     M: int,
     N: int,
     K: int,

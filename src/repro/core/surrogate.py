@@ -33,6 +33,7 @@ import hashlib
 
 import numpy as np
 
+from repro.algorithms.spec import AlgorithmLike
 from repro.linalg.blocking import BlockPartition, split_blocks
 
 __all__ = ["surrogate_matmul", "structured_error"]
@@ -62,7 +63,7 @@ def structured_error(A: np.ndarray, B: np.ndarray, tag: str) -> np.ndarray:
 def surrogate_matmul(
     A: np.ndarray,
     B: np.ndarray,
-    algorithm,
+    algorithm: AlgorithmLike,
     lam: float | None = None,
     steps: int = 1,
     d: int | None = None,
@@ -117,7 +118,8 @@ def surrogate_matmul(
     return (C + scale * E).astype(dtype, copy=False)
 
 
-def _burn_flop_profile(A: np.ndarray, B: np.ndarray, algorithm, steps: int) -> None:
+def _burn_flop_profile(A: np.ndarray, B: np.ndarray,
+                       algorithm: AlgorithmLike, steps: int) -> None:
     """Perform the surrogate's true gemm profile into scratch buffers.
 
     One recursive level: ``r`` products of ``(M/m, N/n) @ (N/n, K/k)``

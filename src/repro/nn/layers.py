@@ -356,6 +356,5 @@ class MaxPool2D(Layer):
         if self._cache is None:
             raise RuntimeError("backward called before a training forward pass")
         mask, shape = self._cache
-        s = self.size
         g = grad[:, :, :, None, :, None] * mask
         return g.reshape(shape)

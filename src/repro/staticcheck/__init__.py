@@ -1,0 +1,35 @@
+"""Static verification & lint for APA algorithms, generated code, and
+the execution stack — ``repro lint``.
+
+Three analyzer families, none of which executes a single gemm:
+
+- :mod:`repro.staticcheck.algcheck` — symbolically re-derives every
+  catalog algorithm's exactness, order ``sigma``, roundoff exponent
+  ``phi``, and rank from its Laurent coefficient tensors and diffs them
+  against the stored metadata (rules ``APA0xx``);
+- :mod:`repro.staticcheck.codecheck` — audits the output of
+  :mod:`repro.codegen` as an AST: write-once buffers, no unused
+  temporaries, exactly ``r`` gemm calls (rules ``GEN0xx``);
+- :mod:`repro.staticcheck.astlint` — concurrency/numerics linting of
+  the source tree: unlocked shared state touched from worker threads,
+  non-reentrant RNG use, bare ``except`` (rules ``PAR0xx``/``NUM0xx``).
+
+Findings are structured (:class:`~repro.staticcheck.findings.Finding`),
+rendered as text or JSON, and gate CI via ``repro lint --fail-on error``.
+"""
+
+from repro.staticcheck.findings import Finding, Severity, render_json, render_text
+from repro.staticcheck.rules import RULES, RuleInfo
+from repro.staticcheck.runner import LintConfig, LintResult, run_lint
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "render_text",
+    "render_json",
+    "RULES",
+    "RuleInfo",
+    "LintConfig",
+    "LintResult",
+    "run_lint",
+]

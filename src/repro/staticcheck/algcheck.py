@@ -1,0 +1,280 @@
+"""Family 1: symbolic re-derivation of algorithm properties (``APA0xx``).
+
+For every *real* catalog entry the checker re-derives, from the
+⟨U,V,W⟩ Laurent coefficient tensors alone,
+
+- validity and exactness (rational-arithmetic contraction against the
+  matmul tensor, via :mod:`repro.algorithms.verify`),
+- the approximation order ``sigma`` and roundoff exponent ``phi``,
+- the rank and single-step speedup,
+
+and diffs them against the pinned
+:data:`repro.algorithms.catalog.EXPECTED_PROPERTIES` row.  Surrogate
+entries (metadata only) are diffed directly.  Structural defects that
+symbolic verification alone would miss get their own rules: dead
+multiplications (``APA002``), duplicate ``(U, V)`` triplet columns —
+the exact shape of the Bini M9/M10 transcription bug (``APA003``) —
+and cancellation-heavy combinations whose coefficient growth predicts a
+poor effective ``phi`` (``APA004``, after Dumas-Pernet-Sedoglavic's
+accuracy analysis of bilinear schemes).
+
+:func:`bini322_m10_ocr_defect` rebuilds the catalog's one historically
+observed corruption (the OCR-defective M10 whose B-part duplicates M9's)
+so the gate can prove, in CI, that it would have been caught.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.algorithms.catalog import (
+    EXPECTED_PROPERTIES,
+    TABLE1,
+    AlgorithmProperties,
+    get_algorithm,
+    list_algorithms,
+)
+from repro.algorithms.spec import AlgorithmLike, BilinearAlgorithm
+from repro.staticcheck.findings import Finding, Severity
+
+__all__ = [
+    "coefficient_growth",
+    "derive_properties",
+    "check_algorithm",
+    "check_catalog",
+    "check_table_consistency",
+    "bini322_m10_ocr_defect",
+    "DEFAULT_GROWTH_THRESHOLD",
+]
+
+#: Coefficient-growth gate for ``APA004``.  The heaviest shipped rule
+#: (three graded Bini/Strassen levels in one step) reaches 512; one more
+#: tensor level octuples that, so 1024 separates the audited catalog
+#: from "one composition too many".
+DEFAULT_GROWTH_THRESHOLD: float = 1024.0
+
+
+def _column_l1(M: np.ndarray, col: int) -> Fraction:
+    """L1 mass of one coefficient column: sum of |coeff| over all terms."""
+    total = Fraction(0)
+    for entry in M[:, col]:
+        if entry:
+            total += sum(abs(c) for c in entry.terms.values())
+    return total
+
+
+def coefficient_growth(alg: BilinearAlgorithm) -> float:
+    """``max_i ||U_i||_1 * ||V_i||_1 * ||W_i||_1`` over triplets.
+
+    The growth factor bounds how much mass a single product can inject
+    into the output combination; large values mean the scheme relies on
+    heavy cancellation, which floats honour only to roundoff — the
+    static predictor of a poor realized ``phi``.
+    """
+    worst = Fraction(0)
+    for i in range(alg.rank):
+        g = _column_l1(alg.U, i) * _column_l1(alg.V, i) * _column_l1(alg.W, i)
+        worst = max(worst, g)
+    return float(worst)
+
+
+def derive_properties(alg: BilinearAlgorithm) -> tuple[AlgorithmProperties, object]:
+    """Re-derive ``(dims, rank, sigma, phi, speedup)`` from ⟨U,V,W⟩.
+
+    Returns the derived :class:`AlgorithmProperties` and the raw
+    :class:`~repro.algorithms.verify.VerificationReport` (whose
+    ``failures`` drive ``APA000``).  ``sigma`` is taken from the exact
+    symbolic verifier, never from the algorithm's caches.
+    """
+    from repro.algorithms.verify import verify_algorithm
+
+    report = verify_algorithm(alg)
+    sigma = 0 if report.is_exact else report.sigma
+    derived = AlgorithmProperties(
+        dims=alg.dims,
+        rank=alg.rank,
+        sigma=sigma,
+        phi=alg.phi,
+        speedup_percent=round(alg.speedup_percent),
+    )
+    return derived, report
+
+
+def _structure_findings(alg: BilinearAlgorithm, location: str) -> list[Finding]:
+    """Dead multiplications (APA002) and duplicate triplets (APA003)."""
+    findings: list[Finding] = []
+    for i in range(alg.rank):
+        for side, M in (("U", alg.U), ("V", alg.V), ("W", alg.W)):
+            if not any(M[:, i]):
+                findings.append(Finding(
+                    "APA002", Severity.ERROR, location,
+                    f"multiplication M{i + 1} is dead: its {side} column "
+                    "is entirely zero",
+                ))
+                break
+    # Duplicate (U, V) pairs: the product M_i is computed twice.  A
+    # duplicate on one side alone is normal (classical reuses each B
+    # column m times); only the pair makes a multiplication redundant.
+    for i in range(alg.rank):
+        for j in range(i + 1, alg.rank):
+            if all(alg.U[p, i] == alg.U[p, j] for p in range(alg.U.shape[0])) \
+                    and all(alg.V[s, i] == alg.V[s, j]
+                            for s in range(alg.V.shape[0])):
+                findings.append(Finding(
+                    "APA003", Severity.ERROR, location,
+                    f"multiplications M{i + 1} and M{j + 1} have identical "
+                    "(U, V) columns — one is redundant",
+                    detail="the shape of the Bini M9/M10 transcription bug",
+                ))
+    return findings
+
+
+def check_algorithm(
+    alg: AlgorithmLike,
+    expected: AlgorithmProperties | None = None,
+    growth_threshold: float = DEFAULT_GROWTH_THRESHOLD,
+) -> list[Finding]:
+    """All ``APA0xx`` findings for one algorithm (real or surrogate)."""
+    location = f"catalog:{alg.name}"
+    findings: list[Finding] = []
+
+    if alg.is_surrogate:
+        derived = AlgorithmProperties(
+            dims=alg.dims,
+            rank=alg.rank,
+            sigma=alg.sigma,
+            phi=alg.phi,
+            speedup_percent=round(alg.speedup_percent),
+        )
+    else:
+        assert isinstance(alg, BilinearAlgorithm)
+        derived, report = derive_properties(alg)
+        if not report.valid:
+            shown = "; ".join(report.failures[:3])
+            if len(report.failures) > 3:
+                shown += f" (+{len(report.failures) - 3} more)"
+            findings.append(Finding(
+                "APA000", Severity.ERROR, location,
+                "decomposition does not reproduce the matmul tensor",
+                detail=shown,
+            ))
+        findings.extend(_structure_findings(alg, location))
+        growth = coefficient_growth(alg)
+        if growth > growth_threshold:
+            findings.append(Finding(
+                "APA004", Severity.WARNING, location,
+                f"coefficient growth {growth:.0f} exceeds "
+                f"{growth_threshold:.0f}; heavy cancellation predicts a "
+                "poor effective phi",
+            ))
+
+    if expected is not None:
+        mismatches: list[str] = []
+        for attr in ("dims", "rank", "sigma", "phi", "speedup_percent"):
+            got, want = getattr(derived, attr), getattr(expected, attr)
+            if got != want:
+                mismatches.append(f"{attr}: derived {got} != stored {want}")
+        if mismatches:
+            findings.append(Finding(
+                "APA001", Severity.ERROR, location,
+                "stored metadata disagrees with statically derived values",
+                detail="; ".join(mismatches),
+            ))
+    return findings
+
+
+def check_table_consistency() -> list[Finding]:
+    """``APA005``: TABLE1 rows vs EXPECTED_PROPERTIES, same-name entries.
+
+    Table 1 writes ``sigma = 1`` for the exact classical row (with
+    ``phi = 0`` the error bound degenerates to ``2**-d`` either way);
+    the repo convention stores 0 — the comparison maps between the two.
+    """
+    findings: list[Finding] = []
+    for row in TABLE1:
+        expected = EXPECTED_PROPERTIES.get(row.name)
+        if expected is None:
+            findings.append(Finding(
+                "APA005", Severity.ERROR, f"catalog:{row.name}",
+                "TABLE1 row has no EXPECTED_PROPERTIES entry",
+            ))
+            continue
+        problems: list[str] = []
+        if row.dims != expected.dims:
+            problems.append(f"dims {row.dims} != {expected.dims}")
+        if row.rank != expected.rank:
+            problems.append(f"rank {row.rank} != {expected.rank}")
+        if row.phi != expected.phi:
+            problems.append(f"phi {row.phi} != {expected.phi}")
+        # Map the paper's classical-row convention (sigma=1, phi=0, exact)
+        # onto the repo's sigma=0-for-exact before comparing.
+        mapped_sigma = 0 if (expected.sigma == 0 and row.phi == 0) else row.sigma
+        if mapped_sigma != expected.sigma:
+            problems.append(f"sigma {row.sigma} != {expected.sigma}")
+        if (row.speedup_percent is not None
+                and row.speedup_percent != expected.speedup_percent):
+            problems.append(
+                f"speedup {row.speedup_percent} != {expected.speedup_percent}")
+        if problems:
+            findings.append(Finding(
+                "APA005", Severity.ERROR, f"catalog:{row.name}",
+                "TABLE1 and EXPECTED_PROPERTIES disagree",
+                detail="; ".join(problems),
+            ))
+    return findings
+
+
+def check_catalog(
+    names: Sequence[str] | None = None,
+    growth_threshold: float = DEFAULT_GROWTH_THRESHOLD,
+    overrides: dict[str, AlgorithmLike] | None = None,
+) -> list[Finding]:
+    """Run the symbolic checker over the catalog (or a subset).
+
+    ``overrides`` maps catalog names to replacement algorithm objects —
+    the seam used by ``repro lint --seed-defect`` to prove the gate
+    catches a corrupted entry without mutating the shared catalog cache.
+    """
+    findings: list[Finding] = []
+    selected: Iterable[str] = names if names is not None else list_algorithms("all")
+    for name in selected:
+        alg = (overrides or {}).get(name) or get_algorithm(name)
+        findings.extend(check_algorithm(
+            alg, EXPECTED_PROPERTIES.get(name), growth_threshold))
+    if names is None:
+        findings.extend(check_table_consistency())
+    return findings
+
+
+def bini322_m10_ocr_defect() -> BilinearAlgorithm:
+    """Bini's ⟨3,2,2⟩ with the OCR-defective M10 the paper text carries.
+
+    The defective transcription reads ``M10 = (lam*A31 + A32)(B12 -
+    lam*B22)`` — its B-part duplicates M9's, and the rule stops being a
+    matrix-multiplication algorithm (C21 and C31 lose their A32*B21 /
+    lam**-1 cancellations).  The shipped catalog stores the corrected
+    ``M10 = (lam*A31 + A32)(B11 + lam*B21)``; this constructor exists so
+    tests and ``repro lint --seed-defect bini322-m10-ocr`` can prove the
+    static gate rejects the corruption.
+    """
+    from repro.algorithms.bini import bini322_algorithm
+    from repro.algorithms.dsl import L
+    from repro.algorithms.spec import coeff_matrix
+
+    good = bini322_algorithm()
+    V = good.V.copy()
+    # Column 9 (M10) back to the OCR-defective B-part: B12 - lam*B22.
+    defect = coeff_matrix(good.n * good.k, 1, {
+        (1, 0): 1,        # B12  (row-major flat index 1 of the 2x2 B)
+        (3, 0): -L,       # -lam * B22
+    })
+    V[:, 9] = defect[:, 0]
+    return BilinearAlgorithm(
+        name="bini322",
+        m=good.m, n=good.n, k=good.k,
+        U=good.U.copy(), V=V, W=good.W.copy(),
+        source="seeded OCR defect (M10 B-part duplicates M9) — self-test",
+    )

@@ -1,0 +1,315 @@
+"""Family 3: concurrency & numerics lints over the source tree.
+
+Custom ``ast`` visitors (ruff-plugin style) aimed at the failure modes
+the threaded executor and the robustness stack must never reintroduce:
+
+``PAR001``
+    A function handed to a thread pool (``pool.submit(fn, ...)``,
+    ``pool.map(fn, ...)``, ``threading.Thread(target=fn)``) writes to
+    state it closes over — a ``nonlocal``/``global`` rebind, or a
+    subscript/attribute store on a closed-over object — without holding
+    a lock (a ``with`` block whose context expression mentions a lock).
+    Worker results must flow back through return values; in-place
+    mutation from worker threads is a data race.
+``PAR002``
+    Legacy global RNG state (``np.random.seed``, ``np.random.rand``,
+    ``random.random``, ...) instead of an owned
+    ``np.random.Generator``.  Global RNG state is not reentrant: two
+    worker threads interleaving draws destroy reproducibility.
+``NUM001``
+    Bare ``except:``.
+``NUM002``
+    A broad handler (bare or ``except Exception``/``BaseException``)
+    whose body is only ``pass``/``...`` — silent swallow.  Escalated to
+    an error when the guarded ``try`` block contains a gemm-like call:
+    a failed product must never vanish without a recovery action.
+
+Suppression: append ``# lint: ignore[RULE1,RULE2]`` (or a blanket
+``# lint: ignore``) to the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.staticcheck.findings import Finding, Severity
+
+__all__ = ["lint_source", "lint_paths", "DEFAULT_LINT_ROOTS"]
+
+#: Trees the concurrency/numerics linter walks by default (relative to
+#: the repository's ``src`` directory).
+DEFAULT_LINT_ROOTS: tuple[str, ...] = ("repro/parallel", "repro/robustness")
+
+#: ``np.random`` attributes that are reentrancy-safe constructors, not
+#: draws from hidden global state.
+_SAFE_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                   "PCG64", "Philox"}
+
+#: Stdlib ``random`` module functions backed by the hidden global
+#: ``Random`` instance.
+_STATEFUL_RANDOM = {
+    "random", "randint", "randrange", "uniform", "gauss", "normalvariate",
+    "shuffle", "choice", "choices", "sample", "seed", "betavariate",
+    "expovariate", "getrandbits", "triangular", "vonmisesvariate",
+}
+
+#: Call names treated as "a gemm" for NUM002 escalation.
+_GEMM_NAMES = {"gemm", "matmul", "apa_matmul", "dot"}
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+def _suppressed(lines: Sequence[str], lineno: int, rule_id: str) -> bool:
+    if not (1 <= lineno <= len(lines)):
+        return False
+    match = _SUPPRESS_RE.search(lines[lineno - 1])
+    if not match:
+        return False
+    listed = match.group(1)
+    if listed is None:
+        return True  # blanket ignore
+    return rule_id in {r.strip() for r in listed.split(",")}
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _contains_gemm_call(nodes: Iterable[ast.stmt]) -> bool:
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and _call_name(node) in _GEMM_NAMES:
+                return True
+    return False
+
+
+def _is_np_random(node: ast.Attribute) -> bool:
+    """True for ``np.random`` / ``numpy.random`` attribute bases."""
+    base = node.value
+    return (isinstance(base, ast.Attribute) and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in ("np", "numpy"))
+
+
+# ----------------------------------------------------------------------
+# worker-thread shared-state analysis (PAR001)
+# ----------------------------------------------------------------------
+
+
+def _worker_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names of nested functions handed to a pool or a Thread."""
+    nested = {n.name for n in ast.walk(func)
+              if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+              and n is not func}
+    workers: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name in ("submit", "map") and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Name) and first.id in nested:
+                workers.add(first.id)
+        elif name == "Thread":
+            for kw in node.keywords:
+                if kw.arg == "target" and isinstance(kw.value, ast.Name) \
+                        and kw.value.id in nested:
+                    workers.add(kw.value.id)
+    return workers
+
+
+def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameters plus plainly-assigned names (Python's local-scope rule)."""
+    args = func.args
+    local = {a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)}
+    if args.vararg:
+        local.add(args.vararg.arg)
+    if args.kwarg:
+        local.add(args.kwarg.arg)
+    declared_free: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Nonlocal, ast.Global)):
+            declared_free.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            local.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not func:
+            local.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            local.add(node.name)
+    return local - declared_free
+
+
+def _locked_linenos(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[int]:
+    """Line numbers lexically inside a ``with <...lock...>`` block."""
+    locked: set[int] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        if any("lock" in ast.unparse(item.context_expr).lower()
+               for item in node.items):
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    if hasattr(inner, "lineno"):
+                        locked.add(inner.lineno)
+    return locked
+
+
+def _store_base(target: ast.expr) -> ast.expr | None:
+    """Innermost base name-expression of a subscript/attribute store."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def _check_worker(
+    worker: ast.FunctionDef | ast.AsyncFunctionDef,
+    path: str,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    local = _local_names(worker)
+    locked = _locked_linenos(worker)
+    declared_free: set[str] = set()
+    for node in ast.walk(worker):
+        if isinstance(node, (ast.Nonlocal, ast.Global)):
+            declared_free.update(node.names)
+
+    for node in ast.walk(worker):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if target.id in declared_free and node.lineno not in locked:
+                    findings.append(Finding(
+                        "PAR001", Severity.ERROR, f"{path}:{node.lineno}",
+                        f"worker {worker.name!r} rebinds closed-over name "
+                        f"{target.id!r} without a lock",
+                    ))
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                base = _store_base(target)
+                if base is not None and base.id not in local \
+                        and node.lineno not in locked:
+                    findings.append(Finding(
+                        "PAR001", Severity.ERROR, f"{path}:{node.lineno}",
+                        f"worker {worker.name!r} mutates shared object "
+                        f"{base.id!r} ({ast.unparse(target)}) without a "
+                        "lock",
+                        detail="return the value instead, or guard the "
+                               "store with a lock",
+                    ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# the per-file linter
+# ----------------------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """All ``PAR0xx``/``NUM0xx`` findings for one module's source text."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding("NUM001", Severity.ERROR, f"{path}:{exc.lineno or 0}",
+                        f"file does not parse: {exc.msg}")]
+    lines = source.splitlines()
+    findings: list[Finding] = []
+
+    imported_random = any(
+        isinstance(node, ast.Import)
+        and any(alias.name == "random" and alias.asname is None
+                for alias in node.names)
+        for node in ast.walk(tree)
+    )
+
+    for node in ast.walk(tree):
+        # NUM001 / NUM002 — exception hygiene
+        if isinstance(node, ast.Try):
+            for handler in node.handlers:
+                broad = handler.type is None or (
+                    isinstance(handler.type, ast.Name)
+                    and handler.type.id in ("Exception", "BaseException"))
+                if handler.type is None:
+                    findings.append(Finding(
+                        "NUM001", Severity.ERROR,
+                        f"{path}:{handler.lineno}",
+                        "bare 'except:' catches everything, including "
+                        "KeyboardInterrupt",
+                    ))
+                body_is_silent = all(
+                    isinstance(stmt, ast.Pass)
+                    or (isinstance(stmt, ast.Expr)
+                        and isinstance(stmt.value, ast.Constant)
+                        and stmt.value.value is Ellipsis)
+                    for stmt in handler.body)
+                if broad and body_is_silent:
+                    around_gemm = _contains_gemm_call(node.body)
+                    findings.append(Finding(
+                        "NUM002",
+                        Severity.ERROR if around_gemm else Severity.WARNING,
+                        f"{path}:{handler.lineno}",
+                        "broad exception handler silently swallows "
+                        + ("a failed gemm call" if around_gemm
+                           else "the exception"),
+                    ))
+
+        # PAR002 — non-reentrant RNG
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            if _is_np_random(node) and node.attr not in _SAFE_NP_RANDOM:
+                findings.append(Finding(
+                    "PAR002", Severity.ERROR, f"{path}:{node.lineno}",
+                    f"np.random.{node.attr} draws from hidden global "
+                    "state; use an owned np.random.Generator",
+                ))
+            elif (imported_random and isinstance(node.value, ast.Name)
+                    and node.value.id == "random"
+                    and node.attr in _STATEFUL_RANDOM):
+                findings.append(Finding(
+                    "PAR002", Severity.ERROR, f"{path}:{node.lineno}",
+                    f"random.{node.attr} uses the process-global Random "
+                    "instance; use random.Random(seed) or numpy",
+                ))
+
+        # PAR001 — worker-thread shared state
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            workers = _worker_names(node)
+            if workers:
+                for inner in ast.walk(node):
+                    if isinstance(inner, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)) \
+                            and inner.name in workers:
+                        findings.extend(_check_worker(inner, path))
+
+    # Nested scopes can discover the same worker twice — dedupe before
+    # applying inline suppressions.
+    unique: dict[tuple[str, str, str], Finding] = {
+        (f.rule_id, f.location, f.message): f for f in findings
+    }
+    return [f for f in unique.values()
+            if not _suppressed(lines, int(f.location.rsplit(":", 1)[1]), f.rule_id)]
+
+
+def lint_paths(paths: Sequence[str | Path]) -> list[Finding]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    findings: list[Finding] = []
+    files: list[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    for file in files:
+        findings.extend(lint_source(file.read_text(), str(file)))
+    return findings

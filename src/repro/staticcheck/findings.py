@@ -1,0 +1,88 @@
+"""The structured finding type shared by every analyzer family.
+
+A :class:`Finding` pins one rule violation to one location — a catalog
+entry (``catalog:bini322``), a generated module (``codegen:strassen444``),
+or a source line (``src/repro/parallel/executor.py:42``) — with a severity
+that drives the CI gate (``repro lint --fail-on error``).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered so ``max(findings)`` is the gate-relevant worst case."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier from the rule catalog, e.g. ``'APA001'``.
+    severity:
+        :class:`Severity`; ``ERROR`` findings fail the default CI gate.
+    location:
+        Where: ``catalog:NAME``, ``codegen:NAME``, or ``PATH:LINE``.
+    message:
+        One-line human description of the violation.
+    detail:
+        Optional longer context (expected-vs-derived values, the
+        offending expression, ...).
+    """
+
+    rule_id: str
+    severity: Severity
+    location: str
+    message: str
+    detail: str = field(default="")
+
+    def render(self) -> str:
+        text = f"{self.location}: {self.severity}: {self.rule_id}: {self.message}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+    def to_dict(self) -> dict[str, str]:
+        out = {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+def render_text(findings: list[Finding] | tuple[Finding, ...]) -> str:
+    """One line per finding, errors first, stable within severity."""
+    ordered = sorted(findings, key=lambda f: (-int(f.severity), f.location, f.rule_id))
+    return "\n".join(f.render() for f in ordered)
+
+
+def render_json(findings: list[Finding] | tuple[Finding, ...]) -> str:
+    """Machine-readable dump (a JSON array, one object per finding)."""
+    return json.dumps([f.to_dict() for f in findings], indent=2)

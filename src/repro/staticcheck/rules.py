@@ -1,0 +1,96 @@
+"""The rule catalog: every rule id `repro lint` can emit, in one place.
+
+Rule families
+-------------
+``APA0xx``
+    Symbolic algorithm verification (:mod:`repro.staticcheck.algcheck`).
+``GEN0xx``
+    Generated-code audit (:mod:`repro.staticcheck.codecheck`).
+``PAR0xx``
+    Concurrency lints over the execution stack
+    (:mod:`repro.staticcheck.astlint`).
+``NUM0xx``
+    Numerics/exception-hygiene lints (:mod:`repro.staticcheck.astlint`).
+
+Default severities here are what the analyzers emit; ``--select`` /
+``--ignore`` filter by id, and inline ``# lint: ignore[ID]`` comments
+suppress source-line findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.staticcheck.findings import Severity
+
+__all__ = ["RuleInfo", "RULES", "describe_rules"]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    rule_id: str
+    severity: Severity
+    summary: str
+
+
+_RULE_LIST: tuple[RuleInfo, ...] = (
+    # -- symbolic algorithm verification ------------------------------
+    RuleInfo("APA000", Severity.ERROR,
+             "decomposition invalid: contraction does not reproduce the "
+             "matmul tensor (surviving negative powers or wrong lambda**0 "
+             "term)"),
+    RuleInfo("APA001", Severity.ERROR,
+             "stored metadata (sigma, phi, rank, speedup, dims) disagrees "
+             "with the statically derived values"),
+    RuleInfo("APA002", Severity.ERROR,
+             "dead multiplication: a triplet column is entirely zero in "
+             "U, V, or W"),
+    RuleInfo("APA003", Severity.ERROR,
+             "duplicate multiplication: two triplets share identical "
+             "(U, V) columns — one is redundant (the Bini M9/M10 bug "
+             "shape)"),
+    RuleInfo("APA004", Severity.WARNING,
+             "cancellation-heavy combination: coefficient growth "
+             "max_i ||U_i||_1 ||V_i||_1 ||W_i||_1 exceeds the threshold, "
+             "predicting a poor effective phi"),
+    RuleInfo("APA005", Severity.ERROR,
+             "catalog tables inconsistent: TABLE1 row and "
+             "EXPECTED_PROPERTIES disagree for the same name"),
+    # -- generated-code audit -----------------------------------------
+    RuleInfo("GEN000", Severity.ERROR,
+             "generated module does not parse/compile"),
+    RuleInfo("GEN001", Severity.ERROR,
+             "gemm-call structure broken: the module must contain exactly "
+             "r gemm calls, each bound to a product buffer"),
+    RuleInfo("GEN002", Severity.ERROR,
+             "write-once violation: an operand/product/temporary buffer "
+             "is assigned more than once"),
+    RuleInfo("GEN003", Severity.ERROR,
+             "unused temporary: an assigned buffer is never read"),
+    RuleInfo("GEN004", Severity.ERROR,
+             "output coverage broken: the m*k output blocks must each be "
+             "stored exactly once"),
+    # -- concurrency lints --------------------------------------------
+    RuleInfo("PAR001", Severity.ERROR,
+             "shared mutable state written from a worker-thread function "
+             "without holding a lock"),
+    RuleInfo("PAR002", Severity.ERROR,
+             "non-reentrant RNG: legacy global random state "
+             "(np.random.* / random.*) used instead of a Generator"),
+    # -- numerics / exception hygiene ---------------------------------
+    RuleInfo("NUM001", Severity.ERROR,
+             "bare 'except:' clause"),
+    RuleInfo("NUM002", Severity.WARNING,
+             "silent exception swallow: broad handler whose body is only "
+             "'pass' (error when the try block contains a gemm call)"),
+)
+
+RULES: dict[str, RuleInfo] = {r.rule_id: r for r in _RULE_LIST}
+
+
+def describe_rules() -> str:
+    """The rule catalog as aligned text (``repro lint --rules``)."""
+    lines = [f"{'rule':8s} {'severity':8s} summary"]
+    for rule in _RULE_LIST:
+        lines.append(f"{rule.rule_id:8s} {str(rule.severity):8s} {rule.summary}")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Orchestration for ``repro lint``: run families, filter, gate.
+
+:func:`run_lint` executes the selected analyzer families, applies
+rule-id filters, and folds the findings into a :class:`LintResult`
+whose :meth:`~LintResult.exit_code` implements the CI gate
+(``--fail-on error`` by default).  Nothing here executes a gemm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.staticcheck.algcheck import DEFAULT_GROWTH_THRESHOLD
+from repro.staticcheck.findings import Finding, Severity
+
+__all__ = ["LintConfig", "LintResult", "run_lint", "FAMILIES", "SEED_DEFECTS"]
+
+#: Analyzer families in execution order.
+FAMILIES: tuple[str, ...] = ("algorithms", "codegen", "concurrency")
+
+#: Known seeded corruptions for gate self-tests (``--seed-defect``).
+#: Each maps a name to ``(catalog_name, constructor)``.
+SEED_DEFECTS: dict[str, str] = {
+    "bini322-m10-ocr": "bini322",
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything ``repro lint`` can be asked to do.
+
+    Attributes
+    ----------
+    families:
+        Subset of :data:`FAMILIES` to run.
+    algorithms:
+        Catalog names for the ``algorithms``/``codegen`` families
+        (empty = the whole catalog).
+    paths:
+        Files/directories for the ``concurrency`` family (empty = the
+        default ``parallel/`` + ``robustness/`` trees next to this
+        package).
+    select / ignore:
+        Keep only / drop findings with these rule ids.
+    fail_on:
+        ``'error'`` (default), ``'warning'``, or ``'never'`` — the
+        lowest severity that makes :meth:`LintResult.exit_code`
+        non-zero.
+    growth_threshold:
+        ``APA004`` coefficient-growth gate.
+    seed_defect:
+        Name from :data:`SEED_DEFECTS`; replaces the corresponding
+        catalog entry with its known-corrupted variant for this run
+        only (the catalog cache is never touched) so CI can prove the
+        gate trips.
+    max_cse_rank:
+        Rank cap above which the codegen family skips the (expensive)
+        CSE-mode audit; skips are counted in the result, never silent.
+    """
+
+    families: tuple[str, ...] = FAMILIES
+    algorithms: tuple[str, ...] = ()
+    paths: tuple[str, ...] = ()
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    fail_on: str = "error"
+    growth_threshold: float = DEFAULT_GROWTH_THRESHOLD
+    seed_defect: str | None = None
+    max_cse_rank: int = 128
+
+    def __post_init__(self) -> None:
+        unknown = set(self.families) - set(FAMILIES)
+        if unknown:
+            raise ValueError(
+                f"unknown families {sorted(unknown)}; expected {FAMILIES}")
+        if self.fail_on not in ("error", "warning", "never"):
+            raise ValueError(
+                f"fail_on must be 'error', 'warning', or 'never', "
+                f"got {self.fail_on!r}")
+        if self.seed_defect is not None and self.seed_defect not in SEED_DEFECTS:
+            raise ValueError(
+                f"unknown seed defect {self.seed_defect!r}; "
+                f"known: {sorted(SEED_DEFECTS)}")
+
+
+@dataclass
+class LintResult:
+    """Findings plus per-family work counts and the gate verdict."""
+
+    findings: tuple[Finding, ...]
+    checked: dict[str, int] = field(default_factory=dict)
+    fail_on: str = "error"
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings
+                     if f.severity is Severity.WARNING)
+
+    def exit_code(self) -> int:
+        if self.fail_on == "never":
+            return 0
+        if self.errors:
+            return 1
+        if self.fail_on == "warning" and self.warnings:
+            return 1
+        return 0
+
+    def summary(self) -> str:
+        work = ", ".join(f"{count} {what}" for what, count in
+                         self.checked.items())
+        verdict = "FAIL" if self.exit_code() else "ok"
+        return (f"repro lint: {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s) over {work or 'nothing'} "
+                f"— {verdict}")
+
+
+def _default_lint_paths() -> tuple[str, ...]:
+    from repro.staticcheck.astlint import DEFAULT_LINT_ROOTS
+
+    src_root = Path(__file__).resolve().parent.parent.parent
+    return tuple(str(src_root / root) for root in DEFAULT_LINT_ROOTS)
+
+
+def _seeded_overrides(defect: str | None) -> dict[str, object]:
+    if defect is None:
+        return {}
+    if defect == "bini322-m10-ocr":
+        from repro.staticcheck.algcheck import bini322_m10_ocr_defect
+
+        return {"bini322": bini322_m10_ocr_defect()}
+    raise ValueError(f"unknown seed defect {defect!r}")  # pragma: no cover
+
+
+def run_lint(config: LintConfig | None = None) -> LintResult:
+    """Run the configured analyzer families and fold the findings."""
+    config = config or LintConfig()
+    findings: list[Finding] = []
+    checked: dict[str, int] = {}
+
+    names: Sequence[str] | None = config.algorithms or None
+
+    if "algorithms" in config.families:
+        from repro.algorithms.catalog import list_algorithms
+        from repro.staticcheck.algcheck import check_catalog
+
+        overrides = _seeded_overrides(config.seed_defect)
+        findings.extend(check_catalog(
+            names=names,
+            growth_threshold=config.growth_threshold,
+            overrides=overrides,  # type: ignore[arg-type]
+        ))
+        checked["algorithms"] = len(names if names is not None
+                                    else list_algorithms("all"))
+
+    if "codegen" in config.families:
+        from repro.algorithms.catalog import get_algorithm, list_algorithms
+        from repro.staticcheck.codecheck import check_codegen
+
+        real = [n for n in (names if names is not None
+                            else list_algorithms("real"))
+                if not get_algorithm(n).is_surrogate]
+        gen_findings, audited, cse_skipped = check_codegen(
+            names=real, max_cse_rank=config.max_cse_rank)
+        findings.extend(gen_findings)
+        checked["generated modules"] = audited
+        if cse_skipped:
+            checked[f"CSE audits skipped (rank > {config.max_cse_rank})"] = (
+                cse_skipped)
+
+    if "concurrency" in config.families:
+        from repro.staticcheck.astlint import lint_paths
+
+        paths = config.paths or _default_lint_paths()
+        findings.extend(lint_paths(list(paths)))
+        checked["lint roots"] = len(paths)
+
+    if config.select:
+        findings = [f for f in findings if f.rule_id in config.select]
+    if config.ignore:
+        findings = [f for f in findings if f.rule_id not in config.ignore]
+
+    return LintResult(findings=tuple(findings), checked=checked,
+                      fail_on=config.fail_on)

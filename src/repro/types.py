@@ -1,0 +1,17 @@
+"""Shared type aliases used across the execution stack.
+
+Kept in one tiny module so annotations in :mod:`repro.core`,
+:mod:`repro.parallel`, and :mod:`repro.robustness` agree on what "a gemm"
+is without redeclaring the callable shape everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["GemmFn"]
+
+#: An inner-product kernel: ``(S, T) -> S @ T`` on 2-D float arrays.
+GemmFn = Callable[[np.ndarray, np.ndarray], np.ndarray]

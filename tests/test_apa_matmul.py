@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algorithms.catalog import get_algorithm, list_algorithms
+from repro.algorithms.catalog import get_algorithm
 from repro.core.apa_matmul import (
     apa_matmul,
     apa_matmul_nonstationary,

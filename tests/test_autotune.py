@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.parallel.autotune import (
     crossover_dimension,
     select_algorithm,

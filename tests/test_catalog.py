@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.algorithms.catalog import (
+    EXPECTED_PROPERTIES,
     PAPER_ALGORITHMS,
     TABLE1,
     get_algorithm,
@@ -99,3 +100,36 @@ class TestDerivedCatalogEntries:
         assert alg.dims == dims
         assert alg.rank == rank
         assert not alg.is_surrogate
+
+
+class TestExpectedProperties:
+    """Regression pin: stored catalog metadata vs statically derived values.
+
+    A full audit with ``repro.staticcheck`` re-derived (sigma, phi, rank,
+    speedup) for every entry from the <U, V, W> tensors; no stored value
+    disagreed. These tests pin that corrected-and-verified table so any
+    future catalog edit that drifts from the algebra fails immediately.
+    """
+
+    def test_covers_entire_catalog(self):
+        assert sorted(EXPECTED_PROPERTIES) == sorted(list_algorithms("all"))
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_PROPERTIES))
+    def test_stored_metadata_matches_pin(self, name):
+        alg = get_algorithm(name)
+        props = EXPECTED_PROPERTIES[name]
+        assert alg.dims == props.dims
+        assert alg.rank == props.rank
+        assert alg.sigma == props.sigma
+        assert alg.phi == props.phi
+        assert round(alg.speedup_percent) == props.speedup_percent
+
+    @pytest.mark.parametrize(
+        "name", [n for n in sorted(EXPECTED_PROPERTIES)
+                 if not get_algorithm(n).is_surrogate])
+    def test_real_algorithms_rederive_to_pin(self, name):
+        from repro.staticcheck.algcheck import derive_properties
+
+        derived, report = derive_properties(get_algorithm(name))
+        assert report.valid, report.summary()
+        assert derived == EXPECTED_PROPERTIES[name]

@@ -82,7 +82,6 @@ class TestEliminationAlgebra:
     def test_sign_and_scale_invariant_matching(self):
         """A pair and its negation/scaling share one temporary."""
         from repro.algorithms.spec import coeff_matrix
-        from repro.linalg.laurent import Laurent
 
         # columns: (x0 + x1), (-x0 - x1), (2x0 + 2x1)
         M = coeff_matrix(2, 3, {

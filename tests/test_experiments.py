@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.algorithms.catalog import TABLE1, get_algorithm
+from repro.algorithms.catalog import TABLE1
 from repro.experiments.ablations import (
     run_aspect_ratio_study,
     run_lambda_sweep,

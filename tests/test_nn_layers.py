@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.backend import APABackend, ClassicalBackend
+from repro.core.backend import APABackend
 from repro.algorithms.catalog import get_algorithm
 from repro.nn.layers import (
     Conv2D,
@@ -187,7 +187,6 @@ class TestConv2D:
         y = conv.forward(x)
         assert y.shape == (2, 3, 5, 5)
         # brute-force check one output element
-        W = conv.W.value.reshape(2, 3, 3, 3)  # (c, kh, kw, out) after reshape?
         # im2col layout: (c*kh*kw, out); rebuild as (c, kh, kw, out)
         W4 = conv.W.value.reshape(2, 3, 3, 3)
         xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))

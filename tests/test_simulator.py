@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.algorithms.catalog import PAPER_ALGORITHMS, get_algorithm
-from repro.machine.spec import paper_machine
 from repro.parallel.simulator import (
     effective_gflops,
     simulate_classical,

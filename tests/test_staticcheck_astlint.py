@@ -1,0 +1,150 @@
+"""The concurrency/numerics AST linter (PAR/NUM rules)."""
+
+from pathlib import Path
+
+import repro.parallel as parallel_pkg
+import repro.robustness as robustness_pkg
+from repro.staticcheck.astlint import lint_paths, lint_source
+from repro.staticcheck.findings import Severity
+
+WORKER_WRITES = """
+from concurrent.futures import ThreadPoolExecutor
+
+def run(jobs):
+    results = {}
+    total = 0
+    def worker(i):
+        nonlocal total
+        total += 1
+        results[i] = i * 2
+        return i
+    with ThreadPoolExecutor() as pool:
+        for i in jobs:
+            pool.submit(worker, i)
+    return results, total
+"""
+
+
+def test_worker_shared_writes_flagged():
+    findings = lint_source(WORKER_WRITES, "fixture.py")
+    par = [f for f in findings if f.rule_id == "PAR001"]
+    assert len(par) == 2
+    messages = " ".join(f.message for f in par)
+    assert "total" in messages and "results" in messages
+    assert all(f.severity is Severity.ERROR for f in par)
+
+
+def test_locked_worker_writes_pass():
+    source = """
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+def run(jobs):
+    results = {}
+    lock = threading.Lock()
+    def worker(i):
+        value = i * 2
+        with lock:
+            results[i] = value
+        return value
+    with ThreadPoolExecutor() as pool:
+        for i in jobs:
+            pool.submit(worker, i)
+    return results
+"""
+    assert lint_source(source, "fixture.py") == []
+
+
+def test_worker_returning_values_passes():
+    source = """
+from concurrent.futures import ThreadPoolExecutor
+
+def run(jobs):
+    def worker(i):
+        local = {}
+        local[i] = i * 2
+        return local[i]
+    with ThreadPoolExecutor() as pool:
+        futures = [pool.submit(worker, i) for i in jobs]
+    return [f.result() for f in futures]
+"""
+    assert lint_source(source, "fixture.py") == []
+
+
+def test_thread_target_detected():
+    source = """
+import threading
+
+def run(out):
+    def worker():
+        out["x"] = 1
+    t = threading.Thread(target=worker)
+    t.start()
+"""
+    findings = lint_source(source, "fixture.py")
+    assert [f.rule_id for f in findings] == ["PAR001"]
+
+
+def test_legacy_numpy_rng_flagged_but_generator_ok():
+    bad = "import numpy as np\nx = np.random.rand(4)\nnp.random.seed(0)\n"
+    findings = lint_source(bad, "fixture.py")
+    assert [f.rule_id for f in findings] == ["PAR002", "PAR002"]
+    good = "import numpy as np\nrng = np.random.default_rng(0)\n"
+    assert lint_source(good, "fixture.py") == []
+
+
+def test_stdlib_random_module_flagged_but_instance_ok():
+    bad = "import random\nx = random.random()\n"
+    assert [f.rule_id for f in lint_source(bad, "f.py")] == ["PAR002"]
+    good = "import random\nrng = random.Random(0)\nx = rng.random()\n"
+    assert lint_source(good, "f.py") == []
+
+
+def test_bare_except_is_num001():
+    source = "try:\n    x = 1\nexcept:\n    x = 2\n"
+    findings = lint_source(source, "fixture.py")
+    assert any(f.rule_id == "NUM001" for f in findings)
+
+
+def test_silent_swallow_severity_depends_on_gemm():
+    plain = "try:\n    x = f()\nexcept Exception:\n    pass\n"
+    f1 = [f for f in lint_source(plain, "a.py") if f.rule_id == "NUM002"]
+    assert len(f1) == 1 and f1[0].severity is Severity.WARNING
+    around_gemm = "try:\n    C = gemm(A, B)\nexcept Exception:\n    pass\n"
+    f2 = [f for f in lint_source(around_gemm, "a.py") if f.rule_id == "NUM002"]
+    assert len(f2) == 1 and f2[0].severity is Severity.ERROR
+
+
+def test_handled_broad_except_passes():
+    # A broad handler that *does something* (log, fallback) is allowed —
+    # this is the executor's legitimate recovery pattern.
+    source = """
+def run(gemm, S, T):
+    try:
+        return gemm(S, T)
+    except Exception as exc:
+        log(exc)
+        return None
+"""
+    assert lint_source(source, "fixture.py") == []
+
+
+def test_inline_suppression():
+    # NUM001/NUM002 report at the handler line, which carries the ignore.
+    source = "try:\n    x = 1\nexcept:  # lint: ignore[NUM001, NUM002]\n    pass\n"
+    findings = lint_source(source, "fixture.py")
+    assert findings == []
+    blanket = "import numpy as np\nx = np.random.rand(3)  # lint: ignore\n"
+    assert lint_source(blanket, "fixture.py") == []
+
+
+def test_syntax_error_reported_not_raised():
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert len(findings) == 1 and findings[0].severity is Severity.ERROR
+
+
+def test_repo_execution_stack_is_clean():
+    """The shipped parallel/ and robustness/ trees pass the linter."""
+    roots = [Path(parallel_pkg.__file__).parent,
+             Path(robustness_pkg.__file__).parent]
+    assert lint_paths(roots) == []

@@ -1,0 +1,104 @@
+"""The ``repro lint`` CLI and the runner's gate semantics."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.staticcheck import LintConfig, run_lint
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.runner import LintResult
+
+
+# ----------------------------------------------------------------------
+# runner semantics
+# ----------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LintConfig(families=("algorithms", "nope"))
+    with pytest.raises(ValueError):
+        LintConfig(fail_on="sometimes")
+    with pytest.raises(ValueError):
+        LintConfig(seed_defect="unknown-defect")
+
+
+def test_exit_code_thresholds():
+    warn = Finding("APA004", Severity.WARNING, "catalog:x", "w")
+    err = Finding("APA000", Severity.ERROR, "catalog:x", "e")
+    assert LintResult((warn,), fail_on="error").exit_code() == 0
+    assert LintResult((warn,), fail_on="warning").exit_code() == 1
+    assert LintResult((err,), fail_on="never").exit_code() == 0
+    assert LintResult((err,), fail_on="error").exit_code() == 1
+
+
+def test_select_and_ignore_filters():
+    config = LintConfig(families=("algorithms",), algorithms=("bini322",),
+                        seed_defect="bini322-m10-ocr", ignore=("APA000",))
+    assert run_lint(config).findings == ()
+    config = LintConfig(families=("algorithms",), algorithms=("bini322",),
+                        seed_defect="bini322-m10-ocr", select=("APA000",))
+    result = run_lint(config)
+    assert {f.rule_id for f in result.findings} == {"APA000"}
+
+
+def test_runner_counts_work():
+    result = run_lint(LintConfig(families=("algorithms",),
+                                 algorithms=("bini322", "smirnov444")))
+    assert result.checked == {"algorithms": 2}
+    assert result.findings == ()
+
+
+# ----------------------------------------------------------------------
+# CLI end-to-end
+# ----------------------------------------------------------------------
+
+
+def test_cli_lint_subset_clean():
+    out = io.StringIO()
+    code = main(["lint", "--families", "algorithms,concurrency",
+                 "--algorithms", "bini322", "strassen222"], out=out)
+    assert code == 0
+    assert "0 error(s)" in out.getvalue()
+    assert "ok" in out.getvalue()
+
+
+def test_cli_lint_seeded_defect_fails():
+    out = io.StringIO()
+    code = main(["lint", "--families", "algorithms",
+                 "--seed-defect", "bini322-m10-ocr"], out=out)
+    assert code == 1
+    text = out.getvalue()
+    assert "APA000" in text and "FAIL" in text
+
+
+def test_cli_lint_json_format():
+    out = io.StringIO()
+    code = main(["lint", "--families", "algorithms",
+                 "--algorithms", "bini322",
+                 "--seed-defect", "bini322-m10-ocr",
+                 "--format", "json", "--fail-on", "never"], out=out)
+    assert code == 0  # --fail-on never
+    data = json.loads(out.getvalue())
+    assert data and data[0]["rule"] == "APA000"
+    assert data[0]["location"] == "catalog:bini322"
+
+
+def test_cli_lint_rules_listing():
+    out = io.StringIO()
+    assert main(["lint", "--rules"], out=out) == 0
+    text = out.getvalue()
+    for rid in ("APA000", "GEN002", "PAR001", "NUM001"):
+        assert rid in text
+
+
+def test_cli_lint_paths_override(tmp_path):
+    bad = tmp_path / "module.py"
+    bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+    out = io.StringIO()
+    code = main(["lint", "--families", "concurrency",
+                 "--paths", str(tmp_path)], out=out)
+    assert code == 1
+    assert "PAR002" in out.getvalue()

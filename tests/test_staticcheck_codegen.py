@@ -1,0 +1,84 @@
+"""The generated-code auditor (GEN rules)."""
+
+import pytest
+
+from repro.algorithms.bini import bini322_algorithm
+from repro.algorithms.catalog import get_algorithm
+from repro.codegen.generate import generate_source
+from repro.staticcheck.codecheck import audit_generated_source, check_codegen
+from repro.staticcheck.findings import Severity
+
+
+def test_generated_bini_passes_both_modes():
+    alg = bini322_algorithm()
+    for cse in (False, True):
+        source = generate_source(alg, cse=cse)
+        assert audit_generated_source(source, alg) == []
+
+
+@pytest.mark.parametrize("name", ["strassen222", "winograd222",
+                                  "classical222", "strassen444"])
+def test_catalog_codegen_is_clean(name):
+    alg = get_algorithm(name)
+    for cse in (False, True):
+        assert audit_generated_source(generate_source(alg, cse=cse), alg) == []
+
+
+def test_check_codegen_reports_cap():
+    findings, audited, skipped = check_codegen(
+        names=["bini322", "strassen888"], max_cse_rank=128)
+    assert findings == []
+    assert audited == 3  # bini both modes, strassen888 plain only
+    assert skipped == 1
+
+
+def test_syntax_error_is_gen000():
+    alg = bini322_algorithm()
+    findings = audit_generated_source("def broken(:\n", alg)
+    assert [f.rule_id for f in findings] == ["GEN000"]
+    assert findings[0].severity is Severity.ERROR
+
+
+def _tamper(source: str, old: str, new: str) -> str:
+    assert old in source, f"fixture drift: {old!r} not in generated source"
+    return source.replace(old, new, 1)
+
+
+def test_missing_gemm_call_is_gen001():
+    alg = bini322_algorithm()
+    source = generate_source(alg)
+    broken = _tamper(source, "P9 = gemm(", "P9 = np.matmul(")
+    rule_ids = [f.rule_id for f in audit_generated_source(broken, alg)]
+    assert "GEN001" in rule_ids
+
+
+def test_double_write_is_gen002():
+    alg = bini322_algorithm()
+    source = generate_source(alg)
+    # Write P0 a second time right before the output assembly.
+    broken = source.replace("\n    C = np.empty(",
+                            "\n    P0 = P1\n    C = np.empty(", 1)
+    rule_ids = [f.rule_id for f in audit_generated_source(broken, alg)]
+    assert "GEN002" in rule_ids
+
+
+def test_unused_temporary_is_gen003():
+    alg = bini322_algorithm()
+    source = generate_source(alg)
+    broken = source.replace("\n    C = np.empty(",
+                            "\n    P99 = P1 + P2\n    C = np.empty(", 1)
+    findings = audit_generated_source(broken, alg)
+    assert [f.rule_id for f in findings] == ["GEN003"]
+    assert "P99" in findings[0].message
+
+
+def test_missing_output_store_is_gen004():
+    alg = bini322_algorithm()
+    source = generate_source(alg)
+    # Drop one output-block store.
+    lines = [ln for ln in source.splitlines()
+             if not ln.lstrip().startswith("C[2*bm:3*bm, 1*bk:2*bk]")]
+    broken = "\n".join(lines)
+    assert broken != source
+    rule_ids = [f.rule_id for f in audit_generated_source(broken, alg)]
+    assert "GEN004" in rule_ids

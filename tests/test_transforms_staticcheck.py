@@ -1,0 +1,92 @@
+"""Transform invariance under the symbolic checker (ISSUE-2 satellite).
+
+Every algebraic transform in :mod:`repro.algorithms.transforms` must
+produce a spec that still passes the static verifier, with the derived
+``(sigma, phi, rank)`` transforming exactly as documented: permutations
+preserve all three, tensor products multiply ranks and add phis,
+``substitute_lambda`` scales sigma and phi.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.bini import bini322_algorithm
+from repro.algorithms.strassen import strassen_algorithm
+from repro.algorithms.transforms import (
+    permute,
+    rotate,
+    stack_m,
+    substitute_lambda,
+    tensor_product,
+    transpose_dual,
+)
+from repro.staticcheck.algcheck import check_algorithm, derive_properties
+
+
+def _derived(alg):
+    props, report = derive_properties(alg)
+    assert report.valid, report.summary()
+    return props
+
+
+@pytest.mark.parametrize("perm", list(itertools.permutations((0, 1, 2))))
+def test_all_permutations_of_bini_pass_and_preserve_properties(perm):
+    base = bini322_algorithm()
+    transformed = permute(base, perm)
+    assert check_algorithm(transformed) == []
+    props = _derived(transformed)
+    assert props.dims == tuple(base.dims[p] for p in perm)
+    assert (props.rank, props.sigma, props.phi) == (10, 1, 1)
+
+
+def test_rotate_round_trip_is_identity_on_properties():
+    base = strassen_algorithm()
+    out = rotate(rotate(rotate(base)))
+    assert out.dims == base.dims
+    assert check_algorithm(out) == []
+    assert _derived(out) == _derived(base)
+
+
+def test_transpose_dual_is_involution_on_properties():
+    base = bini322_algorithm()
+    out = transpose_dual(transpose_dual(base))
+    assert out.dims == base.dims
+    assert check_algorithm(out) == []
+    assert _derived(out) == _derived(base)
+
+
+def test_tensor_product_composes_rank_and_phi():
+    bini, strassen = bini322_algorithm(), strassen_algorithm()
+    prod = tensor_product(bini, strassen)
+    assert check_algorithm(prod) == []
+    props = _derived(prod)
+    assert props.rank == bini.rank * strassen.rank
+    assert props.phi == 1  # exact factor adds no negative degrees
+    assert props.sigma == 1
+
+
+def test_stack_m_adds_ranks_and_keeps_order():
+    stacked = stack_m(bini322_algorithm(), strassen_algorithm())
+    assert check_algorithm(stacked) == []
+    props = _derived(stacked)
+    assert props.dims == (5, 2, 2)
+    assert props.rank == 17
+    assert (props.sigma, props.phi) == (1, 1)
+
+
+@pytest.mark.parametrize("power", [2, 3])
+def test_substitute_lambda_scales_sigma_and_phi(power):
+    regraded = substitute_lambda(bini322_algorithm(), power)
+    assert check_algorithm(regraded) == []
+    props = _derived(regraded)
+    assert (props.sigma, props.phi) == (power, power)
+
+
+def test_permuted_corruption_still_caught():
+    """Transforms must not launder a broken rule into a passing one."""
+    from repro.staticcheck.algcheck import bini322_m10_ocr_defect
+
+    bad = permute(bini322_m10_ocr_defect(), (1, 0, 2))
+    findings = check_algorithm(bad)
+    assert any(f.rule_id == "APA000" for f in findings)

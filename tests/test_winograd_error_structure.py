@@ -6,7 +6,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.algorithms.catalog import get_algorithm, list_algorithms
+from repro.algorithms.catalog import get_algorithm
 from repro.bench.profiling import profile_call
 from repro.experiments.error_structure import (
     predicted_error,
