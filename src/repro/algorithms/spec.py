@@ -134,6 +134,8 @@ class BilinearAlgorithm:
     source: str = ""
     _sigma: int | None = field(default=None, repr=False)
     _exact: bool | None = field(default=None, repr=False)
+    _phi: int | None = field(default=None, repr=False, compare=False)
+    _eval_cache: dict | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         m, n, k = self.m, self.n, self.k
@@ -180,8 +182,11 @@ class BilinearAlgorithm:
 
         Paper §2.3: for each triplet, take the largest negative exponent in
         each of the three coefficient matrices and sum the three values;
-        ``phi`` is the maximum over triplets.
+        ``phi`` is the maximum over triplets.  The value depends only on
+        the stored coefficients, so it is computed once and cached.
         """
+        if self._phi is not None:
+            return self._phi
         worst = 0
         for i in range(self.rank):
             total = (
@@ -190,6 +195,7 @@ class BilinearAlgorithm:
                 + _column_negative_degree(self.W[:, i])
             )
             worst = max(worst, total)
+        self._phi = worst
         return worst
 
     @property
@@ -276,6 +282,11 @@ class BilinearAlgorithm:
     # numeric evaluation
     # ------------------------------------------------------------------
 
+    #: How many distinct ``(lam, dtype)`` evaluations each algorithm keeps.
+    #: Tuning sweeps iterate over many candidate lambdas; bounding the
+    #: cache keeps them from pinning every candidate's arrays forever.
+    EVAL_CACHE_SIZE = 8
+
     def evaluate(
         self, lam: float, dtype: npt.DTypeLike = np.float64
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -285,18 +296,40 @@ class BilinearAlgorithm:
         ``(U, V, W)``.  Exact algorithms may be evaluated with any ``lam``
         (their coefficients are lambda-free); APA algorithms require
         ``0 < lam``.
+
+        Results are memoized per ``(lam, dtype)`` — a training loop
+        evaluates the same point thousands of times — and the returned
+        arrays are marked read-only because they are shared between
+        callers.  Copy before mutating (no in-repo caller does).
         """
         if self.is_apa and not lam > 0:
             raise ValueError(f"APA algorithm {self.name!r} needs lambda > 0")
+
+        key = (float(lam), np.dtype(dtype).str)
+        if self._eval_cache is None:
+            self._eval_cache = {}
+        cached = self._eval_cache.get(key)
+        if cached is not None:
+            return cached
 
         def _eval(M: np.ndarray) -> np.ndarray:
             out = np.zeros(M.shape, dtype=dtype)
             for idx, entry in np.ndenumerate(M):
                 if entry:
                     out[idx] = entry(lam)
+            out.flags.writeable = False
             return out
 
-        return _eval(self.U), _eval(self.V), _eval(self.W)
+        result = (_eval(self.U), _eval(self.V), _eval(self.W))
+        while len(self._eval_cache) >= self.EVAL_CACHE_SIZE:
+            self._eval_cache.pop(next(iter(self._eval_cache)))
+        self._eval_cache[key] = result
+        return result
+
+    def clear_evaluation_cache(self) -> None:
+        """Drop memoized ``evaluate`` results (benchmarks' cold path)."""
+        if self._eval_cache is not None:
+            self._eval_cache.clear()
 
     # ------------------------------------------------------------------
     # misc

@@ -1,0 +1,210 @@
+"""Hot-path benchmark: plan-cached execution vs the per-call cold path.
+
+Quantifies what the plan-and-arena engine (:mod:`repro.core.plan`) buys
+on the workload the ROADMAP cares about — thousands of identically
+shaped products:
+
+- repeated ``apa_matmul`` calls on one shape, cold (partition +
+  coefficient evaluation + buffer allocation rebuilt every call, the
+  pre-plan behavior) vs warm (one cached plan, pooled arenas);
+- a short MLP train step (forward + backward through APA-backed Dense
+  layers) under the same two regimes.
+
+Numerics are asserted identical (the plan path is bit-for-bit the
+interpreter), so the speedup is pure overhead reclaimed.  Run through
+``python -m repro hotpath`` or ``benchmarks/bench_hotpath.py`` (which
+emits ``BENCH_hotpath.json`` for the CI perf trajectory).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.apa_matmul import apa_matmul
+from repro.core.backend import APABackend
+from repro.core.plan import PlanCache
+
+__all__ = ["HotpathResult", "run_hotpath", "format_hotpath"]
+
+
+@dataclass(frozen=True)
+class HotpathResult:
+    """Timings (seconds per call, best of ``repeats``) and cache stats."""
+
+    algorithm: str
+    n: int
+    iters: int
+    steps: int
+    dtype: str
+    matmul_cold: float
+    matmul_warm: float
+    train_cold: float
+    train_warm: float
+    max_abs_diff: float
+    plan_cache: dict = field(default_factory=dict)
+    pool: dict = field(default_factory=dict)
+
+    @property
+    def matmul_speedup(self) -> float:
+        return self.matmul_cold / self.matmul_warm
+
+    @property
+    def train_speedup(self) -> float:
+        if not self.train_cold:
+            return 1.0
+        return self.train_cold / self.train_warm
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "iters": self.iters,
+            "steps": self.steps,
+            "dtype": self.dtype,
+            "matmul_cold_s": self.matmul_cold,
+            "matmul_warm_s": self.matmul_warm,
+            "matmul_speedup": self.matmul_speedup,
+            "train_cold_s": self.train_cold,
+            "train_warm_s": self.train_warm,
+            "train_speedup": self.train_speedup,
+            "max_abs_diff": self.max_abs_diff,
+            "plan_cache": self.plan_cache,
+            "pool": self.pool,
+        }
+
+
+def _best_per_call(fn, iters: int, repeats: int) -> float:
+    """Best mean-per-call over ``repeats`` runs of an ``iters``-call loop."""
+    fn()  # warmup (also primes caches on the warm variants)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / iters)
+    return best
+
+
+def _train_step(model, loss, x, y) -> None:
+    logits = model.forward(x, training=True)
+    loss.forward(logits, y)
+    model.backward(loss.backward())
+    for p in model.parameters():
+        p.zero_grad()
+
+
+def _build_mlp(algorithm, plan_cache, in_dim: int, hidden: int,
+               out_dim: int):
+    from repro.nn.layers import Dense, ReLU
+    from repro.nn.model import Sequential
+
+    rng = np.random.default_rng(0)
+    return Sequential([
+        Dense(in_dim, hidden,
+              backend=APABackend(algorithm=algorithm, plan_cache=plan_cache),
+              rng=rng),
+        ReLU(),
+        Dense(hidden, out_dim,
+              backend=APABackend(algorithm=algorithm, plan_cache=plan_cache),
+              rng=rng),
+    ])
+
+
+def run_hotpath(
+    algorithm: str = "bini322",
+    n: int = 96,
+    iters: int = 40,
+    steps: int = 1,
+    dtype=np.float32,
+    repeats: int = 3,
+    batch: int = 64,
+    hidden: int = 96,
+    train: bool = True,
+    seed: int = 0,
+) -> HotpathResult:
+    """Measure cold vs plan-cached throughput on one configuration.
+
+    The cold loop reproduces the pre-plan per-call cost exactly: it runs
+    with ``plan_cache=False`` *and* drops the algorithm's memoized
+    coefficient evaluation before every call.  The warm loop uses a
+    private primed :class:`~repro.core.plan.PlanCache`.
+    """
+    from repro.algorithms.catalog import get_algorithm
+    from repro.nn.losses import SoftmaxCrossEntropy
+    from repro.parallel.pool import pool_stats
+
+    alg = get_algorithm(algorithm)
+    rng = np.random.default_rng(seed)
+    A = rng.random((n, n)).astype(dtype)
+    B = rng.random((n, n)).astype(dtype)
+
+    cache = PlanCache()
+
+    def cold_call():
+        alg.clear_evaluation_cache()
+        return apa_matmul(A, B, alg, steps=steps, plan_cache=False)
+
+    def warm_call():
+        return apa_matmul(A, B, alg, steps=steps, plan_cache=cache)
+
+    # Numerics gate first: plan-cached result must match the interpreter.
+    reference = cold_call()
+    planned = warm_call()
+    max_abs_diff = float(np.max(np.abs(reference - planned)))
+    if not np.allclose(reference, planned, rtol=1e-6, atol=1e-6):
+        raise AssertionError(
+            f"plan-cached result diverged from interpreter "
+            f"(max |diff| = {max_abs_diff:.3e})")
+
+    matmul_cold = _best_per_call(cold_call, iters, repeats)
+    matmul_warm = _best_per_call(warm_call, iters, repeats)
+
+    train_cold = train_warm = 0.0
+    if train:
+        loss = SoftmaxCrossEntropy()
+        x = rng.random((batch, n)).astype(dtype)
+        y = rng.integers(0, 10, size=batch)
+        cold_model = _build_mlp(alg, False, n, hidden, 10)
+        warm_model = _build_mlp(alg, cache, n, hidden, 10)
+        train_iters = max(1, iters // 4)
+
+        def cold_step():
+            alg.clear_evaluation_cache()
+            _train_step(cold_model, loss, x, y)
+
+        train_cold = _best_per_call(cold_step, train_iters, repeats)
+        train_warm = _best_per_call(
+            lambda: _train_step(warm_model, loss, x, y), train_iters, repeats)
+
+    return HotpathResult(
+        algorithm=algorithm, n=n, iters=iters, steps=steps,
+        dtype=np.dtype(dtype).name,
+        matmul_cold=matmul_cold, matmul_warm=matmul_warm,
+        train_cold=train_cold, train_warm=train_warm,
+        max_abs_diff=max_abs_diff,
+        plan_cache=cache.stats(), pool=pool_stats(),
+    )
+
+
+def format_hotpath(result: HotpathResult) -> str:
+    lines = [
+        f"hot path: {result.algorithm} n={result.n} steps={result.steps} "
+        f"{result.dtype} ({result.iters} calls/loop)",
+        f"  matmul  cold {result.matmul_cold * 1e6:9.1f} us/call   "
+        f"warm {result.matmul_warm * 1e6:9.1f} us/call   "
+        f"speedup {result.matmul_speedup:5.2f}x",
+    ]
+    if result.train_cold:
+        lines.append(
+            f"  train   cold {result.train_cold * 1e6:9.1f} us/step   "
+            f"warm {result.train_warm * 1e6:9.1f} us/step   "
+            f"speedup {result.train_speedup:5.2f}x")
+    pc = result.plan_cache
+    lines.append(
+        f"  plans: {pc.get('size', 0)} cached, {pc.get('hits', 0)} hits / "
+        f"{pc.get('misses', 0)} misses; max |diff| vs interpreter "
+        f"{result.max_abs_diff:.2e}")
+    return "\n".join(lines)

@@ -12,6 +12,7 @@ Commands
 ``save/load``     — algorithm file round-trip
 ``guard-study``   — guarded-vs-unguarded mid-training fault recovery
 ``guard-overhead``— wall-clock cost of the guarded backend's checks
+``hotpath``       — plan-cached vs cold-path throughput comparison
 ``lint``          — static verification & lint (no gemms executed)
 """
 
@@ -73,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", nargs="?", default="bini322")
     p.add_argument("--n", type=int, default=1024)
     p.add_argument("--repeats", type=int, default=3)
+
+    p = sub.add_parser("hotpath",
+                       help="plan-cached vs cold-path throughput")
+    p.add_argument("name", nargs="?", default="bini322")
+    p.add_argument("--n", type=int, default=96)
+    p.add_argument("--iters", type=int, default=40)
+    p.add_argument("--steps", type=int, default=1)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--no-train", action="store_true",
+                   help="skip the MLP train-step comparison")
 
     p = sub.add_parser(
         "lint",
@@ -211,6 +222,16 @@ def _cmd_guard_overhead(args, out) -> int:
     return 0
 
 
+def _cmd_hotpath(args, out) -> int:
+    from repro.bench.hotpath import format_hotpath, run_hotpath
+
+    result = run_hotpath(args.name, n=args.n, iters=args.iters,
+                         steps=args.steps, repeats=args.repeats,
+                         train=not args.no_train)
+    print(format_hotpath(result), file=out)
+    return 0
+
+
 def _cmd_lint(args, out) -> int:
     from repro.staticcheck import LintConfig, render_json, render_text, run_lint
     from repro.staticcheck.rules import describe_rules
@@ -276,6 +297,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_guard_study(args, out)
     if args.command == "guard-overhead":
         return _cmd_guard_overhead(args, out)
+    if args.command == "hotpath":
+        return _cmd_hotpath(args, out)
     if args.command == "lint":
         return _cmd_lint(args, out)
     if args.command == "save":

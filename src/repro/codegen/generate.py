@@ -115,12 +115,19 @@ def generate_source(
 ) -> str:
     """Return the source of a self-contained module implementing ``alg``.
 
-    The module defines ``FUNC_NAME(A, B, lam=..., gemm=None)`` performing
-    one recursive step, padding/cropping as needed.  ``cse=True`` runs
-    common-subexpression elimination over the linear combinations and
+    The module defines ``FUNC_NAME(A, B, lam=..., gemm=None, arena=None)``
+    performing one recursive step, padding/cropping as needed.  ``cse=True``
+    runs common-subexpression elimination over the linear combinations and
     emits shared temporaries (this is how the Winograd variant's 15-add
     schedule is realized from its rank decomposition).  Surrogates cannot
     be generated (no coefficients).
+
+    ``arena`` accepts a :class:`repro.codegen.cache.KernelArena`: the
+    padded-operand staging buffers and the padded output are then reused
+    across calls instead of reallocated (the arena is not thread-safe —
+    use one per thread).  The arena path always returns a fresh copy so
+    the result never aliases pooled memory, and stale pad margins are
+    re-zeroed before staging.
     """
     if alg.is_surrogate:
         raise ValueError(f"cannot generate code for surrogate {alg.name!r}")
@@ -136,7 +143,7 @@ def generate_source(
     w("import numpy as np")
     w("")
     w("")
-    w(f"def {func_name}(A, B, lam=1.0, gemm=None):")
+    w(f"def {func_name}(A, B, lam=1.0, gemm=None, arena=None):")
     w(f'    """One step of {alg.signature()} ({alg.name}); generated code."""')
     w("    if gemm is None:")
     w("        gemm = np.matmul")
@@ -148,11 +155,21 @@ def generate_source(
     w(f"    Np = -(-N0 // {n}) * {n}")
     w(f"    Kp = -(-K0 // {k}) * {k}")
     w("    if (Mp, Np) != (M0, N0):")
-    w("        Ap = np.zeros((Mp, Np), dtype=A.dtype); Ap[:M0, :N0] = A")
+    w("        if arena is None:")
+    w("            Ap = np.zeros((Mp, Np), dtype=A.dtype)")
+    w("        else:")
+    w("            Ap = arena.take('Ap', (Mp, Np), A.dtype)")
+    w("            Ap[M0:, :] = 0; Ap[:, N0:] = 0")
+    w("        Ap[:M0, :N0] = A")
     w("    else:")
     w("        Ap = A")
     w("    if (Np, Kp) != (B.shape[0], K0):")
-    w("        Bp = np.zeros((Np, Kp), dtype=B.dtype); Bp[:B.shape[0], :K0] = B")
+    w("        if arena is None:")
+    w("            Bp = np.zeros((Np, Kp), dtype=B.dtype)")
+    w("        else:")
+    w("            Bp = arena.take('Bp', (Np, Kp), B.dtype)")
+    w("            Bp[B.shape[0]:, :] = 0; Bp[:, K0:] = 0")
+    w("        Bp[:B.shape[0], :K0] = B")
     w("    else:")
     w("        Bp = B")
     w(f"    bm, bn, bk = Mp // {m}, Np // {n}, Kp // {k}")
@@ -174,7 +191,10 @@ def generate_source(
             t_expr = _combo_expression(alg.V[:, t], b_names)
             w(f"    P{t} = gemm({s_expr}, {t_expr})")
     w("")
-    w("    C = np.empty((Mp, Kp), dtype=P0.dtype)")
+    w("    if arena is None:")
+    w("        C = np.empty((Mp, Kp), dtype=P0.dtype)")
+    w("    else:")
+    w("        C = arena.take('C', (Mp, Kp), P0.dtype)")
     m_names = [f"P{t}" for t in range(r)]
     if cse:
         c_exprs = _emit_cse(w, alg.W.T, m_names, "Wc")  # output combos are W rows
@@ -188,6 +208,8 @@ def generate_source(
                 q = i * k + j
                 expr = _combo_expression(alg.W[q, :], m_names)
                 w(f"    C[{i}*bm:{i + 1}*bm, {j}*bk:{j + 1}*bk] = {expr}")
+    w("    if arena is not None:")
+    w("        return np.array(C[:M0, :K0])")
     w("    if (Mp, Kp) != (M0, K0):")
     w("        return np.ascontiguousarray(C[:M0, :K0])")
     w("    return C")

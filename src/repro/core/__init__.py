@@ -8,7 +8,10 @@
 - :mod:`repro.core.surrogate` — execution of metadata surrogates
   (classical product + structured error at the modelled magnitude);
 - :mod:`repro.core.backend` — the pluggable matmul-backend protocol used
-  to inject APA products into neural-network layers.
+  to inject APA products into neural-network layers;
+- :mod:`repro.core.plan` — cached :class:`~repro.core.plan.ExecutionPlan`
+  objects with pooled workspace arenas (the hot-path engine behind
+  repeated identically-shaped calls).
 """
 
 from repro.core.apa_matmul import apa_matmul
@@ -19,6 +22,12 @@ from repro.core.backend import (
     make_backend,
 )
 from repro.core.lam import optimal_lambda, precision_bits, tune_lambda
+from repro.core.plan import (
+    ExecutionPlan,
+    PlanCache,
+    configure_plan_cache,
+    default_plan_cache,
+)
 from repro.core.surrogate import surrogate_matmul
 
 __all__ = [
@@ -31,4 +40,8 @@ __all__ = [
     "ClassicalBackend",
     "APABackend",
     "make_backend",
+    "ExecutionPlan",
+    "PlanCache",
+    "default_plan_cache",
+    "configure_plan_cache",
 ]

@@ -87,6 +87,7 @@ def apa_matmul(
     steps: int = 1,
     gemm: GemmFn | None = None,
     d: int | None = None,
+    plan_cache=None,
 ) -> np.ndarray:
     """Multiply ``A @ B`` with a catalogued algorithm.
 
@@ -107,11 +108,19 @@ def apa_matmul(
         saving and adds ``phi`` to the roundoff exponent.
     gemm:
         Base-case multiply, defaulting to ``np.matmul``.  Injecting a
-        custom callable is how the parallel executor routes sub-products
-        to worker threads.
+        custom callable is how the fault injectors and the parallel
+        executor hook the sub-products.
     d:
         Precision bits used for the default ``lam``; inferred from the
         operand dtype when omitted.
+    plan_cache:
+        ``None`` (default) routes eligible calls through the process-wide
+        :class:`~repro.core.plan.PlanCache` — repeated identical
+        ``(algorithm, shape, dtype, lam, steps)`` calls then reuse one
+        precomputed :class:`~repro.core.plan.ExecutionPlan` and its
+        pooled workspace arena.  Pass a :class:`PlanCache` to use a
+        private cache, or ``False`` to force the per-call interpreter
+        (the pre-plan behavior).  Both paths are bit-identical.
 
     Returns
     -------
@@ -132,9 +141,6 @@ def apa_matmul(
 
         return surrogate_matmul(A, B, algorithm, lam=lam, steps=steps, d=d)
 
-    if gemm is None:
-        gemm = np.matmul
-
     from repro.core.lam import optimal_lambda, precision_bits
 
     if lam is None:
@@ -142,6 +148,23 @@ def apa_matmul(
             dtype = np.result_type(A.dtype, B.dtype)
             d = precision_bits(dtype) if dtype.kind == "f" else 52
         lam = optimal_lambda(algorithm, d=d, steps=steps)
+
+    # Plan fast path: same arithmetic, but partition/coefficients/buffers
+    # come from a cached ExecutionPlan instead of being rebuilt per call.
+    # Restricted to matching float operands so the combination dtypes are
+    # exactly the interpreter's; everything else falls through below.
+    from repro.core.plan import resolve_plan_cache
+
+    cache = resolve_plan_cache(plan_cache)
+    if cache is not None and A.dtype == B.dtype and A.dtype.kind == "f":
+        plan = cache.plan_for(
+            algorithm, A.shape[0], A.shape[1], B.shape[1],
+            A.dtype, lam, steps=steps,
+        )
+        return plan.execute(A, B, gemm=gemm)
+
+    if gemm is None:
+        gemm = np.matmul
 
     m, n, k = algorithm.m, algorithm.n, algorithm.k
     plan = BlockPartition(

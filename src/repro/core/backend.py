@@ -92,6 +92,12 @@ class APABackend:
         ``np.matmul``.  The fault injectors in
         :mod:`repro.robustness.inject` hook this seam to poison
         individual sub-products.
+    plan_cache:
+        Forwarded to :func:`apa_matmul`: ``None`` (default) shares the
+        process-wide :class:`~repro.core.plan.PlanCache` — a training
+        loop's repeated layer shapes then hit warm plans — ``False``
+        forces the per-call interpreter, and a ``PlanCache`` instance
+        scopes the plans to this backend.
     """
 
     algorithm: object
@@ -102,6 +108,7 @@ class APABackend:
     name: str = ""
     stats: _CallStats = field(default_factory=_CallStats)
     fallback_calls: int = 0
+    plan_cache: object = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -121,7 +128,8 @@ class APABackend:
             self.fallback_calls += 1
             return A @ B
         return apa_matmul(A, B, self.algorithm, lam=self.lam,
-                          steps=self.steps, gemm=self.gemm)
+                          steps=self.steps, gemm=self.gemm,
+                          plan_cache=self.plan_cache)
 
 
 def make_backend(
@@ -131,6 +139,7 @@ def make_backend(
     min_dim: int = 0,
     guarded: bool = False,
     policy: EscalationPolicy | None = None,
+    plan_cache: object = None,
 ) -> MatmulBackend:
     """Convenience factory: ``None``/``'classical'`` → gemm, else catalog name.
 
@@ -158,6 +167,7 @@ def make_backend(
             lam=lam,
             steps=steps,
             min_dim=min_dim,
+            plan_cache=plan_cache,
         )
     if guarded:
         from repro.robustness.guard import GuardedBackend

@@ -34,12 +34,18 @@ def apa_matmul_batched(
     lam: float | None = None,
     mode: str = "stacked",
     d: int | None = None,
+    plan_cache=None,
 ) -> np.ndarray:
     """Multiply ``A[i] @ B[i]`` for every batch item with a fast rule.
 
     ``A`` has shape ``(batch, M, N)``, ``B`` ``(batch, N, K)``; returns
     ``(batch, M, K)``.  One recursive step.  Surrogates are executed per
     item through their error model.
+
+    Stacked mode shares the cached :class:`~repro.core.plan.ExecutionPlan`
+    machinery for its padded dims, coefficients, and nonzero term lists
+    (the batch axis is per-call, so no workspace arena is pooled);
+    ``plan_cache=False`` rebuilds everything per call.
     """
     if A.ndim != 3 or B.ndim != 3:
         raise ValueError("batched operands must be 3-D (batch, rows, cols)")
@@ -73,8 +79,23 @@ def apa_matmul_batched(
         lam = optimal_lambda(algorithm, d=d)
 
     m, n, k = algorithm.m, algorithm.n, algorithm.k
-    Mp, Np, Kp = (required_padding(M, m), required_padding(N, n),
-                  required_padding(K, k))
+
+    from repro.core.plan import resolve_plan_cache, term_lists
+
+    cache = resolve_plan_cache(plan_cache)
+    if cache is not None and A.dtype == B.dtype and A.dtype.kind == "f":
+        plan = cache.plan_for(algorithm, M, N, K, A.dtype, lam,
+                              mode="batched")
+        part = plan.partition
+        Mp, Np, Kp = (part.padded_rows_a, part.padded_cols_a,
+                      part.padded_cols_b)
+        s_terms, t_terms, w_terms = plan.s_terms, plan.t_terms, plan.w_terms
+    else:
+        Mp, Np, Kp = (required_padding(M, m), required_padding(N, n),
+                      required_padding(K, k))
+        s_terms, t_terms, w_terms = term_lists(
+            *algorithm.evaluate(lam, dtype=dtype))
+
     Ap = np.zeros((batch, Mp, Np), dtype=dtype)
     Ap[:, :M, :N] = A
     Bp = np.zeros((batch, Np, Kp), dtype=dtype)
@@ -86,22 +107,19 @@ def apa_matmul_batched(
     b_blocks = [Bp[:, i * bn:(i + 1) * bn, j * bk:(j + 1) * bk]
                 for i in range(n) for j in range(k)]
 
-    Un, Vn, Wn = algorithm.evaluate(lam, dtype=dtype)
     C = np.zeros((batch, Mp, Kp), dtype=dtype)
     c_blocks = [C[:, i * bm:(i + 1) * bm, j * bk:(j + 1) * bk]
                 for i in range(m) for j in range(k)]
     initialized = [False] * len(c_blocks)
 
-    def combine(blocks: list[np.ndarray],
-                coeffs: np.ndarray) -> np.ndarray | None:
-        out = None
-        for c, blk in zip(coeffs, blocks):
-            if c == 0:
-                continue
-            if out is None:
-                out = blk if c == 1 else c * blk
-                # copy lazily only if we will accumulate
-                continue
+    def combine(blocks: list[np.ndarray], terms) -> np.ndarray:
+        if not terms:
+            return np.zeros_like(blocks[0])
+        idx0, c0 = terms[0]
+        # copy lazily only if we will accumulate
+        out = blocks[idx0] if c0 == 1 else c0 * blocks[idx0]
+        for idx, c in terms[1:]:
+            blk = blocks[idx]
             if out.base is not None or out is blk:
                 out = out.copy()
             if c == 1:
@@ -110,16 +128,14 @@ def apa_matmul_batched(
                 out -= blk
             else:
                 out += c * blk
-        return out if out is not None else np.zeros_like(blocks[0])
+        return out
 
     for t in range(algorithm.rank):
-        S = combine(a_blocks, Un[:, t])
-        T = combine(b_blocks, Vn[:, t])
+        S = combine(a_blocks, s_terms[t])
+        T = combine(b_blocks, t_terms[t])
         P = np.matmul(S, T)  # batched gemm over the leading axis
-        for q, target in enumerate(c_blocks):
-            w = Wn[q, t]
-            if w == 0:
-                continue
+        for q, w in w_terms[t]:
+            target = c_blocks[q]
             if not initialized[q]:
                 if w == 1:
                     target[...] = P

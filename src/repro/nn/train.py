@@ -241,6 +241,37 @@ class Trainer:
         for slot, value in checkpoint.opt_scalars.items():
             setattr(self.optimizer, slot, value)
 
+    def plan_stats(self) -> dict:
+        """Plan-cache and thread-pool counters for this model's backends.
+
+        Walks the model's layer backends (unwrapping guards), resolves
+        each one's plan cache (the shared process default unless a layer
+        was given a private cache), and returns the deduplicated cache
+        stats plus the persistent worker-pool counters — the numbers the
+        hot-path bench reports.
+        """
+        from repro.core.plan import resolve_plan_cache
+        from repro.parallel.pool import pool_stats
+
+        caches = []
+        for layer in getattr(self.model, "layers", []):
+            backend = getattr(layer, "backend", None)
+            if backend is None:
+                continue
+            backend = getattr(backend, "inner", backend)  # unwrap guards
+            if not hasattr(backend, "plan_cache"):
+                continue  # classical backends never plan
+            try:
+                cache = resolve_plan_cache(backend.plan_cache)
+            except TypeError:
+                continue
+            if cache is not None and all(cache is not c for c in caches):
+                caches.append(cache)
+        return {
+            "plan_caches": [cache.stats() for cache in caches],
+            "pool": pool_stats(),
+        }
+
     def fit(
         self,
         x_train: np.ndarray,

@@ -19,6 +19,7 @@ from repro.parallel.simulator import (
     effective_gflops,
 )
 from repro.parallel.executor import threaded_apa_matmul
+from repro.parallel.pool import get_pool, pool_stats, shutdown_pool
 
 __all__ = [
     "Schedule",
@@ -29,4 +30,7 @@ __all__ = [
     "simulate_fast",
     "effective_gflops",
     "threaded_apa_matmul",
+    "get_pool",
+    "pool_stats",
+    "shutdown_pool",
 ]

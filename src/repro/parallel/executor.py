@@ -16,7 +16,6 @@ the real thing and are exercised by the test suite.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
@@ -24,6 +23,7 @@ import numpy as np
 
 from repro.core.apa_matmul import linear_combination
 from repro.linalg.blocking import BlockPartition, split_blocks
+from repro.parallel.pool import get_pool
 from repro.parallel.strategy import Schedule, build_schedule
 from repro.robustness.events import EventLog
 
@@ -92,6 +92,7 @@ def threaded_apa_matmul(
     timeout: float | None = None,
     check_finite: bool = False,
     report: ExecutionReport | None = None,
+    plan_cache=None,
 ) -> np.ndarray:
     """``steps`` recursive levels of ``algorithm``, outer level threaded.
 
@@ -101,6 +102,14 @@ def threaded_apa_matmul(
     sequentially inside each scheduled job — the paper parallelizes only
     across the top-level sub-products).  Surrogate algorithms are
     rejected — they have no coefficients to run.
+
+    Worker threads come from the process-wide persistent pool
+    (:func:`repro.parallel.pool.get_pool`), so repeated calls pay no
+    thread spawn/teardown.  The partition, coefficients, schedule, and
+    staging/output arenas are reused through the plan cache exactly as
+    in :func:`~repro.core.apa_matmul.apa_matmul` (``plan_cache=False``
+    restores the per-call build; an explicit ``schedule`` also bypasses
+    the cache since custom schedules are not part of the plan key).
 
     Failure handling (the guarded-execution contract): a job whose gemm
     raises is retried up to ``retries`` times and then recomputed with
@@ -143,25 +152,45 @@ def threaded_apa_matmul(
             return apa_matmul(S, T, algorithm, lam=lam, steps=steps - 1,
                               gemm=_inner)
 
-    m, n, k = algorithm.m, algorithm.n, algorithm.k
-    r = algorithm.rank
-    if schedule is None:
-        schedule = build_schedule(r, threads, strategy)
-
-    plan = BlockPartition(
-        m, n, k, rows_a=A.shape[0], cols_a=A.shape[1], cols_b=B.shape[1],
-        steps=steps,
-    )
-    Ap, Bp = plan.prepare(A, B)
-    Un, Vn, Wn = algorithm.evaluate(lam, dtype=dtype)
-
-    a_blocks = _flatten(Ap, m, n)
-    b_blocks = _flatten(Bp, n, k)
-
     if retries < 0:
         raise ValueError("retries must be >= 0")
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be positive")
+
+    m, n, k = algorithm.m, algorithm.n, algorithm.k
+    r = algorithm.rank
+
+    from repro.core.plan import resolve_plan_cache
+
+    cache = resolve_plan_cache(plan_cache)
+    plan = workspace = None
+    if (cache is not None and schedule is None
+            and A.dtype == B.dtype and A.dtype.kind == "f"):
+        plan = cache.plan_for(
+            algorithm, A.shape[0], A.shape[1], B.shape[1], A.dtype, lam,
+            steps=steps, mode="threaded", strategy=strategy,
+            threads=threads,
+        )
+        schedule = plan.schedule
+        part = plan.partition
+        Un, Vn, Wn = plan.Un, plan.Vn, plan.Wn
+        workspace = plan.checkout()
+        Ap, Bp = plan.stage(workspace, A, B)
+        a_blocks = (workspace.a_blocks[0] if workspace.a_blocks[0] is not None
+                    else _flatten(Ap, m, n))
+        b_blocks = (workspace.b_blocks[0] if workspace.b_blocks[0] is not None
+                    else _flatten(Bp, n, k))
+    else:
+        if schedule is None:
+            schedule = build_schedule(r, threads, strategy)
+        part = BlockPartition(
+            m, n, k, rows_a=A.shape[0], cols_a=A.shape[1], cols_b=B.shape[1],
+            steps=steps,
+        )
+        Ap, Bp = part.prepare(A, B)
+        Un, Vn, Wn = algorithm.evaluate(lam, dtype=dtype)
+        a_blocks = _flatten(Ap, m, n)
+        b_blocks = _flatten(Bp, n, k)
 
     def operands(i: int) -> tuple[np.ndarray, np.ndarray]:
         return (linear_combination(a_blocks, Un[:, i]),
@@ -175,8 +204,15 @@ def threaded_apa_matmul(
         if report is not None:
             report.events.emit(kind, f"mult {mult}", detail, attempt=attempt)
 
-    def run_mult(i: int) -> tuple[np.ndarray, str, int, str]:
-        """Returns ``(block, status, attempts, error_text)``."""
+    def run_mult(i: int) -> tuple[np.ndarray, str, int, str, float, float]:
+        """Returns ``(block, status, attempts, error_text, start, end)``.
+
+        Timing is captured *inside* the job: all jobs of a phase are
+        submitted with one timestamp, so using the phase submit time as
+        the start would charge every job for its time in the queue (the
+        bug render_execution_gantt used to inherit).
+        """
+        start = time.perf_counter()
         S, T = operands(i)
         error_text = ""
         for attempt in range(1, retries + 2):
@@ -195,25 +231,26 @@ def threaded_apa_matmul(
                          f"{retries + 1}", attempt=attempt)
                 continue
             status = "ok" if attempt == 1 else "retried"
-            return M, status, attempt, ""
+            return M, status, attempt, "", start, time.perf_counter()
         # All attempts failed: classical gemm for this block only.
         emit("job-fallback", i, "classical gemm recomputed the block")
-        return np.matmul(S, T), "fallback", retries + 1, error_text
+        return (np.matmul(S, T), "fallback", retries + 1, error_text,
+                start, time.perf_counter())
 
     def classical_rescue(i: int) -> np.ndarray:
         S, T = operands(i)
         return np.matmul(S, T)
 
-    products: dict[int, np.ndarray] = {}
-    if threads == 1:
-        for i in range(r):
-            t0 = time.perf_counter()
-            M, status, attempts, err = run_mult(i)
-            products[i] = M
-            record(JobOutcome(i, status, attempts, t0, time.perf_counter(),
-                              error=err))
-    else:
-        with ThreadPoolExecutor(max_workers=threads) as pool:
+    try:
+        products: dict[int, np.ndarray] = {}
+        if threads == 1:
+            for i in range(r):
+                M, status, attempts, err, t_start, t_end = run_mult(i)
+                products[i] = M
+                record(JobOutcome(i, status, attempts, t_start, t_end,
+                                  error=err))
+        else:
+            pool = get_pool(threads)
             for phase in schedule.phases:
                 t0 = time.perf_counter()
                 futures = {
@@ -221,40 +258,57 @@ def threaded_apa_matmul(
                 }
                 for mult, future in futures.items():
                     try:
-                        M, status, attempts, err = future.result(
-                            timeout=timeout)
+                        (M, status, attempts, err,
+                         t_start, t_end) = future.result(timeout=timeout)
                     except FutureTimeoutError:
                         emit("worker-timeout", mult,
                              f"no result within {timeout}s; classical gemm "
                              "recomputed the block in the caller thread")
-                        M, status, attempts, err = (
+                        # The worker never reported, so the phase submit
+                        # time is the only start we have for this job.
+                        M, status, attempts, err, t_start, t_end = (
                             classical_rescue(mult), "timeout-fallback", 1,
-                            f"timeout after {timeout}s")
+                            f"timeout after {timeout}s", t0,
+                            time.perf_counter())
                         future.cancel()
                     products[mult] = M
-                    record(JobOutcome(mult, status, attempts, t0,
-                                      time.perf_counter(), error=err))
+                    record(JobOutcome(mult, status, attempts, t_start,
+                                      t_end, error=err))
 
-    C = np.zeros((plan.padded_rows_a, plan.padded_cols_b), dtype=dtype)
-    c_blocks = _flatten(C, m, k)
-    for q in range(len(c_blocks)):
-        initialized = False
-        target = c_blocks[q]
-        for i in range(r):
-            w = Wn[q, i]
-            if w == 0:
-                continue
-            M = products[i]
-            if not initialized:
-                if w == 1:
-                    np.copyto(target, M)
+        if workspace is not None:
+            C = workspace.C[0]
+            c_blocks = workspace.c_blocks[0]
+        else:
+            C = np.zeros((part.padded_rows_a, part.padded_cols_b),
+                         dtype=dtype)
+            c_blocks = _flatten(C, m, k)
+        for q in range(len(c_blocks)):
+            initialized = False
+            target = c_blocks[q]
+            for i in range(r):
+                w = Wn[q, i]
+                if w == 0:
+                    continue
+                M = products[i]
+                if not initialized:
+                    if w == 1:
+                        np.copyto(target, M)
+                    else:
+                        np.multiply(M, w, out=target)
+                    initialized = True
+                elif w == 1:
+                    target += M
+                elif w == -1:
+                    target -= M
                 else:
-                    np.multiply(M, w, out=target)
-                initialized = True
-            elif w == 1:
-                target += M
-            elif w == -1:
-                target -= M
-            else:
-                target += w * M
-    return np.ascontiguousarray(plan.crop(C))
+                    target += w * M
+            if not initialized:
+                # Arena C is uninitialized memory, not np.zeros.
+                target[...] = 0
+        if workspace is not None:
+            # Always copy out: the arena C belongs to the plan.
+            return np.array(C[: A.shape[0], : B.shape[1]])
+        return np.ascontiguousarray(part.crop(C))
+    finally:
+        if workspace is not None:
+            plan.release(workspace)

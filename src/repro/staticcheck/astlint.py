@@ -11,6 +11,13 @@ the threaded executor and the robustness stack must never reintroduce:
     a lock (a ``with`` block whose context expression mentions a lock).
     Worker results must flow back through return values; in-place
     mutation from worker threads is a data race.
+
+    Additionally, *any* function that declares ``global`` and rebinds
+    one of those names outside a lock-guarded ``with`` block is flagged:
+    module-level shared state (the persistent thread pool in
+    :mod:`repro.parallel.pool` is the canonical case) is reachable from
+    every thread, so its rebinds must sit under the module's lock even
+    when the function itself is not a worker.
 ``PAR002``
     Legacy global RNG state (``np.random.seed``, ``np.random.rand``,
     ``random.random``, ...) instead of an owned
@@ -211,6 +218,59 @@ def _check_worker(
     return findings
 
 
+def _scope_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef):
+    """Yield the nodes of ``func``'s own scope, skipping nested functions."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _flat_name_targets(target: ast.expr) -> list[ast.Name]:
+    if isinstance(target, ast.Name):
+        return [target]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return [n for elt in target.elts for n in _flat_name_targets(elt)]
+    return []
+
+
+def _check_global_rebinds(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    path: str,
+) -> list[Finding]:
+    """PAR001 for non-worker functions: ``global`` rebinds need the lock."""
+    declared: set[str] = set()
+    for node in _scope_nodes(func):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+    if not declared:
+        return []
+    locked = _locked_linenos(func)
+    findings: list[Finding] = []
+    for node in _scope_nodes(func):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            for name in _flat_name_targets(target):
+                if name.id in declared and node.lineno not in locked:
+                    findings.append(Finding(
+                        "PAR001", Severity.ERROR, f"{path}:{node.lineno}",
+                        f"function {func.name!r} rebinds module global "
+                        f"{name.id!r} outside a lock",
+                        detail="module-level shared state is visible to "
+                               "every thread; rebind it under the "
+                               "module's guarding lock",
+                    ))
+    return findings
+
+
 # ----------------------------------------------------------------------
 # the per-file linter
 # ----------------------------------------------------------------------
@@ -283,6 +343,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
 
         # PAR001 — worker-thread shared state
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            findings.extend(_check_global_rebinds(node, path))
             workers = _worker_names(node)
             if workers:
                 for inner in ast.walk(node):

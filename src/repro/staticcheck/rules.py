@@ -72,8 +72,10 @@ _RULE_LIST: tuple[RuleInfo, ...] = (
              "stored exactly once"),
     # -- concurrency lints --------------------------------------------
     RuleInfo("PAR001", Severity.ERROR,
-             "shared mutable state written from a worker-thread function "
-             "without holding a lock"),
+             "shared mutable state written without holding a lock: a "
+             "worker-thread function mutating closed-over state, or any "
+             "function rebinding a module global outside a lock-guarded "
+             "with block"),
     RuleInfo("PAR002", Severity.ERROR,
              "non-reentrant RNG: legacy global random state "
              "(np.random.* / random.*) used instead of a Generator"),

@@ -56,8 +56,8 @@ def test_double_write_is_gen002():
     alg = bini322_algorithm()
     source = generate_source(alg)
     # Write P0 a second time right before the output assembly.
-    broken = source.replace("\n    C = np.empty(",
-                            "\n    P0 = P1\n    C = np.empty(", 1)
+    broken = _tamper(source, "\n    if arena is None:\n        C = np.empty(",
+                     "\n    P0 = P1\n    if arena is None:\n        C = np.empty(")
     rule_ids = [f.rule_id for f in audit_generated_source(broken, alg)]
     assert "GEN002" in rule_ids
 
@@ -65,8 +65,8 @@ def test_double_write_is_gen002():
 def test_unused_temporary_is_gen003():
     alg = bini322_algorithm()
     source = generate_source(alg)
-    broken = source.replace("\n    C = np.empty(",
-                            "\n    P99 = P1 + P2\n    C = np.empty(", 1)
+    broken = _tamper(source, "\n    if arena is None:\n        C = np.empty(",
+                     "\n    P99 = P1 + P2\n    if arena is None:\n        C = np.empty(")
     findings = audit_generated_source(broken, alg)
     assert [f.rule_id for f in findings] == ["GEN003"]
     assert "P99" in findings[0].message
