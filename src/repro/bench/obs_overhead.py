@@ -1,0 +1,150 @@
+"""Measure the cost of the observability layer on the warm hot path.
+
+The tracing contract (see ``docs/OBSERVABILITY.md``) is that a span
+site with *no* tracer installed costs exactly one module-attribute read
+and one ``is None`` branch.  This benchmark holds the contract to
+account on the hottest instrumented site — a warm, plan-cached
+:meth:`~repro.core.plan.ExecutionPlan.execute` — by timing three loops
+over the same cached plan:
+
+- **baseline**: ``plan._execute`` — the un-instrumented body;
+- **disabled**: ``plan.execute`` with no tracer installed — baseline
+  plus the single branch (must stay under ``max_overhead``, 2% by
+  default, enforced by the ``repro obs-overhead`` CLI gate);
+- **enabled**: ``plan.execute`` under a live tracer — the price of
+  actually recording spans, reported for context (not gated).
+
+The branch under test costs nanoseconds while one sample loop costs
+milliseconds, so the estimator is built for noise rejection: the legs
+are sampled *interleaved* (round-robin, one sample of each per round),
+and the reported overhead is the **median of per-round ratios** — each
+round's disabled sample divided by the same round's baseline sample.
+Pairing within a round cancels slow drift (CPU frequency scaling,
+cache warm-up, background load); the median discards the rounds a
+scheduler preemption contaminated.  Run via
+``python -m repro obs-overhead``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ObsOverhead", "measure_obs_overhead"]
+
+
+def _interleaved(fns, repeats: int, warmup: int = 2) -> list[list[float]]:
+    """Per-callable sample lists, collected round-robin."""
+    for _ in range(warmup):
+        for fn in fns:
+            fn()
+    samples: list[list[float]] = [[] for _ in fns]
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            samples[i].append(time.perf_counter() - t0)
+    return samples
+
+
+def _paired_overhead(base: list[float], other: list[float]) -> float:
+    """Median of per-round ``other/base`` ratios, minus one."""
+    return statistics.median(o / b for o, b in zip(other, base)) - 1.0
+
+
+@dataclass(frozen=True)
+class ObsOverhead:
+    algorithm: str
+    n: int
+    iters: int
+    base_samples: tuple[float, ...]
+    disabled_samples: tuple[float, ...]
+    enabled_samples: tuple[float, ...]
+
+    @property
+    def disabled_overhead(self) -> float:
+        """Fractional cost of the dormant instrumentation (paired median)."""
+        return _paired_overhead(list(self.base_samples),
+                                list(self.disabled_samples))
+
+    @property
+    def enabled_overhead(self) -> float:
+        """Fractional cost of live span recording (paired median)."""
+        return _paired_overhead(list(self.base_samples),
+                                list(self.enabled_samples))
+
+    def describe(self) -> str:
+        best = min(self.base_samples)
+        per_call = best / self.iters
+        return (
+            f"{self.algorithm} n={self.n}, {self.iters} warm plan "
+            f"executions per sample, {len(self.base_samples)} rounds "
+            f"({per_call * 1e6:.1f} us/call):\n"
+            f"  baseline (_execute)       best {best:.4f}s\n"
+            f"  tracer disabled (execute) best {min(self.disabled_samples):.4f}s "
+            f"({self.disabled_overhead * 100:+.2f}% paired median)\n"
+            f"  tracer enabled  (execute) best {min(self.enabled_samples):.4f}s "
+            f"({self.enabled_overhead * 100:+.2f}% paired median)"
+        )
+
+
+def measure_obs_overhead(
+    algorithm: str = "bini322",
+    n: int = 96,
+    steps: int = 1,
+    iters: int = 30,
+    repeats: int = 25,
+    dtype=np.float32,
+    seed: int = 0,
+) -> ObsOverhead:
+    """Time instrumented-vs-bare execution of one warm cached plan.
+
+    Must run with no tracer installed (raises otherwise): the
+    ``disabled`` leg is only meaningful when the span site takes its
+    no-op branch.
+    """
+    from repro.algorithms.catalog import get_algorithm
+    from repro.core.lam import optimal_lambda, precision_bits
+    from repro.core.plan import PlanCache
+    from repro.obs import tracer as _obs_tracer
+    from repro.obs.tracer import use_tracer
+
+    if _obs_tracer.ACTIVE is not None:
+        raise RuntimeError(
+            "measure_obs_overhead needs the tracer disabled to time the "
+            "no-op branch; exit the active use_tracer() block first")
+
+    alg = get_algorithm(algorithm)
+    rng = np.random.default_rng(seed)
+    A = rng.random((n, n)).astype(dtype)
+    B = rng.random((n, n)).astype(dtype)
+    lam = optimal_lambda(alg, d=precision_bits(np.dtype(dtype)), steps=steps)
+
+    # One private warm plan; never touches the process-wide cache.
+    plan = PlanCache().plan_for(alg, n, n, n, dtype, lam, steps=steps)
+    plan._execute(A, B)  # warm the workspace pool
+
+    def run_baseline() -> None:
+        for _ in range(iters):
+            plan._execute(A, B)
+
+    def run_disabled() -> None:
+        for _ in range(iters):
+            plan.execute(A, B)
+
+    def run_enabled() -> None:
+        with use_tracer():
+            # The fresh per-sample tracer keeps span accumulation from
+            # growing the recording cost across rounds.
+            for _ in range(iters):
+                plan.execute(A, B)
+
+    base, disabled, enabled = _interleaved(
+        [run_baseline, run_disabled, run_enabled], repeats=repeats)
+    return ObsOverhead(algorithm=alg.name, n=n, iters=iters,
+                       base_samples=tuple(base),
+                       disabled_samples=tuple(disabled),
+                       enabled_samples=tuple(enabled))

@@ -14,6 +14,9 @@ Commands
 ``guard-overhead``— wall-clock cost of the guarded backend's checks
 ``hotpath``       — plan-cached vs cold-path throughput comparison
 ``lint``          — static verification & lint (no gemms executed)
+``trace``         — traced guarded run, Chrome/JSONL trace export
+``metrics``       — process metrics (Prometheus text or JSON)
+``obs-overhead``  — cost of dormant/live tracing on the warm hot path
 """
 
 from __future__ import annotations
@@ -112,6 +115,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-cse-rank", type=int, default=128,
                    help="skip (and report) CSE-mode codegen audits above "
                         "this rank (default: 128)")
+
+    p = sub.add_parser(
+        "trace",
+        help="run a traced guarded matmul and export the timeline")
+    p.add_argument("name", nargs="?", default="strassen444")
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--steps", type=int, default=1)
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace_event JSON output path "
+                        "(open in chrome://tracing or Perfetto)")
+    p.add_argument("--jsonl", default=None,
+                   help="also write the raw JSONL event stream here")
+    p.add_argument("--fault", default="perturb",
+                   choices=["perturb", "nan", "inf", "raise", "none"],
+                   help="fault injected into worker gemms so the guard "
+                        "rails fire on the timeline (default: perturb)")
+    p.add_argument("--gantt", action="store_true",
+                   help="also print the ASCII span/instant summary")
+
+    p = sub.add_parser("metrics",
+                       help="dump the unified process metrics view")
+    p.add_argument("--format", choices=["prom", "json"], default="prom")
+    p.add_argument("--demo", action="store_true",
+                   help="run the traced demo workload first so the "
+                        "counters are non-trivial")
+
+    p = sub.add_parser(
+        "obs-overhead",
+        help="tracing cost on the warm plan-cached hot path")
+    p.add_argument("name", nargs="?", default="bini322")
+    p.add_argument("--n", type=int, default=96)
+    p.add_argument("--iters", type=int, default=30)
+    p.add_argument("--repeats", type=int, default=25)
+    p.add_argument("--max-overhead", type=float, default=0.02,
+                   help="fail (exit 1) if the disabled-tracer overhead "
+                        "exceeds this fraction (default: 0.02)")
 
     p = sub.add_parser("save", help="write an algorithm file")
     p.add_argument("name")
@@ -264,6 +304,65 @@ def _cmd_lint(args, out) -> int:
     return result.exit_code()
 
 
+def _cmd_trace(args, out) -> int:
+    from repro.obs.demo import run_traced_demo
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    demo = run_traced_demo(
+        args.name, n=args.n, threads=args.threads, steps=args.steps,
+        fault=None if args.fault == "none" else args.fault)
+    # The demo's EventLog events were forwarded to the tracer live, so
+    # the export reads everything from the tracer alone.
+    write_chrome_trace(args.out, demo.tracer)
+    print(demo.summary(), file=out)
+    print(f"wrote {args.out} (load in chrome://tracing or "
+          f"https://ui.perfetto.dev)", file=out)
+    if args.jsonl:
+        write_jsonl(args.jsonl, demo.tracer)
+        print(f"wrote {args.jsonl}", file=out)
+    if args.gantt:
+        for span in demo.tracer.spans:
+            print(f"  span {span.name} [{span.cat}] "
+                  f"{span.duration * 1e3:8.3f}ms tid={span.tid}", file=out)
+        for inst in demo.tracer.instants:
+            print(f"  instant {inst.name} [{inst.cat}]", file=out)
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    import json
+
+    from repro.obs import metrics
+    from repro.obs.export import render_prometheus
+
+    if args.demo:
+        from repro.obs.demo import run_traced_demo
+
+        run_traced_demo()
+    unified = metrics()
+    if args.format == "json":
+        print(json.dumps(unified, indent=2, sort_keys=True), file=out)
+    else:
+        print(render_prometheus(unified), file=out, end="")
+    return 0
+
+
+def _cmd_obs_overhead(args, out) -> int:
+    from repro.bench.obs_overhead import measure_obs_overhead
+
+    result = measure_obs_overhead(args.name, n=args.n, iters=args.iters,
+                                  repeats=args.repeats)
+    print(result.describe(), file=out)
+    if result.disabled_overhead > args.max_overhead:
+        print(f"FAIL: disabled-tracer overhead "
+              f"{result.disabled_overhead * 100:.2f}% exceeds "
+              f"{args.max_overhead * 100:.2f}% budget", file=out)
+        return 1
+    print(f"OK: disabled-tracer overhead within "
+          f"{args.max_overhead * 100:.2f}% budget", file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -301,6 +400,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_hotpath(args, out)
     if args.command == "lint":
         return _cmd_lint(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    if args.command == "metrics":
+        return _cmd_metrics(args, out)
+    if args.command == "obs-overhead":
+        return _cmd_obs_overhead(args, out)
     if args.command == "save":
         from repro.algorithms.catalog import get_algorithm
         from repro.algorithms.io import save_algorithm

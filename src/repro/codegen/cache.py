@@ -14,6 +14,7 @@ import threading
 import numpy as np
 
 from repro.codegen.generate import generate_source
+from repro.obs import tracer as _obs_tracer
 
 __all__ = ["compile_algorithm", "clear_cache", "cache_stats", "KernelArena"]
 
@@ -67,18 +68,30 @@ def compile_algorithm(alg, func_name: str | None = None, cse: bool = False):
             _HITS += 1
             return _CACHE[key]
     name = func_name or f"apa_mm_{alg.name}"
-    source = generate_source(alg, func_name=name, cse=cse)
-    namespace: dict = {}
-    code = compile(source, filename=f"<codegen:{alg.name}>", mode="exec")
-    exec(code, namespace)
-    fn = namespace[name]
-    fn.__source__ = source  # keep the source inspectable for debugging
+    tracer = _obs_tracer.ACTIVE
+    if tracer is None:
+        fn = _compile(alg, name, cse)
+    else:
+        # Compiles are the expensive, rare path — worth a span each.
+        with tracer.span("kernel.compile", cat="codegen",
+                         algorithm=alg.name, cse=cse):
+            fn = _compile(alg, name, cse)
     with _LOCK:
         if key in _CACHE:
             _HITS += 1
             return _CACHE[key]
         _MISSES += 1
         _CACHE[key] = fn
+    return fn
+
+
+def _compile(alg, name: str, cse: bool):
+    source = generate_source(alg, func_name=name, cse=cse)
+    namespace: dict = {}
+    code = compile(source, filename=f"<codegen:{alg.name}>", mode="exec")
+    exec(code, namespace)
+    fn = namespace[name]
+    fn.__source__ = source  # keep the source inspectable for debugging
     return fn
 
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.algorithms.spec import AlgorithmLike
 from repro.linalg.blocking import BlockPartition, split_blocks
+from repro.obs import tracer as _obs_tracer
 from repro.types import GemmFn
 
 __all__ = ["apa_matmul", "apa_matmul_nonstationary", "linear_combination"]
@@ -127,6 +128,32 @@ def apa_matmul(
     The ``(A.shape[0], B.shape[1])`` product array, same dtype as the
     promoted operand dtype.
     """
+    # Observability seam: when a tracer is active the whole call becomes
+    # one span (the plan's execute span nests inside); when it is not,
+    # this branch is the entire cost (bench/obs_overhead.py pins it).
+    tracer = _obs_tracer.ACTIVE
+    if tracer is None:
+        return _apa_matmul_impl(A, B, algorithm, lam, steps, gemm, d,
+                                plan_cache)
+    with tracer.span(
+        "apa_matmul", cat="core",
+        algorithm=getattr(algorithm, "name", str(algorithm)),
+        shape=f"{tuple(A.shape)}@{tuple(B.shape)}", steps=steps,
+    ):
+        return _apa_matmul_impl(A, B, algorithm, lam, steps, gemm, d,
+                                plan_cache)
+
+
+def _apa_matmul_impl(
+    A: np.ndarray,
+    B: np.ndarray,
+    algorithm: AlgorithmLike | str,
+    lam: float | None,
+    steps: int,
+    gemm: GemmFn | None,
+    d: int | None,
+    plan_cache,
+) -> np.ndarray:
     if A.ndim != 2 or B.ndim != 2:
         raise ValueError("apa_matmul expects 2-D operands")
     if A.shape[1] != B.shape[0]:

@@ -41,6 +41,7 @@ import numpy as np
 from repro.algorithms.spec import AlgorithmLike
 from repro.core.memory import WorkspaceEstimate, workspace_bytes
 from repro.linalg.blocking import BlockPartition, split_blocks
+from repro.obs import tracer as _obs_tracer
 from repro.robustness.events import EventLog
 from repro.types import GemmFn
 
@@ -286,7 +287,24 @@ class ExecutionPlan:
         :func:`~repro.core.apa_matmul.apa_matmul` (the fault-injection
         seam); the default routes through ``np.matmul`` writing straight
         into the arena's product slot.
+
+        With no tracer installed this method is a single extra branch
+        over :meth:`_execute` (the un-instrumented body —
+        ``bench/obs_overhead.py`` times the two against each other).
         """
+        tracer = _obs_tracer.ACTIVE
+        if tracer is None:
+            return self._execute(A, B, gemm)
+        with tracer.span(
+            "plan.execute", cat="core", algorithm=self.key.algorithm,
+            shape=f"({self.key.rows_a},{self.key.cols_a})"
+                  f"@({self.key.cols_a},{self.key.cols_b})",
+            steps=self.key.steps,
+        ):
+            return self._execute(A, B, gemm)
+
+    def _execute(self, A: np.ndarray, B: np.ndarray,
+                 gemm: GemmFn | None = None) -> np.ndarray:
         if self.key.mode != "sequential":
             raise ValueError(f"execute() is for sequential plans, "
                              f"this one is {self.key.mode!r}")
@@ -429,20 +447,30 @@ class PlanCache:
             dtype=np.dtype(dtype).str, lam=float(lam), steps=steps,
             mode=mode, strategy=strategy, threads=threads,
         )
+        tracer = _obs_tracer.ACTIVE
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
                 self._plans.move_to_end(key)
                 self.hits += 1
-                return plan
+        if plan is not None:
+            if tracer is not None:
+                tracer.instant("plan-hit", cat="plan",
+                               algorithm=key.algorithm,
+                               shape=f"{key.rows_a}x{key.cols_a}x"
+                                     f"{key.cols_b}")
+            return plan
         # Build outside the lock: plan construction evaluates
         # coefficients and allocates nothing shared, so a rare duplicate
         # build is cheaper than serializing every miss.
         built = ExecutionPlan(algorithm, key)
+        evicted: list[PlanKey] = []
+        missed = False
         with self._lock:
             plan = self._plans.get(key)
             if plan is None:
                 self.misses += 1
+                missed = True
                 self._plans[key] = plan = built
                 if self.log is not None:
                     self.log.emit("plan-miss", f"plan:{key.algorithm}",
@@ -451,6 +479,7 @@ class PlanCache:
                 while len(self._plans) > self.maxsize:
                     old_key, _ = self._plans.popitem(last=False)
                     self.evictions += 1
+                    evicted.append(old_key)
                     if self.log is not None:
                         self.log.emit("plan-evict",
                                       f"plan:{old_key.algorithm}",
@@ -459,6 +488,25 @@ class PlanCache:
             else:
                 self.hits += 1
                 self._plans.move_to_end(key)
+        if tracer is not None:
+            if not missed:
+                tracer.instant("plan-hit", cat="plan",
+                               algorithm=key.algorithm,
+                               shape=f"{key.rows_a}x{key.cols_a}x"
+                                     f"{key.cols_b}", mode=key.mode)
+            elif self.log is None:
+                # With a log attached, EventLog.emit already forwarded
+                # the miss/evict to the tracer — don't double-record.
+                tracer.instant("plan-miss", cat="plan",
+                               algorithm=key.algorithm,
+                               shape=f"{key.rows_a}x{key.cols_a}x"
+                                     f"{key.cols_b}", mode=key.mode)
+                for old_key in evicted:
+                    tracer.instant("plan-evict", cat="plan",
+                                   algorithm=old_key.algorithm,
+                                   shape=f"{old_key.rows_a}x"
+                                         f"{old_key.cols_a}x"
+                                         f"{old_key.cols_b}")
         return plan
 
     def stats(self) -> dict[str, int]:

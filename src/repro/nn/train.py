@@ -10,6 +10,7 @@ flow through unchanged.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -18,6 +19,8 @@ import numpy as np
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.model import History, Sequential
 from repro.nn.optim import SGD, Optimizer
+from repro.obs import tracer as _obs_tracer
+from repro.obs.registry import default_registry
 
 __all__ = [
     "LRSchedule",
@@ -272,6 +275,37 @@ class Trainer:
             "pool": pool_stats(),
         }
 
+    def _train_step(self, xb: np.ndarray, yb: np.ndarray) -> tuple[float, int]:
+        """One forward/backward/update; returns (batch loss, # correct)."""
+        logits = self.model.forward(xb, training=True)
+        loss = self.loss.forward(logits, yb)
+        self.optimizer.zero_grad()
+        self.model.backward(self.loss.backward())
+        if self.grad_clip is not None:
+            clip_gradients(self.optimizer.params, self.grad_clip)
+        self.optimizer.step()
+        return loss, int((np.argmax(logits, axis=1) == yb).sum())
+
+    def _run_epoch(self, x_train: np.ndarray, y_train: np.ndarray,
+                   order: np.ndarray,
+                   batch_size: int) -> tuple[float, int, int]:
+        """All batches of one epoch; returns (loss sum, correct, batches)."""
+        tracer = _obs_tracer.ACTIVE
+        total_loss, correct, batches = 0.0, 0, 0
+        for start in range(0, x_train.shape[0], batch_size):
+            idx = order[start : start + batch_size]
+            xb, yb = x_train[idx], y_train[idx]
+            if tracer is None:
+                loss, ok = self._train_step(xb, yb)
+            else:
+                with tracer.span("train.step", cat="nn", batch=batches,
+                                 size=int(len(idx))):
+                    loss, ok = self._train_step(xb, yb)
+            total_loss += loss
+            correct += ok
+            batches += 1
+        return total_loss, correct, batches
+
     def fit(
         self,
         x_train: np.ndarray,
@@ -303,19 +337,24 @@ class Trainer:
             # never faulted.
             order = retry_order if retry_order is not None else rng.permutation(n)
             retry_order = None
-            total_loss, correct, batches = 0.0, 0, 0
-            for start in range(0, n, batch_size):
-                idx = order[start : start + batch_size]
-                xb, yb = x_train[idx], y_train[idx]
-                logits = self.model.forward(xb, training=True)
-                total_loss += self.loss.forward(logits, yb)
-                self.optimizer.zero_grad()
-                self.model.backward(self.loss.backward())
-                if self.grad_clip is not None:
-                    clip_gradients(self.optimizer.params, self.grad_clip)
-                self.optimizer.step()
-                correct += int((np.argmax(logits, axis=1) == yb).sum())
-                batches += 1
+            tracer = _obs_tracer.ACTIVE
+            t0 = time.perf_counter()
+            if tracer is None:
+                total_loss, correct, batches = self._run_epoch(
+                    x_train, y_train, order, batch_size)
+            else:
+                with tracer.span("train.epoch", cat="nn", epoch=epoch,
+                                 lr=self.optimizer.lr):
+                    total_loss, correct, batches = self._run_epoch(
+                        x_train, y_train, order, batch_size)
+            epoch_seconds = time.perf_counter() - t0
+            # Counters cover *executed* epochs (rolled-back ones burned
+            # real time too); history keeps only the healthy ones.
+            registry = default_registry()
+            registry.counter("repro_train_epochs_total").inc()
+            registry.counter("repro_train_steps_total").inc(batches)
+            registry.histogram("repro_train_epoch_seconds").observe(
+                epoch_seconds)
             mean_loss = total_loss / batches
             if self.divergence_guard is not None:
                 verdict = self.divergence_guard.check(self, epoch, mean_loss)
@@ -326,7 +365,7 @@ class Trainer:
                     break
             history.train_loss.append(mean_loss)
             history.train_accuracy.append(correct / n)
-            history.epoch_seconds.append(0.0)
+            history.epoch_seconds.append(epoch_seconds)
             if x_test is not None and y_test is not None:
                 history.test_accuracy.append(self.model.accuracy(x_test, y_test))
             if self.epoch_callback is not None:

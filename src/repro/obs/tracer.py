@@ -1,0 +1,222 @@
+"""Structured span tracing for the APA execution stack.
+
+One tracer instruments the whole pipeline — ``apa_matmul`` →
+``ExecutionPlan.execute`` → the threaded executor's jobs →
+``Trainer`` epochs and steps — with *spans*: named intervals on the
+``time.perf_counter`` monotonic clock, tagged with the emitting thread
+and nested through a thread-local stack, so a worker's gemm span hangs
+off the executor call that scheduled it.  Point-in-time *instants*
+(plan-cache misses, pool resizes, every
+:class:`~repro.robustness.events.RobustnessEvent`) land on the same
+clock, which is what lets :mod:`repro.obs.export` lay spans and guard
+events out on one Chrome/Perfetto timeline.
+
+Tracing is **off by default** and must stay invisible when off: the
+module global :data:`ACTIVE` is ``None``, and every instrumented hot
+path does exactly one ``if tracer.ACTIVE is not None`` branch before
+its real work (``bench/obs_overhead.py`` pins the cost).  Turn it on
+process-wide with :func:`set_tracer` or scoped with :func:`use_tracer`:
+
+    from repro.obs import Tracer, use_tracer
+    with use_tracer(Tracer()) as t:
+        apa_matmul(A, B, alg)
+    print(len(t.spans))
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "Instant", "Tracer", "ACTIVE", "get_tracer",
+           "set_tracer", "use_tracer"]
+
+
+@dataclass
+class Span:
+    """One named interval: ``[start, end]`` on the monotonic clock.
+
+    ``tid`` is the OS thread ident of the thread that *opened* the span
+    (spans never migrate threads); ``parent_id`` is the id of the span
+    that was open on the same thread at the time, or ``None`` for a
+    root.  ``args`` carries caller-supplied attributes (algorithm name,
+    shape, multiplication index ...) that the exporters surface.
+    """
+
+    name: str
+    cat: str
+    start: float
+    span_id: int
+    tid: int
+    parent_id: int | None = None
+    end: float | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event on the span timeline (plan miss, guard action...)."""
+
+    name: str
+    cat: str
+    t: float
+    tid: int
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: Tracer, span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._finish(self._span)
+
+
+class Tracer:
+    """Thread-safe recording tracer.
+
+    Every :meth:`span` / :meth:`instant` is timestamped with ``clock``
+    (``time.perf_counter`` by default — the same clock
+    :class:`~repro.robustness.events.EventLog` stamps its events with,
+    so both kinds of record share one timebase).  Finished spans and
+    instants accumulate in memory until :meth:`clear`; exporters read
+    them through :attr:`spans` / :attr:`instants`.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.pid = os.getpid()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._instants: list[Instant] = []
+        self._local = threading.local()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, cat: str = "repro", **args: Any) -> _SpanHandle:
+        """Open a nested span: ``with tracer.span("apa_matmul", n=64): ...``
+
+        The span's parent is whatever span is currently open on the
+        *same thread*; its interval closes when the ``with`` block
+        exits (exceptions included — the span still ends).
+        """
+        stack = self._stack()
+        with self._lock:
+            self._next_id += 1
+            span_id = self._next_id
+        span = Span(
+            name=name, cat=cat, start=self.clock(), span_id=span_id,
+            tid=threading.get_ident(),
+            parent_id=stack[-1].span_id if stack else None,
+            args=args,
+        )
+        stack.append(span)
+        return _SpanHandle(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end = self.clock()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._spans.append(span)
+
+    def instant(self, name: str, cat: str = "event",
+                t: float | None = None, **args: Any) -> Instant:
+        """Record a point event (``t`` defaults to now; pass an existing
+        ``perf_counter`` reading to place an already-stamped record)."""
+        inst = Instant(name=name, cat=cat,
+                       t=self.clock() if t is None else t,
+                       tid=threading.get_ident(), args=args)
+        with self._lock:
+            self._instants.append(inst)
+        return inst
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Finished spans (open spans appear only once closed)."""
+        with self._lock:
+            return tuple(self._spans)
+
+    @property
+    def instants(self) -> tuple[Instant, ...]:
+        with self._lock:
+            return tuple(self._instants)
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._instants.clear()
+
+
+# ----------------------------------------------------------------------
+# the process-wide active tracer
+# ----------------------------------------------------------------------
+
+#: The active tracer, or ``None`` (the default — tracing disabled).
+#: Hot paths read this attribute directly: ``if tracer.ACTIVE is not
+#: None`` is the *entire* disabled-mode cost of a span site.
+ACTIVE: Tracer | None = None
+
+_ACTIVE_LOCK = threading.Lock()
+
+
+def get_tracer() -> Tracer | None:
+    """The currently active tracer (``None`` = tracing disabled)."""
+    return ACTIVE
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global ACTIVE
+    with _ACTIVE_LOCK:
+        previous = ACTIVE
+        ACTIVE = tracer
+    return previous
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Scoped activation: install ``tracer`` (a fresh :class:`Tracer`
+    when omitted), restore the previous one on exit."""
+    if tracer is None:
+        tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

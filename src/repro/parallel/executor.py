@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.apa_matmul import linear_combination
 from repro.linalg.blocking import BlockPartition, split_blocks
+from repro.obs import tracer as _obs_tracer
 from repro.parallel.pool import get_pool
 from repro.parallel.strategy import Schedule, build_schedule
 from repro.robustness.events import EventLog
@@ -160,6 +161,11 @@ def threaded_apa_matmul(
     m, n, k = algorithm.m, algorithm.n, algorithm.k
     r = algorithm.rank
 
+    # Observability: one umbrella span for the call, one span per
+    # scheduled job (opened in the worker thread, so the Chrome trace
+    # shows real per-thread lanes).  Disabled cost: this None check.
+    tracer = _obs_tracer.ACTIVE
+
     from repro.core.plan import resolve_plan_cache
 
     cache = resolve_plan_cache(plan_cache)
@@ -212,6 +218,13 @@ def threaded_apa_matmul(
         the start would charge every job for its time in the queue (the
         bug render_execution_gantt used to inherit).
         """
+        if tracer is None:
+            return _run_mult(i)
+        with tracer.span("executor.job", cat="parallel", mult=i,
+                         algorithm=algorithm.name):
+            return _run_mult(i)
+
+    def _run_mult(i: int) -> tuple[np.ndarray, str, int, str, float, float]:
         start = time.perf_counter()
         S, T = operands(i)
         error_text = ""
@@ -241,6 +254,13 @@ def threaded_apa_matmul(
         S, T = operands(i)
         return np.matmul(S, T)
 
+    outer_span = None
+    if tracer is not None:
+        outer_span = tracer.span(
+            "threaded_apa_matmul", cat="parallel",
+            algorithm=algorithm.name, threads=threads, strategy=strategy,
+            shape=f"{tuple(A.shape)}@{tuple(B.shape)}", steps=steps)
+        outer_span.__enter__()
     try:
         products: dict[int, np.ndarray] = {}
         if threads == 1:
@@ -310,5 +330,7 @@ def threaded_apa_matmul(
             return np.array(C[: A.shape[0], : B.shape[1]])
         return np.ascontiguousarray(part.crop(C))
     finally:
+        if outer_span is not None:
+            outer_span.__exit__(None, None, None)
         if workspace is not None:
             plan.release(workspace)

@@ -26,6 +26,8 @@ import atexit
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.obs import tracer as _obs_tracer
+
 __all__ = ["get_pool", "shutdown_pool", "pool_stats"]
 
 _LOCK = threading.Lock()
@@ -61,6 +63,10 @@ def get_pool(threads: int) -> ThreadPoolExecutor:
     # unrelated module state, and nothing below touches the globals.
     if old is not None:
         old.shutdown(wait=True)
+    tracer = _obs_tracer.ACTIVE
+    if tracer is not None:
+        tracer.instant("pool-resize" if old is not None else "pool-create",
+                       cat="pool", threads=threads)
     return pool
 
 

@@ -149,8 +149,10 @@ def render_execution_gantt(report, width: int = 72) -> str:
     filled in by ``threaded_apa_matmul(..., report=...)``.  Healthy jobs
     draw with ``#``; retried jobs with ``~``; jobs recovered by the
     classical fallback with ``!``; timed-out jobs with ``X``.  Recovery
-    events are appended below the chart so the timeline and the failure
-    log read together.
+    events carry a monotonic timestamp on the same clock as the job
+    spans, so each is overlaid as a ``^`` marker row at its position on
+    the timeline (clamped to the chart for events stamped at the very
+    edges), followed by its offset from the first job's start.
     """
     if width < 20:
         raise ValueError("width too small to render")
@@ -178,5 +180,10 @@ def render_execution_gantt(report, width: int = 72) -> str:
             f"{job.duration:8.4f}s {job.status}"
         )
     for event in report.events:
-        lines.append(f"  {event}")
+        offset = event.t - origin
+        lo = int(round(min(max(offset, 0.0), total) / total * bar_w))
+        lo = min(lo, bar_w - 1)
+        marker = " " * lo + "^"
+        lines.append(f"{'':<{label_w}}|{marker:<{bar_w}}| "
+                     f"@+{offset:8.4f}s {event}")
     return "\n".join(lines)

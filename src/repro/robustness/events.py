@@ -6,11 +6,21 @@ and the training-loop :class:`~repro.robustness.divergence.DivergenceGuard`
 — reports what it did through the same small record type, so callers can
 log, count, or render them uniformly (the executor's events feed the
 Gantt view in :mod:`repro.parallel.tracing`).
+
+Every event carries a monotonic timestamp ``t`` (``time.perf_counter``,
+the same clock :mod:`repro.obs.tracer` spans use), so guard actions can
+be ordered against execution spans on one timeline; when a tracer is
+active, :meth:`EventLog.emit` additionally forwards the event to it as
+an instant, which is how robustness events land in the Chrome trace and
+JSONL exports without any extra plumbing.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+
+from repro.obs import tracer as _obs_tracer
 
 __all__ = ["RobustnessEvent", "EventLog"]
 
@@ -27,16 +37,20 @@ class RobustnessEvent:
       ``breaker-close``,
     - executor recovery: ``worker-error``, ``worker-nonfinite``,
       ``worker-timeout``, ``retry``, ``job-fallback``,
+    - plan engine: ``plan-miss``, ``plan-evict``,
     - training: ``divergence``, ``rollback``, ``downgrade``.
 
-    ``where`` locates the event (backend name, ``mult 3``, ``epoch 7``)
-    and ``detail`` carries a human-readable explanation.
+    ``where`` locates the event (backend name, ``mult 3``, ``epoch 7``),
+    ``detail`` carries a human-readable explanation, and ``t`` is the
+    ``time.perf_counter`` reading at emission (default-filled, so
+    pre-existing construction sites keep working unchanged).
     """
 
     kind: str
     where: str
     detail: str = ""
     attempt: int = 0
+    t: float = field(default_factory=time.perf_counter)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         tail = f" (attempt {self.attempt})" if self.attempt else ""
@@ -50,10 +64,15 @@ class EventLog:
     events: list[RobustnessEvent] = field(default_factory=list)
 
     def emit(self, kind: str, where: str, detail: str = "",
-             attempt: int = 0) -> RobustnessEvent:
-        event = RobustnessEvent(kind=kind, where=where, detail=detail,
-                                attempt=attempt)
+             attempt: int = 0, t: float | None = None) -> RobustnessEvent:
+        event = RobustnessEvent(
+            kind=kind, where=where, detail=detail, attempt=attempt,
+            **({} if t is None else {"t": t}))
         self.events.append(event)
+        tracer = _obs_tracer.ACTIVE
+        if tracer is not None:
+            tracer.instant(kind, cat="robustness", t=event.t, where=where,
+                           detail=detail, attempt=attempt, source="eventlog")
         return event
 
     def of_kind(self, kind: str) -> list[RobustnessEvent]:

@@ -31,10 +31,23 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.backend import ClassicalBackend, MatmulBackend
+from repro.obs.registry import default_registry
 from repro.robustness.events import EventLog
 from repro.robustness.policy import CircuitBreaker, EscalationPolicy, shape_class
 
 __all__ = ["HealthReport", "check_product", "residual_probe", "GuardedBackend"]
+
+
+def _count(name: str) -> None:
+    """Bump a process-wide guard counter (``repro.obs.metrics()`` view).
+
+    Resolved through :func:`~repro.obs.registry.default_registry` per
+    call so tests that swap the registry see fresh counters; the lookup
+    is a dict get under a lock — noise next to a guarded product.
+    """
+    default_registry().counter(
+        name, help="guard-rail action count (see docs/OBSERVABILITY.md)"
+    ).inc()
 
 
 @dataclass(frozen=True)
@@ -183,12 +196,14 @@ class GuardedBackend:
 
     def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         self.calls += 1
+        _count("repro_guard_calls_total")
         key = (self.inner.name, shape_class(A.shape[0], A.shape[1], B.shape[1]))
 
         was_open = self.breaker.is_open(key)
         if not self.breaker.allow(key):
             self.denied_calls += 1
             self.fallback_calls += 1
+            _count("repro_guard_denied_calls_total")
             return self.fallback.matmul(A, B)
         if was_open:
             self.log.emit("breaker-probe", self.name,
@@ -202,9 +217,11 @@ class GuardedBackend:
             C = self.inner.matmul(A, B)
         except Exception as exc:  # fast path died outright — escalate
             self.violations += 1
+            _count("repro_guard_violations_total")
             self.log.emit("exception", self.name,
                           f"{type(exc).__name__}: {exc}")
             if self.breaker.record_failure(key):
+                _count("repro_guard_breaker_opens_total")
                 self.log.emit(
                     "breaker-open", self.name,
                     f"{self.policy.strikes_to_open} strikes on {key[1]}; "
@@ -229,10 +246,12 @@ class GuardedBackend:
             return C
 
         self.violations += 1
+        _count("repro_guard_violations_total")
         self.log.emit(health.reason, self.name,
                       f"residual {health.residual:.2e} vs "
                       f"threshold {threshold:.2e} on {key[1]}")
         if self.breaker.record_failure(key):
+            _count("repro_guard_breaker_opens_total")
             self.log.emit(
                 "breaker-open", self.name,
                 f"{self.policy.strikes_to_open} strikes on {key[1]}; "
@@ -305,6 +324,7 @@ class GuardedBackend:
 
         # Rung 3: classical gemm — always available, always last.
         self.fallback_calls += 1
+        _count("repro_guard_fallback_calls_total")
         C = self.fallback.matmul(A, B)
         self.log.emit("fallback", self.name,
                       f"classical gemm used for {key[1]}")
