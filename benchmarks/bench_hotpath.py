@@ -36,6 +36,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="exit 1 if the warm matmul speedup is below "
                              "this (0 disables the gate)")
+    parser.add_argument("--max-engine-overhead", type=float, default=0.02,
+                        help="exit 1 if the engine-shim dispatch overhead "
+                             "(paired median vs the direct impl call) "
+                             "exceeds this fraction (default 0.02; "
+                             "negative disables the gate)")
     parser.add_argument("--out", type=Path, default=OUT_DIR / "BENCH_hotpath.json")
     args = parser.parse_args(argv)
 
@@ -58,6 +63,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.min_speedup and result.matmul_speedup < args.min_speedup:
         print(f"FAIL: warm speedup {result.matmul_speedup:.2f}x is below "
               f"the {args.min_speedup:.2f}x gate", file=sys.stderr)
+        return 1
+    if args.max_engine_overhead >= 0 \
+            and result.engine_overhead > args.max_engine_overhead:
+        print(f"FAIL: engine dispatch overhead "
+              f"{result.engine_overhead * 100:+.2f}% exceeds the "
+              f"{args.max_engine_overhead * 100:.2f}% gate",
+              file=sys.stderr)
         return 1
     return 0
 

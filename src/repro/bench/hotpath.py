@@ -11,13 +11,18 @@ shaped products:
   layers) under the same two regimes.
 
 Numerics are asserted identical (the plan path is bit-for-bit the
-interpreter), so the speedup is pure overhead reclaimed.  Run through
+interpreter), so the speedup is pure overhead reclaimed.  Since the
+ExecutionEngine refactor the bench also measures the *dispatch* cost of
+the public shim vs the engine-private interpreter entry
+(:func:`measure_engine_overhead`, paired-median like the obs gate) and
+``benchmarks/bench_hotpath.py`` gates it below 2%.  Run through
 ``python -m repro hotpath`` or ``benchmarks/bench_hotpath.py`` (which
 emits ``BENCH_hotpath.json`` for the CI perf trajectory).
 """
 
 from __future__ import annotations
 
+import statistics
 import time
 from dataclasses import dataclass, field
 
@@ -27,7 +32,8 @@ from repro.core.apa_matmul import apa_matmul
 from repro.core.backend import APABackend
 from repro.core.plan import PlanCache
 
-__all__ = ["HotpathResult", "run_hotpath", "format_hotpath"]
+__all__ = ["HotpathResult", "run_hotpath", "format_hotpath",
+           "measure_engine_overhead"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,7 @@ class HotpathResult:
     train_cold: float
     train_warm: float
     max_abs_diff: float
+    engine_overhead: float = 0.0
     plan_cache: dict = field(default_factory=dict)
     pool: dict = field(default_factory=dict)
 
@@ -71,6 +78,7 @@ class HotpathResult:
             "train_warm_s": self.train_warm,
             "train_speedup": self.train_speedup,
             "max_abs_diff": self.max_abs_diff,
+            "engine_overhead": self.engine_overhead,
             "plan_cache": self.plan_cache,
             "pool": self.pool,
         }
@@ -86,6 +94,59 @@ def _best_per_call(fn, iters: int, repeats: int) -> float:
             fn()
         best = min(best, (time.perf_counter() - t0) / iters)
     return best
+
+
+def measure_engine_overhead(
+    algorithm: str = "bini322",
+    n: int = 96,
+    iters: int = 40,
+    repeats: int = 5,
+    dtype=np.float32,
+    seed: int = 0,
+) -> float:
+    """Dispatch cost of the engine shim vs the pre-refactor direct call.
+
+    Times the public ``apa_matmul`` shim (which routes through the
+    :class:`~repro.core.engine.ExecutionEngine` fast lane) against the
+    engine-private interpreter entry on the *same* warm plan path, as
+    interleaved rounds of ``iters`` calls each; returns the median of
+    per-round ``shim/direct`` ratios minus one (the paired-median
+    estimator the obs-overhead gate uses, robust to drift).  Gated
+    below 2% by ``benchmarks/bench_hotpath.py`` — the layered engine
+    must stay free on the hot path.
+    """
+    from repro.algorithms.catalog import get_algorithm
+    from repro.core.apa_matmul import _apa_matmul_impl  # lint: ignore[ENG001]
+
+    alg = get_algorithm(algorithm) if isinstance(algorithm, str) \
+        else algorithm
+    rng = np.random.default_rng(seed)
+    A = rng.random((n, n)).astype(dtype)
+    B = rng.random((n, n)).astype(dtype)
+    cache = PlanCache()
+
+    def direct_round() -> None:
+        for _ in range(iters):
+            _apa_matmul_impl(  # lint: ignore[ENG001] - measuring the seam
+                A, B, alg, None, 1, None, None, cache)
+
+    def shim_round() -> None:
+        for _ in range(iters):
+            apa_matmul(A, B, alg, plan_cache=cache)
+
+    # warm up both paths (primes the plan cache and the arena pool)
+    direct_round()
+    shim_round()
+    direct, shim = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        direct_round()
+        t1 = time.perf_counter()
+        shim_round()
+        t2 = time.perf_counter()
+        direct.append(t1 - t0)
+        shim.append(t2 - t1)
+    return statistics.median(s / b for s, b in zip(shim, direct)) - 1.0
 
 
 def _train_step(model, loss, x, y) -> None:
@@ -179,12 +240,16 @@ def run_hotpath(
         train_warm = _best_per_call(
             lambda: _train_step(warm_model, loss, x, y), train_iters, repeats)
 
+    engine_overhead = measure_engine_overhead(
+        algorithm, n=n, iters=iters, repeats=max(repeats, 5), dtype=dtype,
+        seed=seed)
+
     return HotpathResult(
         algorithm=algorithm, n=n, iters=iters, steps=steps,
         dtype=np.dtype(dtype).name,
         matmul_cold=matmul_cold, matmul_warm=matmul_warm,
         train_cold=train_cold, train_warm=train_warm,
-        max_abs_diff=max_abs_diff,
+        max_abs_diff=max_abs_diff, engine_overhead=engine_overhead,
         plan_cache=cache.stats(), pool=pool_stats(),
     )
 
@@ -207,4 +272,7 @@ def format_hotpath(result: HotpathResult) -> str:
         f"  plans: {pc.get('size', 0)} cached, {pc.get('hits', 0)} hits / "
         f"{pc.get('misses', 0)} misses; max |diff| vs interpreter "
         f"{result.max_abs_diff:.2e}")
+    lines.append(
+        f"  engine dispatch {result.engine_overhead * 100:+.2f}% "
+        f"(paired median, shim vs direct impl on the warm path)")
     return "\n".join(lines)

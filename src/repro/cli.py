@@ -57,7 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="thread count for the performance figures")
 
     p = sub.add_parser("matmul", help="one APA product, error report")
-    p.add_argument("name")
+    p.add_argument("name",
+                   help="catalog name, or comma-separated names for a "
+                        "non-stationary per-level schedule")
     p.add_argument("--n", type=int, default=512)
     p.add_argument("--steps", type=int, default=1)
     p.add_argument("--dtype", choices=["float32", "float64"],
@@ -93,7 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="static verification & lint (catalog, codegen, executor)")
     p.add_argument("--families", default=None,
                    help="comma-separated subset of "
-                        "algorithms,codegen,concurrency (default: all)")
+                        "algorithms,codegen,concurrency,engine "
+                        "(default: all)")
     p.add_argument("--algorithms", nargs="*", default=None,
                    help="catalog names to check (default: whole catalog)")
     p.add_argument("--paths", nargs="*", default=None,
@@ -218,21 +221,31 @@ def _cmd_matmul(args, out) -> int:
     from repro.core.backend import make_backend
     from repro.core.lam import optimal_lambda, precision_bits
 
-    alg = get_algorithm(args.name)
+    names = [part.strip() for part in args.name.split(",") if part.strip()]
+    algs = [get_algorithm(name) for name in names]
     dtype = np.dtype(args.dtype)
     rng = np.random.default_rng(0)
     A = rng.random((args.n, args.n)).astype(dtype)
     B = rng.random((args.n, args.n)).astype(dtype)
-    backend = make_backend(args.name, steps=args.steps, guarded=args.guarded)
+    backend = make_backend(names if len(names) > 1 else names[0],
+                           steps=args.steps, guarded=args.guarded)
     C = backend.matmul(A, B)
     ref = A.astype(np.float64) @ B.astype(np.float64)
     err = float(np.linalg.norm(C - ref) / np.linalg.norm(ref))
     d = precision_bits(dtype)
-    print(f"{args.name} {alg.signature()} n={args.n} steps={args.steps} "
-          f"{args.dtype}", file=out)
-    print(f"lambda*={optimal_lambda(alg, d=d, steps=args.steps):.2e} "
-          f"rel_error={err:.2e} bound={alg.error_bound(d=d, steps=args.steps):.2e}",
-          file=out)
+    if len(algs) > 1:
+        levels = " ".join(f"{a.name}{a.signature()}" for a in algs)
+        print(f"non-stationary [{levels}] n={args.n} {args.dtype}",
+              file=out)
+        print(f"rel_error={err:.2e}", file=out)
+    else:
+        alg = algs[0]
+        print(f"{args.name} {alg.signature()} n={args.n} "
+              f"steps={args.steps} {args.dtype}", file=out)
+        print(f"lambda*={optimal_lambda(alg, d=d, steps=args.steps):.2e} "
+              f"rel_error={err:.2e} "
+              f"bound={alg.error_bound(d=d, steps=args.steps):.2e}",
+              file=out)
     if args.guarded:
         print(f"guard: {backend.calls} call(s), {backend.violations} "
               f"violation(s), {backend.fallback_calls} fallback(s)", file=out)
@@ -285,7 +298,7 @@ def _cmd_lint(args, out) -> int:
 
     config = LintConfig(
         families=_split(args.families) if args.families else
-        ("algorithms", "codegen", "concurrency"),
+        ("algorithms", "codegen", "concurrency", "engine"),
         algorithms=tuple(args.algorithms or ()),
         paths=tuple(args.paths or ()),
         select=_split(args.select) if args.select else (),

@@ -11,10 +11,17 @@
   to inject APA products into neural-network layers;
 - :mod:`repro.core.plan` — cached :class:`~repro.core.plan.ExecutionPlan`
   objects with pooled workspace arenas (the hot-path engine behind
-  repeated identically-shaped calls).
+  repeated identically-shaped calls);
+- :mod:`repro.core.config` / :mod:`repro.core.engine` — the
+  :class:`~repro.core.config.ExecutionConfig` value object and the
+  :class:`~repro.core.engine.ExecutionEngine` that resolves it into the
+  layered inject → guard → trace → dispatch stack (every public entry
+  point above is a thin shim over it).
 """
 
 from repro.core.apa_matmul import apa_matmul
+from repro.core.config import ExecutionConfig, execution_context
+from repro.core.engine import ExecutionEngine, default_engine
 from repro.core.backend import (
     APABackend,
     ClassicalBackend,
@@ -33,6 +40,10 @@ from repro.core.surrogate import surrogate_matmul
 __all__ = [
     "apa_matmul",
     "surrogate_matmul",
+    "ExecutionConfig",
+    "ExecutionEngine",
+    "execution_context",
+    "default_engine",
     "optimal_lambda",
     "tune_lambda",
     "precision_bits",

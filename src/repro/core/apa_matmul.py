@@ -27,11 +27,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.spec import AlgorithmLike
+from repro.core.engine import default_engine
 from repro.linalg.blocking import BlockPartition, split_blocks
-from repro.obs import tracer as _obs_tracer
 from repro.types import GemmFn
 
 __all__ = ["apa_matmul", "apa_matmul_nonstationary", "linear_combination"]
+
+#: The process-wide engine; bound once — it is never replaced.
+_ENGINE = default_engine()
 
 
 def linear_combination(
@@ -85,12 +88,19 @@ def apa_matmul(
     B: np.ndarray,
     algorithm: AlgorithmLike | str,
     lam: float | None = None,
-    steps: int = 1,
+    steps: int | None = None,
     gemm: GemmFn | None = None,
     d: int | None = None,
     plan_cache=None,
 ) -> np.ndarray:
     """Multiply ``A @ B`` with a catalogued algorithm.
+
+    A thin shim over :meth:`repro.core.engine.ExecutionEngine.sequential`
+    — the engine owns tracing and dispatch (plan fast path vs per-call
+    interpreter), and an active
+    :func:`~repro.core.config.execution_context` supplies any parameter
+    left unset here.  Results are bit-identical to the pre-engine entry
+    point (``tests/test_engine.py`` pins it).
 
     Parameters
     ----------
@@ -99,14 +109,15 @@ def apa_matmul(
         are used as-is, so pass float32 for the paper's single-precision
         setting).
     algorithm:
-        An :class:`~repro.algorithms.spec.AlgorithmLike`.  Surrogates are
-        dispatched to :func:`repro.core.surrogate.surrogate_matmul`.
+        An :class:`~repro.algorithms.spec.AlgorithmLike` or catalog name.
+        Surrogates are dispatched to
+        :func:`repro.core.surrogate.surrogate_matmul`.
     lam:
         APA parameter; defaults to the theory optimum for the operand
         dtype (``optimal_lambda``).  Ignored by exact algorithms.
     steps:
-        Recursive levels of the rule; every level multiplies the flop
-        saving and adds ``phi`` to the roundoff exponent.
+        Recursive levels of the rule (default 1); every level multiplies
+        the flop saving and adds ``phi`` to the roundoff exponent.
     gemm:
         Base-case multiply, defaulting to ``np.matmul``.  Injecting a
         custom callable is how the fault injectors and the parallel
@@ -128,20 +139,8 @@ def apa_matmul(
     The ``(A.shape[0], B.shape[1])`` product array, same dtype as the
     promoted operand dtype.
     """
-    # Observability seam: when a tracer is active the whole call becomes
-    # one span (the plan's execute span nests inside); when it is not,
-    # this branch is the entire cost (bench/obs_overhead.py pins it).
-    tracer = _obs_tracer.ACTIVE
-    if tracer is None:
-        return _apa_matmul_impl(A, B, algorithm, lam, steps, gemm, d,
-                                plan_cache)
-    with tracer.span(
-        "apa_matmul", cat="core",
-        algorithm=getattr(algorithm, "name", str(algorithm)),
-        shape=f"{tuple(A.shape)}@{tuple(B.shape)}", steps=steps,
-    ):
-        return _apa_matmul_impl(A, B, algorithm, lam, steps, gemm, d,
-                                plan_cache)
+    return _ENGINE.sequential(A, B, algorithm, lam, steps, gemm, d,
+                              plan_cache)
 
 
 def _apa_matmul_impl(
@@ -249,6 +248,10 @@ def apa_matmul_nonstationary(
     lam: float | None = None,
     gemm: GemmFn | None = None,
     d: int | None = None,
+    plan_cache=None,
+    threads: int | None = None,
+    strategy: str | None = None,
+    guarded: bool | None = None,
 ) -> np.ndarray:
     """Uniform non-stationary recursion (paper §6): one algorithm per level.
 
@@ -260,40 +263,16 @@ def apa_matmul_nonstationary(
     ``lam`` applies to every APA level (pass ``None`` for the theory
     optimum computed from the *combined* phi, which is the sum over
     levels as each level multiplies intermediate magnitudes).
+
+    A shim over :meth:`repro.core.engine.ExecutionEngine.nonstationary`,
+    which closed this entry point's historical feature gaps: every level
+    now resolves ``plan_cache`` consistently (``None`` process default /
+    ``False`` interpreter / private :class:`~repro.core.plan.PlanCache`),
+    ``threads > 1`` runs the *outer* level on the §3.2 threaded executor
+    (``strategy`` selects its schedule), and ``guarded=True`` wraps the
+    whole recursion in the
+    :class:`~repro.robustness.guard.GuardedBackend` health checks.
     """
-    if not algorithms:
-        raise ValueError("need at least one algorithm")
-    if lam is not None and (not np.isfinite(lam) or lam <= 0):
-        raise ValueError(f"lam must be finite and > 0, got {lam!r}")
-    for alg in algorithms:
-        if alg.is_surrogate:
-            raise ValueError(
-                f"{alg.name!r} is a surrogate; non-stationary execution "
-                "requires full coefficients"
-            )
-    if gemm is None:
-        gemm = np.matmul
-
-    from repro.core.lam import precision_bits
-
-    if lam is None:
-        dtype = np.result_type(A.dtype, B.dtype)
-        if d is None:
-            d = precision_bits(dtype) if dtype.kind == "f" else 52
-        total_phi = sum(alg.phi for alg in algorithms)
-        sigma = min((alg.sigma for alg in algorithms if alg.is_apa), default=0)
-        if total_phi == 0 or sigma == 0:
-            lam = 1.0
-        else:
-            lam = float(2.0 ** round(-d / (sigma + total_phi)))
-
-    def level(Ab: np.ndarray, Bb: np.ndarray, depth: int) -> np.ndarray:
-        if depth == len(algorithms):
-            return gemm(Ab, Bb)
-        alg = algorithms[depth]
-        return apa_matmul(
-            Ab, Bb, alg, lam=lam, steps=1,
-            gemm=lambda X, Y: level(X, Y, depth + 1),
-        )
-
-    return level(A, B, 0)
+    return _ENGINE.nonstationary(
+        A, B, algorithms, lam=lam, gemm=gemm, d=d, plan_cache=plan_cache,
+        threads=threads, strategy=strategy, guarded=guarded)

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.core.apa_matmul import apa_matmul
+from repro.core.apa_matmul import apa_matmul, apa_matmul_nonstationary
 
 if TYPE_CHECKING:
     from repro.robustness.policy import EscalationPolicy
@@ -73,7 +73,10 @@ class APABackend:
     ----------
     algorithm:
         An :class:`~repro.algorithms.spec.AlgorithmLike` (real or
-        surrogate).
+        surrogate), or a tuple/list of them for non-stationary execution
+        (paper §6: one algorithm per recursion level, dispatched through
+        :func:`~repro.core.apa_matmul.apa_matmul_nonstationary`; requires
+        ``steps=1`` — the level list *is* the recursion).
     lam:
         APA parameter; ``None`` picks the theory optimum per call from the
         operand dtype.
@@ -111,6 +114,17 @@ class APABackend:
     plan_cache: object = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.algorithm, (tuple, list)):
+            self.algorithm = tuple(self.algorithm)
+            if not self.algorithm:
+                raise ValueError("need at least one algorithm")
+            if self.steps != 1:
+                raise ValueError(
+                    "steps does not apply to a non-stationary algorithm "
+                    "list — the level list is the recursion")
+            if not self.name:
+                self.name = "apa:" + "+".join(
+                    a.name for a in self.algorithm)
         if not self.name:
             self.name = f"apa:{self.algorithm.name}"
         if self.steps < 1:
@@ -127,13 +141,17 @@ class APABackend:
         if self.min_dim and min(A.shape[0], A.shape[1], B.shape[1]) < self.min_dim:
             self.fallback_calls += 1
             return A @ B
+        if isinstance(self.algorithm, tuple):
+            return apa_matmul_nonstationary(
+                A, B, list(self.algorithm), lam=self.lam, gemm=self.gemm,
+                plan_cache=self.plan_cache)
         return apa_matmul(A, B, self.algorithm, lam=self.lam,
                           steps=self.steps, gemm=self.gemm,
                           plan_cache=self.plan_cache)
 
 
 def make_backend(
-    algorithm_name: str | None,
+    algorithm_name: str | None | list[str] | tuple[str, ...],
     lam: float | None = None,
     steps: int = 1,
     min_dim: int = 0,
@@ -145,8 +163,10 @@ def make_backend(
 
     The classical name must match exactly — near-misses like
     ``'classical_v2'`` raise ``KeyError`` with the known names instead of
-    silently handing back the baseline.  ``guarded=True`` wraps the result
-    in a :class:`~repro.robustness.guard.GuardedBackend` running the
+    silently handing back the baseline.  A tuple/list of names builds a
+    non-stationary backend (one algorithm per recursion level).
+    ``guarded=True`` wraps the result in a
+    :class:`~repro.robustness.guard.GuardedBackend` running the
     per-call health checks and escalation ``policy`` (an
     :class:`~repro.robustness.policy.EscalationPolicy`, defaulted).
     """
@@ -155,15 +175,22 @@ def make_backend(
     else:
         from repro.algorithms.catalog import get_algorithm, list_algorithms
 
-        try:
-            algorithm = get_algorithm(algorithm_name)
-        except KeyError:
-            raise KeyError(
-                f"unknown backend {algorithm_name!r}; known names: "
-                f"classical, {', '.join(list_algorithms('all'))}"
-            ) from None
+        names = (list(algorithm_name)
+                 if isinstance(algorithm_name, (tuple, list))
+                 else [algorithm_name])
+        resolved = []
+        for name in names:
+            try:
+                resolved.append(get_algorithm(name))
+            except KeyError:
+                raise KeyError(
+                    f"unknown backend {name!r}; known names: "
+                    f"classical, {', '.join(list_algorithms('all'))}"
+                ) from None
         backend = APABackend(
-            algorithm=algorithm,
+            algorithm=(tuple(resolved)
+                       if isinstance(algorithm_name, (tuple, list))
+                       else resolved[0]),
             lam=lam,
             steps=steps,
             min_dim=min_dim,

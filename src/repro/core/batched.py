@@ -22,9 +22,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.spec import AlgorithmLike
+from repro.core.engine import default_engine
 from repro.linalg.blocking import required_padding
 
 __all__ = ["apa_matmul_batched"]
+
+#: The process-wide engine; bound once — it is never replaced.
+_ENGINE = default_engine()
 
 
 def apa_matmul_batched(
@@ -32,7 +36,7 @@ def apa_matmul_batched(
     B: np.ndarray,
     algorithm: AlgorithmLike | str,
     lam: float | None = None,
-    mode: str = "stacked",
+    mode: str | None = None,
     d: int | None = None,
     plan_cache=None,
 ) -> np.ndarray:
@@ -42,10 +46,33 @@ def apa_matmul_batched(
     ``(batch, M, K)``.  One recursive step.  Surrogates are executed per
     item through their error model.
 
+    A thin shim over :meth:`repro.core.engine.ExecutionEngine.batched`;
+    ``mode`` maps to the config field ``batch_mode`` (default
+    ``'stacked'``, or the active
+    :func:`~repro.core.config.execution_context`'s).
+
     Stacked mode shares the cached :class:`~repro.core.plan.ExecutionPlan`
     machinery for its padded dims, coefficients, and nonzero term lists
     (the batch axis is per-call, so no workspace arena is pooled);
     ``plan_cache=False`` rebuilds everything per call.
+    """
+    return _ENGINE.batched(A, B, algorithm, lam=lam, batch_mode=mode,
+                           d=d, plan_cache=plan_cache)
+
+
+def _batched_matmul_impl(
+    A: np.ndarray,
+    B: np.ndarray,
+    algorithm: AlgorithmLike,
+    lam: float | None,
+    mode: str,
+    d: int | None,
+    plan_cache,
+) -> np.ndarray:
+    """The pre-refactor ``apa_matmul_batched`` body, engine-owned.
+
+    Only :mod:`repro.core.engine` may call this (staticcheck ENG001
+    enforces it).
     """
     if A.ndim != 3 or B.ndim != 3:
         raise ValueError("batched operands must be 3-D (batch, rows, cols)")

@@ -1,0 +1,642 @@
+"""The execution engine: one dispatch point for every matmul path.
+
+PRs 1–4 grew four divergent entry points to the paper's pipeline —
+:func:`repro.core.apa_matmul.apa_matmul` (interpreter + plan fast
+path), :func:`repro.parallel.executor.threaded_apa_matmul` (§3.2
+schedules), cached :class:`~repro.core.plan.ExecutionPlan` objects,
+and compiled kernels (:func:`repro.codegen.cache.compile_algorithm`) —
+plus three wrapper backends, each hand-threading its own kwargs.  This
+module collapses them behind one :class:`ExecutionEngine` that
+resolves an :class:`~repro.core.config.ExecutionConfig` into a layered
+stack::
+
+    inject   wrap gemm in a seeded GemmFaultInjector   (config.fault)
+      ↓
+    guard    GuardedBackend health checks + escalation (config.guarded)
+      ↓
+    trace    one "apa_matmul" span when a tracer is on (obs layer)
+      ↓
+    dispatch → plan | kernel | threaded | interpreter | batched
+               | non-stationary | surrogate | classical gemm
+
+The legacy entry points are now thin shims over this engine; the
+private implementations (``_apa_matmul_impl``, ``_threaded_matmul_impl``,
+``_batched_matmul_impl``) may only be called from this module — the
+staticcheck rule ENG001 machine-enforces that, so new execution modes
+plug in here once instead of into every caller.
+
+Dispatch overhead matters: the shims sit on the hot path the plan
+cache optimized, so the no-context fast lanes below add only a global
+read and a function call before reaching the pre-refactor bodies
+(``bench/hotpath.py`` gates the paired-median overhead at < 2%, like
+the observability gate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.config import ExecutionConfig, active_overrides
+from repro.obs import tracer as _obs_tracer
+from repro.types import GemmFn
+
+__all__ = ["EngineBackend", "ExecutionEngine", "default_engine"]
+
+_CFG_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(ExecutionConfig))
+
+# ---------------------------------------------------------------------
+# Lazily bound private implementations.  engine.py deliberately does
+# not import the impl modules at module scope (they import *this*
+# module to reach the default engine); the first dispatch binds them
+# once under a lock.
+# ---------------------------------------------------------------------
+
+_IMPL_LOCK = threading.Lock()
+_seq_impl: Callable[..., np.ndarray] | None = None
+_threaded_impl: Callable[..., np.ndarray] | None = None
+_batched_impl: Callable[..., np.ndarray] | None = None
+
+
+def _load_impls() -> None:
+    global _seq_impl, _threaded_impl, _batched_impl
+    with _IMPL_LOCK:
+        if _seq_impl is not None:
+            return
+        from repro.core.apa_matmul import _apa_matmul_impl
+        from repro.core.batched import _batched_matmul_impl
+        from repro.parallel.executor import _threaded_matmul_impl
+
+        _batched_impl = _batched_matmul_impl
+        _threaded_impl = _threaded_matmul_impl
+        # Bound last: its non-None-ness is the "all loaded" flag read
+        # without the lock by the fast lanes.
+        _seq_impl = _apa_matmul_impl
+
+
+def _resolve_algorithm(algorithm: Any) -> Any:
+    """Catalog name → ``BilinearAlgorithm``; anything else passes through."""
+    if isinstance(algorithm, str):
+        from repro.algorithms.catalog import get_algorithm
+
+        return get_algorithm(algorithm)
+    return algorithm
+
+
+def _run_sequential(
+    A: np.ndarray,
+    B: np.ndarray,
+    algorithm: Any,
+    lam: float | None,
+    steps: int,
+    gemm: GemmFn | None,
+    d: int | None,
+    plan_cache: Any,
+) -> np.ndarray:
+    """Trace layer + sequential dispatch (plan fast path or interpreter).
+
+    This is the pre-refactor body of ``apa_matmul``: when a tracer is
+    active the whole call becomes one span (the plan's execute span
+    nests inside); when it is not, this branch is the entire cost.
+    """
+    impl = _seq_impl
+    if impl is None:
+        _load_impls()
+        impl = _seq_impl
+        assert impl is not None
+    tracer = _obs_tracer.ACTIVE
+    if tracer is None:
+        return impl(A, B, algorithm, lam, steps, gemm, d, plan_cache)
+    with tracer.span(
+        "apa_matmul", cat="core",
+        algorithm=getattr(algorithm, "name", str(algorithm)),
+        shape=f"{tuple(A.shape)}@{tuple(B.shape)}", steps=steps,
+    ):
+        return impl(A, B, algorithm, lam, steps, gemm, d, plan_cache)
+
+
+def _require_plan_eligible(A: np.ndarray, B: np.ndarray, alg: Any) -> None:
+    """``mode='plan'`` forces the cached path; reject what it can't run."""
+    if getattr(alg, "is_surrogate", False):
+        raise ValueError(
+            "mode='plan' cannot execute surrogate algorithms (no "
+            "coefficients to plan)")
+    if A.dtype != B.dtype or A.dtype.kind != "f":
+        raise ValueError(
+            "mode='plan' requires matching float operand dtypes "
+            f"(got {A.dtype} @ {B.dtype}); use mode='auto' to fall "
+            "through to the interpreter")
+
+
+class EngineBackend:
+    """A :class:`~repro.core.backend.MatmulBackend` over one resolved config.
+
+    Built by :meth:`ExecutionEngine.backend`.  The escalation knobs the
+    guard layer writes back on recovery (``lam``, ``steps``, ``gemm``,
+    ``algorithm``) are plain attributes; call-time changes are folded
+    into the config before dispatch.  Fields left unset in the config
+    still inherit from any :func:`~repro.core.config.execution_context`
+    active at *call* time (backend fields beat the context, per the
+    precedence rule); ``guarded`` is the exception — a backend built
+    unguarded stays unguarded, wrap it explicitly instead.
+    """
+
+    def __init__(self, engine: "ExecutionEngine",
+                 config: ExecutionConfig) -> None:
+        cfg = config.replace(guarded=None, guard_policy=None)
+        alg = cfg.algorithm
+        if isinstance(alg, (tuple, list)):
+            alg = tuple(_resolve_algorithm(a) for a in alg)
+        else:
+            alg = _resolve_algorithm(alg)
+        cfg = cfg.replace(algorithm=alg)
+        if cfg.fault is not None:
+            # Materialize the injector once: persistent across calls
+            # (its call counter advances like a FaultyBackend's), and
+            # visible to the guard's recompute via the gemm attribute.
+            from repro.robustness.inject import GemmFaultInjector
+
+            cfg = cfg.replace(
+                fault=None,
+                gemm=GemmFaultInjector(gemm=cfg.gemm, spec=config.fault))
+        self._engine = engine
+        self._cfg = cfg
+        #: The resolved algorithm — a tuple for non-stationary configs
+        #: (the guard maps tuples to its classical-only escalation and
+        #: aggregates their combined error bound).
+        self.algorithm = alg
+        self.lam = cfg.lam
+        self.steps = 1 if cfg.steps is None else cfg.steps
+        self.gemm = cfg.gemm
+        self.plan_cache = cfg.plan_cache
+        if isinstance(alg, tuple):
+            self.name = "apa:" + "+".join(a.name for a in alg)
+        elif alg is None:
+            self.name = "classical"
+        else:
+            self.name = f"apa:{alg.name}"
+        self.calls = 0
+
+    @property
+    def config(self) -> ExecutionConfig:
+        """The resolved (construction-time) config of this backend."""
+        return self._cfg
+
+    def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        self.calls += 1
+        base = self._cfg
+        cfg = base
+        if active_overrides() is not None:
+            cfg = self._engine.resolve(base).replace(
+                guarded=None, guard_policy=None)
+        changes: dict[str, Any] = {}
+        if self.lam is not None and self.lam != base.lam:
+            changes["lam"] = self.lam
+        if self.steps != (1 if base.steps is None else base.steps):
+            changes["steps"] = self.steps
+        if self.gemm is not base.gemm:
+            changes["gemm"] = self.gemm
+        if (not isinstance(base.algorithm, tuple)
+                and self.algorithm is not base.algorithm):
+            changes["algorithm"] = self.algorithm
+        if changes:
+            cfg = cfg.replace(**changes)
+        return self._engine._execute(A, B, cfg)
+
+
+def _guard_key(cfg: ExecutionConfig) -> tuple[Any, ...]:
+    """Hashable identity key for one config's guard instance.
+
+    ``BilinearAlgorithm`` is a dataclass over coefficient arrays, so
+    dataclass equality on configs would compare arrays (ambiguous
+    truth value); non-scalar fields are keyed by ``id`` instead — the
+    cached guard keeps them alive, so ids stay stable.
+    """
+    parts: list[Any] = []
+    for name in _CFG_FIELDS:
+        v = getattr(cfg, name)
+        if v is None or isinstance(v, (bool, int, float, str)):
+            parts.append(v)
+        elif isinstance(v, (tuple, list)):
+            parts.append(tuple(
+                x if isinstance(x, str) else id(x) for x in v))
+        else:
+            parts.append(id(v))
+    return tuple(parts)
+
+
+#: Guard instances cached per config (circuit-breaker and escalation
+#: state must persist across calls with the same config).  Bounded so
+#: per-call closures in a config (e.g. lambda gemms) cannot grow the
+#: cache without limit; eviction drops that config's breaker history.
+_GUARD_CACHE_MAX = 32
+
+
+class ExecutionEngine:
+    """Resolve configs into the layered stack and run them.
+
+    One process-wide instance (:func:`default_engine`) serves every
+    legacy shim; construct private engines to pin a base config::
+
+        engine = ExecutionEngine(ExecutionConfig(threads=4, guarded=True))
+
+    Precedence when resolving a call (highest wins): explicit kwarg >
+    backend/engine field > active :func:`execution_context` > defaults.
+    """
+
+    def __init__(self, config: ExecutionConfig | None = None) -> None:
+        self.config = config if config is not None else ExecutionConfig()
+        self._overrides = self.config.overrides()
+        self._configured = bool(self._overrides)
+        self._guard_lock = threading.Lock()
+        self._guards: dict[tuple[Any, ...], Any] = {}
+        self._arenas = threading.local()
+
+    # -- config resolution ---------------------------------------------
+
+    def resolve(self, config: ExecutionConfig | None = None, /,
+                **overrides: Any) -> ExecutionConfig:
+        """Merge all layers into one validated config (highest wins last)."""
+        cfg = ExecutionConfig()
+        ctx = active_overrides()
+        if ctx is not None:
+            cfg = cfg.merged(ctx)
+        if self._configured:
+            cfg = cfg.merged(self._overrides)
+        if config is not None:
+            cfg = cfg.merged(config.overrides())
+        if overrides:
+            cfg = cfg.merged(overrides)
+        return cfg
+
+    # -- public API ----------------------------------------------------
+
+    def matmul(self, A: np.ndarray, B: np.ndarray, algorithm: Any = None,
+               *, config: ExecutionConfig | None = None, report: Any = None,
+               **overrides: Any) -> np.ndarray:
+        """Resolve and run one product through the full layer stack.
+
+        ``algorithm`` / keyword overrides are the explicit layer;
+        ``config`` sits between them and the engine's own config.
+        ``report`` captures an
+        :class:`~repro.parallel.executor.ExecutionReport` on the
+        threaded path (and forces it, like the legacy entry point).
+        """
+        if algorithm is not None:
+            overrides.setdefault("algorithm", algorithm)
+        cfg = self.resolve(config, **overrides)
+        return self._run(A, B, cfg, report)
+
+    def backend(self, config: ExecutionConfig | None = None, /,
+                **overrides: Any) -> Any:
+        """A reusable :class:`MatmulBackend` for the resolved config.
+
+        ``guarded=True`` configs return the engine's cached
+        :class:`~repro.robustness.guard.GuardedBackend` (escalation and
+        breaker state persist); everything else gets a fresh
+        :class:`EngineBackend`.
+        """
+        cfg = self.resolve(config, **overrides)
+        if cfg.guarded:
+            return self._guard_for(cfg)
+        return EngineBackend(self, cfg)
+
+    def plan_stats(self) -> dict[str, Any]:
+        """Plan-cache + pool statistics for this engine's execution state.
+
+        Mirrors ``Trainer.plan_stats()``: the resolved cache of the
+        engine config (the process default when unset) plus any caches
+        held by cached guarded backends, deduplicated by identity.
+        """
+        from repro.core.plan import resolve_plan_cache
+        from repro.parallel.pool import pool_stats
+
+        caches: list[dict[str, Any]] = []
+        seen: set[int] = set()
+
+        def add(candidate: Any) -> None:
+            cache = resolve_plan_cache(candidate)
+            if cache is not None and id(cache) not in seen:
+                seen.add(id(cache))
+                caches.append(cache.stats())
+
+        add(self.config.plan_cache)
+        with self._guard_lock:
+            guards = list(self._guards.values())
+        for guard in guards:
+            inner = getattr(guard, "inner", guard)
+            add(getattr(inner, "plan_cache", None))
+        return {"plan_caches": caches, "pool": pool_stats()}
+
+    # -- fast lanes for the legacy shims -------------------------------
+    #
+    # Each legacy entry point has a fixed capability set, so when no
+    # execution_context is active and this engine carries no config,
+    # dispatch reduces to one global read before the pre-refactor body.
+
+    def sequential(self, A: np.ndarray, B: np.ndarray, algorithm: Any,
+                   lam: float | None = None, steps: int | None = None,
+                   gemm: GemmFn | None = None, d: int | None = None,
+                   plan_cache: Any = None) -> np.ndarray:
+        """``apa_matmul`` entry: sequential plan/interpreter dispatch."""
+        if active_overrides() is None and not self._configured:
+            return _run_sequential(
+                A, B, _resolve_algorithm(algorithm), lam,
+                1 if steps is None else steps, gemm, d, plan_cache)
+        return self.matmul(A, B, algorithm, lam=lam, steps=steps,
+                           gemm=gemm, d=d, plan_cache=plan_cache)
+
+    def threaded(self, A: np.ndarray, B: np.ndarray, algorithm: Any,
+                 threads: int, lam: float | None = None,
+                 strategy: str | None = None, schedule: Any = None,
+                 gemm: GemmFn | None = None, steps: int | None = None,
+                 retries: int | None = None, timeout: float | None = None,
+                 check_finite: bool | None = None, report: Any = None,
+                 plan_cache: Any = None) -> np.ndarray:
+        """``threaded_apa_matmul`` entry: §3.2 schedule execution."""
+        if active_overrides() is None and not self._configured:
+            impl = _threaded_impl
+            if impl is None:
+                _load_impls()
+                impl = _threaded_impl
+                assert impl is not None
+            return impl(
+                A, B, _resolve_algorithm(algorithm), threads, lam=lam,
+                strategy="hybrid" if strategy is None else strategy,
+                schedule=schedule, gemm=gemm,
+                steps=1 if steps is None else steps,
+                retries=0 if retries is None else retries, timeout=timeout,
+                check_finite=bool(check_finite), report=report,
+                plan_cache=plan_cache)
+        return self.matmul(
+            A, B, algorithm, report=report, mode="threaded",
+            threads=threads, lam=lam, strategy=strategy, schedule=schedule,
+            gemm=gemm, steps=steps, retries=retries, timeout=timeout,
+            check_finite=check_finite, plan_cache=plan_cache)
+
+    def batched(self, A: np.ndarray, B: np.ndarray, algorithm: Any,
+                lam: float | None = None, batch_mode: str | None = None,
+                d: int | None = None, plan_cache: Any = None) -> np.ndarray:
+        """``apa_matmul_batched`` entry: stacked/loop 3-D execution."""
+        if active_overrides() is None and not self._configured:
+            impl = _batched_impl
+            if impl is None:
+                _load_impls()
+                impl = _batched_impl
+                assert impl is not None
+            return impl(A, B, _resolve_algorithm(algorithm), lam,
+                        "stacked" if batch_mode is None else batch_mode,
+                        d, plan_cache)
+        cfg = self.resolve(None, algorithm=algorithm, lam=lam,
+                           batch_mode=batch_mode, d=d, plan_cache=plan_cache)
+        return self._run(A, B, cfg)
+
+    def nonstationary(self, A: np.ndarray, B: np.ndarray, algorithms: Any,
+                      lam: float | None = None, gemm: GemmFn | None = None,
+                      d: int | None = None, plan_cache: Any = None,
+                      threads: int | None = None,
+                      strategy: str | None = None,
+                      guarded: bool | None = None) -> np.ndarray:
+        """``apa_matmul_nonstationary`` entry: one algorithm per level."""
+        cfg = self.resolve(
+            None, algorithm=tuple(algorithms), lam=lam, gemm=gemm, d=d,
+            plan_cache=plan_cache, threads=threads, strategy=strategy,
+            guarded=guarded)
+        return self._run(A, B, cfg)
+
+    # -- the layer stack -----------------------------------------------
+
+    def _run(self, A: np.ndarray, B: np.ndarray, cfg: ExecutionConfig,
+             report: Any = None) -> np.ndarray:
+        """Guard layer: route guarded configs through their cached guard."""
+        if cfg.guarded:
+            if report is not None:
+                raise ValueError(
+                    "report capture is not supported through the guarded "
+                    "path; guard events land in the backend's EventLog")
+            if getattr(A, "ndim", 2) != 2 or getattr(B, "ndim", 2) != 2:
+                raise ValueError(
+                    "guarded execution supports 2-D products only")
+            guard = self._guard_for(cfg)
+            return guard.matmul(A, B)  # type: ignore[no-any-return]
+        return self._execute(A, B, cfg, report)
+
+    def _execute(self, A: np.ndarray, B: np.ndarray, cfg: ExecutionConfig,
+                 report: Any = None) -> np.ndarray:
+        """Inject layer: resolve the algorithm, wrap gemm in the fault spec."""
+        alg = cfg.algorithm
+        if isinstance(alg, (tuple, list)):
+            alg = tuple(_resolve_algorithm(a) for a in alg)
+        else:
+            alg = _resolve_algorithm(alg)
+        gemm = cfg.gemm
+        if cfg.fault is not None:
+            from repro.robustness.inject import GemmFaultInjector
+
+            gemm = GemmFaultInjector(gemm=gemm, spec=cfg.fault)
+        return self._dispatch(A, B, cfg, alg, gemm, report)
+
+    def _dispatch(self, A: np.ndarray, B: np.ndarray, cfg: ExecutionConfig,
+                  alg: Any, gemm: GemmFn | None,
+                  report: Any = None) -> np.ndarray:
+        """The single dispatch point — every execution path branches here."""
+        if getattr(A, "ndim", 2) == 3 or getattr(B, "ndim", 2) == 3:
+            return self._dispatch_batched(A, B, cfg, alg)
+        if (cfg.min_dim and A.ndim == 2 and B.ndim == 2
+                and A.shape[1] == B.shape[0]
+                and min(A.shape[0], A.shape[1], B.shape[1]) < cfg.min_dim):
+            return A @ B
+        if isinstance(alg, tuple):
+            return self._run_nonstationary(A, B, alg, cfg, gemm)
+        if alg is None:
+            return self._run_classical(A, B, cfg, gemm)
+        mode = cfg.mode or "auto"
+        if mode == "kernel":
+            return self._run_kernel(A, B, alg, cfg, gemm)
+        threads = 1 if cfg.threads is None else cfg.threads
+        steps = 1 if cfg.steps is None else cfg.steps
+        if mode == "threaded" or (mode == "auto" and (
+                threads > 1 or bool(cfg.retries) or cfg.timeout is not None
+                or bool(cfg.check_finite) or cfg.schedule is not None
+                or report is not None)):
+            impl = _threaded_impl
+            if impl is None:
+                _load_impls()
+                impl = _threaded_impl
+                assert impl is not None
+            return impl(
+                A, B, alg, threads, lam=cfg.lam,
+                strategy=cfg.strategy or "hybrid", schedule=cfg.schedule,
+                gemm=gemm, steps=steps, retries=cfg.retries or 0,
+                timeout=cfg.timeout, check_finite=bool(cfg.check_finite),
+                report=report, plan_cache=cfg.plan_cache)
+        plan_cache = cfg.plan_cache
+        if mode == "interpreter":
+            plan_cache = False
+        elif mode == "plan":
+            _require_plan_eligible(A, B, alg)
+        return _run_sequential(A, B, alg, cfg.lam, steps, gemm, cfg.d,
+                               plan_cache)
+
+    # -- dispatch targets ----------------------------------------------
+
+    def _dispatch_batched(self, A: np.ndarray, B: np.ndarray,
+                          cfg: ExecutionConfig, alg: Any) -> np.ndarray:
+        if cfg.guarded:
+            raise ValueError("guarded execution supports 2-D products only")
+        if cfg.fault is not None or cfg.gemm is not None:
+            raise ValueError(
+                "batched execution has no gemm seam; drop gemm/fault or "
+                "loop over 2-D products")
+        if isinstance(alg, (tuple, list)):
+            raise ValueError(
+                "batched execution takes a single algorithm, not a "
+                "non-stationary level list")
+        if ((cfg.threads or 1) > 1 or cfg.mode not in (None, "auto")
+                or (cfg.steps or 1) > 1):
+            raise ValueError(
+                "batched execution supports only the sequential "
+                "single-step auto path (mode/threads/steps are 2-D knobs)")
+        impl = _batched_impl
+        if impl is None:
+            _load_impls()
+            impl = _batched_impl
+            assert impl is not None
+        return impl(A, B, alg, cfg.lam, cfg.batch_mode or "stacked",
+                    cfg.d, cfg.plan_cache)
+
+    def _run_classical(self, A: np.ndarray, B: np.ndarray,
+                       cfg: ExecutionConfig,
+                       gemm: GemmFn | None) -> np.ndarray:
+        if (cfg.mode not in (None, "auto") or (cfg.threads or 1) > 1
+                or (cfg.steps or 1) > 1):
+            raise ValueError(
+                "algorithm=None selects classical gemm, which has no "
+                "mode/threads/steps knobs")
+        if gemm is None:
+            return np.matmul(A, B)
+        return gemm(A, B)
+
+    def _run_nonstationary(self, A: np.ndarray, B: np.ndarray,
+                           algs: tuple[Any, ...], cfg: ExecutionConfig,
+                           gemm: GemmFn | None) -> np.ndarray:
+        """Paper §6 non-stationary recursion, one algorithm per level.
+
+        Every level now routes back through the engine's sequential
+        dispatch, so plan caching applies per level with a consistent
+        cache (the historical gap: the legacy entry point could not
+        pass one through), and the outer level can run on the threaded
+        executor when ``threads > 1``.
+        """
+        if not algs:
+            raise ValueError("need at least one algorithm")
+        for alg in algs:
+            if alg.is_surrogate:
+                raise ValueError(
+                    f"{alg.name!r} is a surrogate; non-stationary "
+                    "execution requires full coefficients")
+        if cfg.mode not in (None, "auto", "threaded"):
+            raise ValueError(
+                f"mode={cfg.mode!r} does not apply to non-stationary "
+                "execution (pass plan_cache=False for the per-call "
+                "interpreter)")
+        lam = cfg.lam
+        if lam is None:
+            # The combined-phi optimum: levels multiply intermediate
+            # magnitudes, so phi sums across levels (paper §6).
+            from repro.core.lam import precision_bits
+
+            dtype = np.result_type(A.dtype, B.dtype)
+            d = cfg.d
+            if d is None:
+                d = precision_bits(dtype) if dtype.kind == "f" else 52
+            total_phi = sum(alg.phi for alg in algs)
+            sigma = min((alg.sigma for alg in algs if alg.is_apa), default=0)
+            if total_phi == 0 or sigma == 0:
+                lam = 1.0
+            else:
+                lam = float(2.0 ** round(-d / (sigma + total_phi)))
+        base_gemm: GemmFn = np.matmul if gemm is None else gemm
+        threads = 1 if cfg.threads is None else cfg.threads
+        n_levels = len(algs)
+
+        def level(Ab: np.ndarray, Bb: np.ndarray, depth: int) -> np.ndarray:
+            if depth == n_levels:
+                return base_gemm(Ab, Bb)
+
+            def inner(X: np.ndarray, Y: np.ndarray,
+                      _d: int = depth + 1) -> np.ndarray:
+                return level(X, Y, _d)
+
+            if depth == 0 and threads > 1:
+                impl = _threaded_impl
+                if impl is None:
+                    _load_impls()
+                    impl = _threaded_impl
+                    assert impl is not None
+                return impl(
+                    Ab, Bb, algs[0], threads, lam=lam,
+                    strategy=cfg.strategy or "hybrid", schedule=cfg.schedule,
+                    gemm=inner, steps=1, retries=cfg.retries or 0,
+                    timeout=cfg.timeout, check_finite=bool(cfg.check_finite),
+                    report=None, plan_cache=cfg.plan_cache)
+            return _run_sequential(Ab, Bb, algs[depth], lam, 1, inner,
+                                   cfg.d, cfg.plan_cache)
+
+        return level(A, B, 0)
+
+    def _run_kernel(self, A: np.ndarray, B: np.ndarray, alg: Any,
+                    cfg: ExecutionConfig,
+                    gemm: GemmFn | None) -> np.ndarray:
+        """Generated-code path: one compiled recursion step per call."""
+        if alg.is_surrogate:
+            raise ValueError(
+                f"{alg.name!r} is a surrogate; mode='kernel' requires "
+                "full coefficients")
+        from repro.codegen.cache import KernelArena, compile_algorithm
+
+        fn = compile_algorithm(alg)
+        lam = cfg.lam
+        if lam is None:
+            from repro.core.lam import optimal_lambda, precision_bits
+
+            d = cfg.d
+            if d is None:
+                dtype = np.result_type(A.dtype, B.dtype)
+                d = precision_bits(dtype) if dtype.kind == "f" else 52
+            lam = optimal_lambda(alg, d=d, steps=1)
+        # One arena per thread: KernelArena is deliberately not
+        # thread-safe, and pool workers must not share the engine's.
+        arena = getattr(self._arenas, "arena", None)
+        if arena is None:
+            arena = KernelArena()
+            self._arenas.arena = arena
+        return fn(A, B, lam=lam, gemm=gemm, arena=arena)  # type: ignore[no-any-return]
+
+    # -- guard instance cache ------------------------------------------
+
+    def _guard_for(self, cfg: ExecutionConfig) -> Any:
+        key = _guard_key(cfg.replace(guarded=None))
+        with self._guard_lock:
+            guard = self._guards.get(key)
+            if guard is None:
+                from repro.robustness.guard import GuardedBackend
+
+                inner = EngineBackend(self, cfg)
+                guard = GuardedBackend(inner, policy=cfg.guard_policy)
+                if len(self._guards) >= _GUARD_CACHE_MAX:
+                    self._guards.pop(next(iter(self._guards)))
+                self._guards[key] = guard
+            return guard
+
+
+_DEFAULT_ENGINE = ExecutionEngine()
+
+
+def default_engine() -> ExecutionEngine:
+    """The process-wide engine every legacy entry point delegates to."""
+    return _DEFAULT_ENGINE

@@ -251,7 +251,12 @@ class Trainer:
         each one's plan cache (the shared process default unless a layer
         was given a private cache), and returns the deduplicated cache
         stats plus the persistent worker-pool counters — the numbers the
-        hot-path bench reports.
+        hot-path bench reports.  Every backend kind that plans is
+        covered: sequential and non-stationary
+        :class:`~repro.core.backend.APABackend` layers and
+        engine-built backends
+        (:meth:`~repro.core.engine.ExecutionEngine.backend`) all expose
+        the same ``plan_cache`` knob.
         """
         from repro.core.plan import resolve_plan_cache
         from repro.parallel.pool import pool_stats

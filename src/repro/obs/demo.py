@@ -60,36 +60,6 @@ class TracedDemo:
         )
 
 
-class _ThreadedAPABackend:
-    """Minimal backend adapter over :func:`threaded_apa_matmul`.
-
-    :class:`~repro.core.backend.APABackend` is sequential by design; the
-    traced scenario needs a *threaded* inner backend so the timeline
-    shows executor jobs inside a guarded call.  Exposes the
-    ``algorithm`` / ``lam`` / ``steps`` / ``gemm`` knobs the
-    :class:`~repro.robustness.guard.GuardedBackend` escalation ladder
-    introspects.
-    """
-
-    def __init__(self, algorithm, threads: int, steps: int = 1,
-                 gemm=None, lam: float | None = None,
-                 plan_cache=None) -> None:
-        self.algorithm = algorithm
-        self.threads = threads
-        self.steps = steps
-        self.gemm = gemm
-        self.lam = lam
-        self.plan_cache = plan_cache
-        self.name = f"threaded:{algorithm.name}@{threads}"
-
-    def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
-        from repro.parallel.executor import threaded_apa_matmul
-
-        return threaded_apa_matmul(
-            A, B, self.algorithm, threads=self.threads, lam=self.lam,
-            gemm=self.gemm, steps=self.steps, plan_cache=self.plan_cache)
-
-
 def run_traced_demo(
     algorithm: str = "strassen444",
     n: int = 64,
@@ -109,6 +79,7 @@ def run_traced_demo(
     """
     from repro.algorithms.catalog import get_algorithm
     from repro.core.apa_matmul import apa_matmul
+    from repro.core.engine import default_engine
     from repro.core.plan import PlanCache
     from repro.robustness.guard import GuardedBackend
     from repro.robustness.inject import FaultSpec, faulty_gemm
@@ -127,8 +98,14 @@ def run_traced_demo(
     # A private plan cache keeps the demo's plan-miss/plan-hit instants
     # deterministic regardless of what the process ran before.
     cache = PlanCache()
-    inner = _ThreadedAPABackend(alg, threads=threads, steps=steps,
-                                gemm=injector, plan_cache=cache)
+    # The threaded inner backend comes straight from the engine: the
+    # traced scenario needs executor jobs inside a guarded call, which
+    # is exactly the mode='threaded' config.  The engine backend exposes
+    # the ``algorithm``/``lam``/``steps``/``gemm`` knobs the guard's
+    # escalation ladder introspects.
+    inner = default_engine().backend(
+        algorithm=alg, threads=threads, steps=steps, gemm=injector,
+        plan_cache=cache, mode="threaded")
     guarded = GuardedBackend(inner, log=log, rng_seed=seed)
 
     with use_tracer() as tracer:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.apa_matmul import linear_combination
+from repro.core.engine import _run_sequential, default_engine
 from repro.linalg.blocking import BlockPartition, split_blocks
 from repro.obs import tracer as _obs_tracer
 from repro.parallel.pool import get_pool
@@ -29,6 +30,9 @@ from repro.parallel.strategy import Schedule, build_schedule
 from repro.robustness.events import EventLog
 
 __all__ = ["threaded_apa_matmul", "JobOutcome", "ExecutionReport"]
+
+#: The process-wide engine; bound once — it is never replaced.
+_ENGINE = default_engine()
 
 
 def _flatten(X: np.ndarray, rows: int, cols: int) -> list[np.ndarray]:
@@ -85,17 +89,24 @@ def threaded_apa_matmul(
     algorithm,
     threads: int,
     lam: float | None = None,
-    strategy: str = "hybrid",
+    strategy: str | None = None,
     schedule: Schedule | None = None,
     gemm=None,
-    steps: int = 1,
-    retries: int = 0,
+    steps: int | None = None,
+    retries: int | None = None,
     timeout: float | None = None,
-    check_finite: bool = False,
+    check_finite: bool | None = None,
     report: ExecutionReport | None = None,
     plan_cache=None,
 ) -> np.ndarray:
     """``steps`` recursive levels of ``algorithm``, outer level threaded.
+
+    A thin shim over :meth:`repro.core.engine.ExecutionEngine.threaded`
+    (the single dispatch point); unset parameters resolve through any
+    active :func:`~repro.core.config.execution_context`, then to the
+    historical defaults (``strategy='hybrid'``, ``steps=1``,
+    ``retries=0``, ``check_finite=False``).  Results are bit-identical
+    to the pre-engine entry point.
 
     Parameters mirror :func:`repro.core.apa_matmul.apa_matmul`; the extra
     ``threads``/``strategy``/``schedule`` select the §3.2 parallelization
@@ -122,6 +133,35 @@ def threaded_apa_matmul(
     worker result is discarded).  Every recovery action is recorded in
     ``report`` when one is passed.
     """
+    return _ENGINE.threaded(
+        A, B, algorithm, threads, lam=lam, strategy=strategy,
+        schedule=schedule, gemm=gemm, steps=steps, retries=retries,
+        timeout=timeout, check_finite=check_finite, report=report,
+        plan_cache=plan_cache)
+
+
+def _threaded_matmul_impl(
+    A: np.ndarray,
+    B: np.ndarray,
+    algorithm,
+    threads: int,
+    lam: float | None = None,
+    strategy: str = "hybrid",
+    schedule: Schedule | None = None,
+    gemm=None,
+    steps: int = 1,
+    retries: int = 0,
+    timeout: float | None = None,
+    check_finite: bool = False,
+    report: ExecutionReport | None = None,
+    plan_cache=None,
+) -> np.ndarray:
+    """The pre-refactor ``threaded_apa_matmul`` body, engine-owned.
+
+    Only :mod:`repro.core.engine` may call this (staticcheck ENG001
+    enforces it); everything else goes through the engine so tracing,
+    guarding, and fault injection stay layered at one point.
+    """
     if algorithm.is_surrogate:
         raise ValueError(
             f"{algorithm.name!r} is a metadata surrogate; real threaded "
@@ -144,14 +184,15 @@ def threaded_apa_matmul(
         lam = optimal_lambda(algorithm, d=d, steps=steps)
 
     if steps > 1:
-        # inner levels run sequentially inside each scheduled job
-        from repro.core.apa_matmul import apa_matmul
-
+        # Inner levels run sequentially inside each scheduled job.  They
+        # go through the engine's sequential runner (not the public
+        # shim) so an active execution_context cannot re-thread the
+        # recursion from inside a pool worker.
         inner_gemm = gemm
 
         def gemm(S, T, _inner=inner_gemm):  # noqa: F811
-            return apa_matmul(S, T, algorithm, lam=lam, steps=steps - 1,
-                              gemm=_inner)
+            return _run_sequential(S, T, algorithm, lam, steps - 1,
+                                   _inner, None, None)
 
     if retries < 0:
         raise ValueError("retries must be >= 0")

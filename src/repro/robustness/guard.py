@@ -171,7 +171,13 @@ class GuardedBackend:
 
     @property
     def _algorithm(self):
-        return getattr(self.inner, "algorithm", None)
+        alg = getattr(self.inner, "algorithm", None)
+        if isinstance(alg, (tuple, list)):
+            # Non-stationary level lists have no single lambda/steps
+            # knob to escalate on; rungs 1–2 are skipped and escalation
+            # goes straight to the classical fallback.
+            return None
+        return alg
 
     def _steps(self) -> int:
         return int(getattr(self.inner, "steps", 1))
@@ -179,6 +185,21 @@ class GuardedBackend:
     def _threshold(self, inner_dim: int, d: int, steps: int) -> float:
         from repro.algorithms.analysis import predicted_error_bound
 
+        alg = getattr(self.inner, "algorithm", None)
+        if isinstance(alg, (tuple, list)):
+            # Non-stationary recursion compounds like one rule with the
+            # combined phi (paper §6) — the same (min sigma, sum phi)
+            # aggregation the engine's lambda optimum uses.
+            classical = inner_dim * 2.0 ** -d
+            total_phi = sum(a.phi for a in alg)
+            sigma = min((a.sigma for a in alg if a.is_apa), default=0)
+            if total_phi == 0 or sigma == 0:
+                bound = classical
+            else:
+                bound = max(
+                    2.0 ** (-d * max(sigma, 1) / (max(sigma, 1) + total_phi)),
+                    classical)
+            return self.policy.bound_factor * bound
         bound = predicted_error_bound(
             self._algorithm, d=d, steps=steps, inner_dim=inner_dim
         )

@@ -30,6 +30,14 @@ the threaded executor and the robustness stack must never reintroduce:
     whose body is only ``pass``/``...`` — silent swallow.  Escalated to
     an error when the guarded ``try`` block contains a gemm-like call:
     a failed product must never vanish without a recovery action.
+``ENG001``
+    The single-dispatch-point invariant: the private execution
+    internals (``_apa_matmul_impl``, ``_threaded_matmul_impl``,
+    ``_batched_matmul_impl``) may only be imported or called from
+    ``repro/core/engine.py``.  Every other module must go through a
+    public shim or the :class:`~repro.core.engine.ExecutionEngine`
+    itself — otherwise configs, contexts, guards, and fault injection
+    silently stop applying to that call site.
 
 Suppression: append ``# lint: ignore[RULE1,RULE2]`` (or a blanket
 ``# lint: ignore``) to the flagged line.
@@ -44,7 +52,8 @@ from typing import Iterable, Sequence
 
 from repro.staticcheck.findings import Finding, Severity
 
-__all__ = ["lint_source", "lint_paths", "DEFAULT_LINT_ROOTS"]
+__all__ = ["lint_source", "lint_paths", "lint_engine_boundary",
+           "lint_engine_paths", "DEFAULT_LINT_ROOTS", "ENGINE_PRIVATE_NAMES"]
 
 #: Trees the concurrency/numerics linter walks by default (relative to
 #: the repository's ``src`` directory).
@@ -65,6 +74,12 @@ _STATEFUL_RANDOM = {
 
 #: Call names treated as "a gemm" for NUM002 escalation.
 _GEMM_NAMES = {"gemm", "matmul", "apa_matmul", "dot"}
+
+#: Engine-owned private entry points (ENG001).  Only
+#: ``repro/core/engine.py`` may import or call these.
+ENGINE_PRIVATE_NAMES = frozenset({
+    "_apa_matmul_impl", "_threaded_matmul_impl", "_batched_matmul_impl",
+})
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 
@@ -364,6 +379,66 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
 def lint_paths(paths: Sequence[str | Path]) -> list[Finding]:
     """Lint every ``*.py`` file under the given files/directories."""
     findings: list[Finding] = []
+    for file in _collect_files(paths):
+        findings.extend(lint_source(file.read_text(), str(file)))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# engine-boundary linter (ENG001)
+# ----------------------------------------------------------------------
+
+
+def _is_engine_module(path: str) -> bool:
+    p = Path(path)
+    return p.name == "engine.py" and p.parent.name == "core"
+
+
+def lint_engine_boundary(source: str, path: str = "<string>") -> list[Finding]:
+    """``ENG001`` findings for one module's source text.
+
+    Flags every import or load of an :data:`ENGINE_PRIVATE_NAMES` entry
+    outside ``repro/core/engine.py`` — the machine check behind the
+    single-dispatch-point invariant.  Defining the name (the ``def`` in
+    its home module) is fine; *using* it anywhere but the engine is not.
+    """
+    if _is_engine_module(path):
+        return []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []  # lint_source reports the parse failure as NUM001
+    lines = source.splitlines()
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        hits: list[tuple[str, str]] = []
+        if isinstance(node, ast.ImportFrom):
+            hits = [(alias.name, "imports") for alias in node.names
+                    if alias.name in ENGINE_PRIVATE_NAMES]
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in ENGINE_PRIVATE_NAMES:
+                hits = [(node.id, "uses")]
+        elif isinstance(node, ast.Attribute) \
+                and isinstance(node.ctx, ast.Load):
+            if node.attr in ENGINE_PRIVATE_NAMES:
+                hits = [(node.attr, "uses")]
+        for name, verb in hits:
+            findings.append(Finding(
+                "ENG001", Severity.ERROR, f"{path}:{node.lineno}",
+                f"{verb} engine-private {name!r} outside core/engine.py",
+                detail="route the call through a public shim or the "
+                       "ExecutionEngine so configs, contexts, guards, "
+                       "and fault injection keep applying",
+            ))
+    unique: dict[tuple[str, str, str], Finding] = {
+        (f.rule_id, f.location, f.message): f for f in findings
+    }
+    return [f for f in unique.values()
+            if not _suppressed(lines, int(f.location.rsplit(":", 1)[1]),
+                               f.rule_id)]
+
+
+def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
     files: list[Path] = []
     for entry in paths:
         p = Path(entry)
@@ -371,6 +446,19 @@ def lint_paths(paths: Sequence[str | Path]) -> list[Finding]:
             files.extend(sorted(p.rglob("*.py")))
         elif p.suffix == ".py":
             files.append(p)
+    return files
+
+
+def lint_engine_paths(
+    paths: Sequence[str | Path],
+) -> tuple[list[Finding], int]:
+    """``ENG001``-lint every ``*.py`` file under ``paths``.
+
+    Returns the findings plus the number of files scanned (the
+    ``repro lint`` work counter).
+    """
+    findings: list[Finding] = []
+    files = _collect_files(paths)
     for file in files:
-        findings.extend(lint_source(file.read_text(), str(file)))
-    return findings
+        findings.extend(lint_engine_boundary(file.read_text(), str(file)))
+    return findings, len(files)

@@ -11,6 +11,9 @@ Rule families
     (:mod:`repro.staticcheck.astlint`).
 ``NUM0xx``
     Numerics/exception-hygiene lints (:mod:`repro.staticcheck.astlint`).
+``ENG0xx``
+    Execution-engine boundary lints (:mod:`repro.staticcheck.astlint`):
+    the single-dispatch-point invariant of :mod:`repro.core.engine`.
 
 Default severities here are what the analyzers emit; ``--select`` /
 ``--ignore`` filter by id, and inline ``# lint: ignore[ID]`` comments
@@ -85,6 +88,13 @@ _RULE_LIST: tuple[RuleInfo, ...] = (
     RuleInfo("NUM002", Severity.WARNING,
              "silent exception swallow: broad handler whose body is only "
              "'pass' (error when the try block contains a gemm call)"),
+    # -- engine boundary ----------------------------------------------
+    RuleInfo("ENG001", Severity.ERROR,
+             "single-dispatch-point violation: engine-private internals "
+             "(_apa_matmul_impl / _threaded_matmul_impl / "
+             "_batched_matmul_impl) imported or called outside "
+             "core/engine.py — go through a public shim or the "
+             "ExecutionEngine"),
 )
 
 RULES: dict[str, RuleInfo] = {r.rule_id: r for r in _RULE_LIST}

@@ -18,7 +18,8 @@ from repro.staticcheck.findings import Finding, Severity
 __all__ = ["LintConfig", "LintResult", "run_lint", "FAMILIES", "SEED_DEFECTS"]
 
 #: Analyzer families in execution order.
-FAMILIES: tuple[str, ...] = ("algorithms", "codegen", "concurrency")
+FAMILIES: tuple[str, ...] = ("algorithms", "codegen", "concurrency",
+                             "engine")
 
 #: Known seeded corruptions for gate self-tests (``--seed-defect``).
 #: Each maps a name to ``(catalog_name, constructor)``.
@@ -41,7 +42,8 @@ class LintConfig:
     paths:
         Files/directories for the ``concurrency`` family (empty = the
         default ``parallel/`` + ``robustness/`` trees next to this
-        package).
+        package) and the ``engine`` family (empty = the whole ``repro``
+        package — a private-impl call can sneak into any module).
     select / ignore:
         Keep only / drop findings with these rule ids.
     fail_on:
@@ -127,6 +129,12 @@ def _default_lint_paths() -> tuple[str, ...]:
     return tuple(str(src_root / root) for root in DEFAULT_LINT_ROOTS)
 
 
+def _engine_lint_paths() -> tuple[str, ...]:
+    """The ENG001 scan root: the whole ``repro`` package."""
+    src_root = Path(__file__).resolve().parent.parent.parent
+    return (str(src_root / "repro"),)
+
+
 def _seeded_overrides(defect: str | None) -> dict[str, object]:
     if defect is None:
         return {}
@@ -179,6 +187,16 @@ def run_lint(config: LintConfig | None = None) -> LintResult:
         paths = config.paths or _default_lint_paths()
         findings.extend(lint_paths(list(paths)))
         checked["lint roots"] = len(paths)
+
+    if "engine" in config.families:
+        from repro.staticcheck.astlint import lint_engine_paths
+
+        # The boundary rule scans the whole package: a private-impl
+        # call can sneak into any module, not just parallel/robustness.
+        paths = config.paths or _engine_lint_paths()
+        eng_findings, scanned = lint_engine_paths(list(paths))
+        findings.extend(eng_findings)
+        checked["engine-boundary files"] = scanned
 
     if config.select:
         findings = [f for f in findings if f.rule_id in config.select]

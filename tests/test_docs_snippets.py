@@ -3,8 +3,9 @@
 Documentation rots when examples drift from the code.  This module
 keeps the two runnable guides honest:
 
-- every ```` ```python ```` fence in ``docs/USAGE.md`` and
-  ``docs/OBSERVABILITY.md`` is extracted and executed — fences within a
+- every ```` ```python ```` fence in ``docs/USAGE.md``,
+  ``docs/OBSERVABILITY.md``, and ``docs/ARCHITECTURE.md`` is extracted
+  and executed — fences within a
   file run **sequentially in one shared namespace** (later fences may
   use names an earlier fence defined), with the working directory in a
   tmpdir so fences that write files stay hermetic;
@@ -26,7 +27,7 @@ REPO = Path(__file__).resolve().parent.parent
 DOCS = REPO / "docs"
 
 #: Docs whose ``python`` fences must run end to end.
-RUNNABLE_DOCS = ("USAGE.md", "OBSERVABILITY.md")
+RUNNABLE_DOCS = ("USAGE.md", "OBSERVABILITY.md", "ARCHITECTURE.md")
 
 #: Docs whose relative links must resolve.
 LINKED_DOCS = [REPO / "README.md", *sorted(DOCS.glob("*.md"))]

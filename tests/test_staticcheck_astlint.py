@@ -4,7 +4,12 @@ from pathlib import Path
 
 import repro.parallel as parallel_pkg
 import repro.robustness as robustness_pkg
-from repro.staticcheck.astlint import lint_paths, lint_source
+from repro.staticcheck.astlint import (
+    lint_engine_boundary,
+    lint_engine_paths,
+    lint_paths,
+    lint_source,
+)
 from repro.staticcheck.findings import Severity
 
 WORKER_WRITES = """
@@ -216,3 +221,54 @@ def test_repo_execution_stack_is_clean():
     roots = [Path(parallel_pkg.__file__).parent,
              Path(robustness_pkg.__file__).parent]
     assert lint_paths(roots) == []
+
+
+# ----------------------------------------------------------------------
+# ENG001 — the engine single-dispatch-point boundary
+# ----------------------------------------------------------------------
+
+
+def test_engine_private_import_flagged():
+    source = "from repro.core.apa_matmul import _apa_matmul_impl\n"
+    findings = lint_engine_boundary(source, "src/repro/nn/train.py")
+    assert len(findings) == 1
+    f = findings[0]
+    assert f.rule_id == "ENG001" and f.severity is Severity.ERROR
+    assert "_apa_matmul_impl" in f.message
+
+
+def test_engine_private_call_and_attribute_flagged():
+    source = """
+import repro.parallel.executor as ex
+
+def run(A, B, alg):
+    return ex._threaded_matmul_impl(A, B, alg, 2)
+"""
+    findings = lint_engine_boundary(source, "src/repro/bench/thing.py")
+    assert [f.rule_id for f in findings] == ["ENG001"]
+    assert "_threaded_matmul_impl" in findings[0].message
+
+
+def test_engine_module_itself_is_exempt():
+    source = "from repro.core.batched import _batched_matmul_impl\n"
+    assert lint_engine_boundary(source, "src/repro/core/engine.py") == []
+
+
+def test_engine_private_definition_not_flagged():
+    # The home module *defines* the impl; only uses are violations.
+    source = "def _apa_matmul_impl(A, B, algorithm):\n    return A @ B\n"
+    assert lint_engine_boundary(source, "src/repro/core/apa_matmul.py") == []
+
+
+def test_engine_inline_suppression():
+    source = ("from repro.core.apa_matmul import _apa_matmul_impl"
+              "  # lint: ignore[ENG001]\n")
+    assert lint_engine_boundary(source, "src/repro/bench/hotpath.py") == []
+
+
+def test_repo_engine_boundary_is_clean():
+    """The shipped package honors the single-dispatch-point invariant."""
+    root = Path(parallel_pkg.__file__).parent.parent
+    findings, scanned = lint_engine_paths([root])
+    assert findings == []
+    assert scanned > 50  # the whole repro package, not a subtree
