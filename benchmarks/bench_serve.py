@@ -1,0 +1,79 @@
+"""Serving-layer load benchmark: per-class p50/p99 under saturation.
+
+Drives :func:`repro.serve.run_loadtest` (more back-to-back clients than
+workers, a deliberately small admission queue), writes
+``benchmarks/out/BENCH_serve.json`` with per-QoS-class latency
+percentiles and shed/coalescing counts, and gates on the serving
+layer's acceptance bar: the high-priority class must meet its deadline
+for at least ``--min-gold-hit-rate`` of admitted requests *while* the
+overloaded low-priority class is shed (not stalled).
+
+Run directly::
+
+    python benchmarks/bench_serve.py [--quick] [--min-gold-hit-rate 0.99]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument("--clients", type=int, default=12)
+    parser.add_argument("--n", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--gold-fraction", type=float, default=0.25)
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter run (CI smoke)")
+    parser.add_argument("--min-gold-hit-rate", type=float, default=0.99,
+                        help="exit 1 if the gold class's deadline hit "
+                             "rate falls below this (0 disables)")
+    parser.add_argument("--require-shedding", action="store_true",
+                        default=True,
+                        help="exit 1 unless saturation shed something")
+    parser.add_argument("--no-require-shedding", dest="require_shedding",
+                        action="store_false")
+    parser.add_argument("--out", type=Path,
+                        default=OUT_DIR / "BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    from repro.serve import run_loadtest
+
+    if args.quick:
+        args.duration = min(args.duration, 1.5)
+
+    result = run_loadtest(duration_s=args.duration, clients=args.clients,
+                          n=args.n, seed=args.seed,
+                          gold_fraction=args.gold_fraction)
+    print(result.summary())
+
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failed = False
+    gold = result.per_class.get("gold", {})
+    hit_rate = gold.get("deadline_hit_rate", 0.0)
+    if args.min_gold_hit_rate > 0 and hit_rate < args.min_gold_hit_rate:
+        print(f"FAIL: gold deadline hit rate {hit_rate:.3f} < "
+              f"{args.min_gold_hit_rate:.2f}")
+        failed = True
+    if args.require_shedding and result.shed_total == 0:
+        print("FAIL: saturation never shed — overload was queued, "
+              "not refused")
+        failed = True
+    if not failed:
+        print(f"OK: gold hit rate {hit_rate:.3f}, "
+              f"{result.shed_total} requests shed under saturation")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

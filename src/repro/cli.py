@@ -17,6 +17,9 @@ Commands
 ``trace``         — traced guarded run, Chrome/JSONL trace export
 ``metrics``       — process metrics (Prometheus text or JSON)
 ``obs-overhead``  — cost of dormant/live tracing on the warm hot path
+``serve``         — demo APA server with a live Prometheus endpoint
+``loadtest``      — saturate the server; write BENCH_serve.json
+``soak``          — chaos soak: injected faults, zero-silent-wrong gate
 """
 
 from __future__ import annotations
@@ -155,6 +158,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-overhead", type=float, default=0.02,
                    help="fail (exit 1) if the disabled-tracer overhead "
                         "exceeds this fraction (default: 0.02)")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the APA server demo with a metrics endpoint")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="seconds of self-driving demo traffic "
+                        "(default: 2.0)")
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--n", type=int, default=32)
+    p.add_argument("--port", type=int, default=0,
+                   help="metrics endpoint port (0 = ephemeral)")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="saturate the server; per-class p50/p99 + BENCH_serve.json")
+    p.add_argument("--duration", type=float, default=3.0)
+    p.add_argument("--clients", type=int, default=12)
+    p.add_argument("--n", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--gold-fraction", type=float, default=0.25)
+    p.add_argument("--out", default="benchmarks/out/BENCH_serve.json",
+                   help="JSON output path (default: "
+                        "benchmarks/out/BENCH_serve.json)")
+    p.add_argument("--min-gold-hit-rate", type=float, default=0.0,
+                   help="exit 1 if gold's deadline hit rate is below "
+                        "this (0 disables; the bench gate uses 0.99)")
+
+    p = sub.add_parser(
+        "soak",
+        help="chaos soak: injected gemm faults, concurrent clients, "
+             "zero-silent-wrong gate")
+    p.add_argument("--duration", type=float, default=2.0)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--n", type=int, default=24)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--armed-fraction", type=float, default=0.5,
+                   help="fraction of the run with the injector armed "
+                        "(the rest exercises breaker recovery)")
 
     p = sub.add_parser("save", help="write an algorithm file")
     p.add_argument("name")
@@ -376,6 +418,80 @@ def _cmd_obs_overhead(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from repro.serve import APAServer
+
+    async def demo() -> tuple[dict, int]:
+        import time
+
+        async with APAServer() as server:
+            port = await server.start_metrics_endpoint(port=args.port)
+            print(f"serving; metrics at http://127.0.0.1:{port}/metrics "
+                  f"(scrape with: curl or 'repro metrics')", file=out)
+            rng = np.random.default_rng(args.seed)
+            pairs = [(rng.standard_normal((args.n, args.n)),
+                      rng.standard_normal((args.n, args.n)))
+                     for _ in range(3)]
+            t_end = time.monotonic() + args.duration
+
+            async def client(cid: int) -> None:
+                qos = "gold" if cid == 0 else "silver"
+                i = 0
+                while time.monotonic() < t_end:
+                    A, B = pairs[i % len(pairs)]
+                    i += 1
+                    await server.submit(A, B, qos=qos)
+
+            await asyncio.gather(*(client(c)
+                                   for c in range(args.clients)))
+            return dict(server.stats), port
+
+    stats, _ = asyncio.run(demo())
+    print(f"done: {stats['submitted']} submitted, "
+          f"{stats['completed']} completed, {stats['shed']} shed, "
+          f"{stats['coalesced_items']} coalesced into "
+          f"{stats['coalesced_batches']} batches", file=out)
+    return 0
+
+
+def _cmd_loadtest(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve import run_loadtest
+
+    result = run_loadtest(duration_s=args.duration, clients=args.clients,
+                          n=args.n, seed=args.seed,
+                          gold_fraction=args.gold_fraction)
+    print(result.summary(), file=out)
+    path = Path(args.out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+    print(f"wrote {path}", file=out)
+    if args.min_gold_hit_rate > 0:
+        rate = result.per_class.get("gold", {}).get("deadline_hit_rate",
+                                                    0.0)
+        if rate < args.min_gold_hit_rate:
+            print(f"FAIL: gold deadline hit rate {rate:.3f} < "
+                  f"{args.min_gold_hit_rate:.2f}", file=out)
+            return 1
+    return 0
+
+
+def _cmd_soak(args, out) -> int:
+    from repro.serve import run_chaos_soak
+
+    report = run_chaos_soak(duration_s=args.duration, clients=args.clients,
+                            n=args.n, seed=args.seed,
+                            armed_fraction=args.armed_fraction)
+    print(report.summary(), file=out)
+    for problem in report.problems:
+        print(f"  problem: {problem}", file=out)
+    return 1 if report.problems else 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -419,6 +535,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_metrics(args, out)
     if args.command == "obs-overhead":
         return _cmd_obs_overhead(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args, out)
+    if args.command == "soak":
+        return _cmd_soak(args, out)
     if args.command == "save":
         from repro.algorithms.catalog import get_algorithm
         from repro.algorithms.io import save_algorithm

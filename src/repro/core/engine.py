@@ -305,6 +305,22 @@ class ExecutionEngine:
             return self._guard_for(cfg)
         return EngineBackend(self, cfg)
 
+    def execute(self, A: np.ndarray, B: np.ndarray,
+                config: ExecutionConfig) -> np.ndarray:
+        """Run one *already-resolved* config, no re-layering.
+
+        The serving layer's submission hook (:mod:`repro.serve`): a
+        request's QoS class is resolved into an :class:`ExecutionConfig`
+        once at admission time, and every subsequent retry, coalesced
+        batch, or degradation rung of that request must execute exactly
+        what was admitted — even if an :func:`~repro.core.config.
+        execution_context` is entered elsewhere in the process while the
+        request is in flight.  ``config`` therefore enters the stack
+        below :meth:`resolve` (guard → inject → dispatch), unlike
+        :meth:`matmul` which re-merges all layers per call.
+        """
+        return self._run(A, B, config)
+
     def plan_stats(self) -> dict[str, Any]:
         """Plan-cache + pool statistics for this engine's execution state.
 

@@ -1,0 +1,110 @@
+"""Exponential backoff with decorrelated jitter for retry loops.
+
+Both the hardened executor (:mod:`repro.parallel.executor`) and the
+serving layer (:mod:`repro.serve`) retry failed work.  Retrying
+*immediately* is the worst possible schedule under correlated failure —
+a transiently-poisoned gemm seam or a saturated machine fails the retry
+for the same reason it failed the first attempt, and N workers retrying
+in lockstep synchronize into a thundering herd.  The standard fix is
+exponential backoff with *decorrelated jitter* (Brooker, AWS
+architecture blog): each delay is drawn uniformly from
+``[base, prev * multiplier]`` and clamped to ``cap``, which both
+desynchronizes concurrent retriers and grows the expected delay
+geometrically without the full-jitter variance collapse.
+
+Everything here is deterministic and clock-free by construction so
+tests can pin exact schedules:
+
+- randomness comes from :func:`numpy.random.default_rng` seeded with
+  ``(seed, key)`` — two sequences with the same policy and key draw
+  identical delays, and per-job ``key`` values decorrelate jobs without
+  sharing a (lock-requiring) generator across threads;
+- sleeping goes through the injectable ``sleep`` callable, so a fake
+  clock records the schedule instead of actually waiting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BackoffPolicy", "BackoffSequence"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Immutable description of one backoff schedule family.
+
+    Attributes
+    ----------
+    base:
+        Smallest possible delay (seconds); also the first draw's lower
+        bound.
+    cap:
+        Upper clamp on every delay.  With decorrelated jitter the
+        expected delay grows toward the cap geometrically.
+    multiplier:
+        Growth factor: draw ``i+1`` is uniform on
+        ``[base, delay_i * multiplier]``.
+    seed:
+        Root seed.  Combined with a per-sequence ``key`` so concurrent
+        retriers draw from decorrelated streams deterministically.
+    sleep:
+        Injectable sleeper (defaults to :func:`time.sleep`).  Tests
+        pass a recorder to assert on the schedule with a fake clock.
+    """
+
+    base: float = 0.001
+    cap: float = 0.100
+    multiplier: float = 3.0
+    seed: int = 0
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError("base must be positive")
+        if self.cap < self.base:
+            raise ValueError("cap must be >= base")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def sequence(self, key: int = 0) -> BackoffSequence:
+        """A fresh delay sequence for one retry loop.
+
+        ``key`` decorrelates sequences sharing this policy (use the job
+        index / request id); equal ``(seed, key)`` pairs reproduce the
+        exact same delays.
+        """
+        return BackoffSequence(policy=self, key=key)
+
+
+@dataclass
+class BackoffSequence:
+    """Stateful delay iterator for a single retry loop (not shared)."""
+
+    policy: BackoffPolicy
+    key: int = 0
+    delays: list[float] = field(default_factory=list)
+    _prev: float = 0.0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng((self.policy.seed, self.key))
+
+    def next_delay(self) -> float:
+        """Draw the next decorrelated-jitter delay (seconds), no sleep."""
+        p = self.policy
+        hi = max(p.base, self._prev * p.multiplier)
+        delay = float(min(p.cap, self._rng.uniform(p.base, hi)))
+        self._prev = delay
+        self.delays.append(delay)
+        return delay
+
+    def wait(self) -> float:
+        """Draw the next delay, sleep it, and return it."""
+        delay = self.next_delay()
+        self.policy.sleep(delay)
+        return delay

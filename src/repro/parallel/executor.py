@@ -25,14 +25,20 @@ from repro.core.apa_matmul import linear_combination
 from repro.core.engine import _run_sequential, default_engine
 from repro.linalg.blocking import BlockPartition, split_blocks
 from repro.obs import tracer as _obs_tracer
+from repro.parallel.backoff import BackoffPolicy
 from repro.parallel.pool import get_pool
 from repro.parallel.strategy import Schedule, build_schedule
 from repro.robustness.events import EventLog
 
-__all__ = ["threaded_apa_matmul", "JobOutcome", "ExecutionReport"]
+__all__ = ["threaded_apa_matmul", "JobOutcome", "ExecutionReport",
+           "DEFAULT_BACKOFF"]
 
 #: The process-wide engine; bound once — it is never replaced.
 _ENGINE = default_engine()
+
+#: Retry pacing when the caller does not supply a policy: short enough
+#: not to matter against a gemm, long enough to ride out a transient.
+DEFAULT_BACKOFF = BackoffPolicy(base=0.001, cap=0.050)
 
 
 def _flatten(X: np.ndarray, rows: int, cols: int) -> list[np.ndarray]:
@@ -73,6 +79,13 @@ class ExecutionReport:
 
     jobs: list[JobOutcome] = field(default_factory=list)
     events: EventLog = field(default_factory=EventLog)
+    #: Optional retry-pacing override; ``None`` means
+    #: :data:`DEFAULT_BACKOFF`.  Tests inject a policy with a recording
+    #: ``sleep`` here to pin the schedule against a fake clock.
+    backoff: BackoffPolicy | None = None
+    #: Every backoff delay (seconds) slept by this call's retries, in
+    #: emission order across jobs.
+    backoff_delays: list[float] = field(default_factory=list)
 
     @property
     def failed_jobs(self) -> list[JobOutcome]:
@@ -124,9 +137,12 @@ def threaded_apa_matmul(
     the cache since custom schedules are not part of the plan key).
 
     Failure handling (the guarded-execution contract): a job whose gemm
-    raises is retried up to ``retries`` times and then recomputed with
-    classical gemm — only the failed sub-multiplication loses its
-    speedup, the call still returns.  ``check_finite=True`` additionally
+    raises is retried up to ``retries`` times — each retry waits a
+    decorrelated-jitter backoff delay first (:data:`DEFAULT_BACKOFF`,
+    overridable via ``report.backoff``; the slept delays land in
+    ``report.backoff_delays``) — and then recomputed with classical
+    gemm — only the failed sub-multiplication loses its speedup, the
+    call still returns.  ``check_finite=True`` additionally
     treats a NaN/Inf block as a failure.  ``timeout`` (seconds, threaded
     path only) bounds each job's wall-clock; an overrunning worker's
     block is recomputed classically in the caller thread (the stale
@@ -265,10 +281,14 @@ def _threaded_matmul_impl(
                          algorithm=algorithm.name):
             return _run_mult(i)
 
+    backoff_policy = (report.backoff if report is not None
+                      and report.backoff is not None else DEFAULT_BACKOFF)
+
     def _run_mult(i: int) -> tuple[np.ndarray, str, int, str, float, float]:
         start = time.perf_counter()
         S, T = operands(i)
         error_text = ""
+        backoff = None
         for attempt in range(1, retries + 2):
             try:
                 M = gemm(S, T)
@@ -281,6 +301,18 @@ def _threaded_matmul_impl(
                 error_text = f"{type(exc).__name__}: {exc}"
                 emit(kind, i, error_text, attempt=attempt)
                 if attempt <= retries:
+                    # Back off before the retry: immediate re-runs fail
+                    # for the same transient reason, and jitter keeps
+                    # concurrent retriers desynchronized.  Keyed by the
+                    # mult index so each job's schedule is independent
+                    # and reproducible.
+                    if backoff is None:
+                        backoff = backoff_policy.sequence(key=i)
+                    delay = backoff.wait()
+                    if report is not None:
+                        report.backoff_delays.append(delay)
+                    emit("backoff", i, f"slept {delay * 1e3:.3f} ms "
+                         "before retry", attempt=attempt)
                     emit("retry", i, f"attempt {attempt + 1} of "
                          f"{retries + 1}", attempt=attempt)
                 continue

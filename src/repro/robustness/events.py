@@ -17,10 +17,13 @@ JSONL exports without any extra plumbing.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.obs import tracer as _obs_tracer
+from repro.obs.registry import default_registry
 
 __all__ = ["RobustnessEvent", "EventLog"]
 
@@ -36,7 +39,8 @@ class RobustnessEvent:
     - circuit breaker: ``breaker-open``, ``breaker-probe``,
       ``breaker-close``,
     - executor recovery: ``worker-error``, ``worker-nonfinite``,
-      ``worker-timeout``, ``retry``, ``job-fallback``,
+      ``worker-timeout``, ``retry``, ``backoff``, ``job-fallback``,
+    - serving layer: ``admit``, ``shed``, ``degrade``, ``recover``,
     - plan engine: ``plan-miss``, ``plan-evict``,
     - training: ``divergence``, ``rollback``, ``downgrade``.
 
@@ -57,18 +61,50 @@ class RobustnessEvent:
         return f"[{self.kind}] {self.where}: {self.detail}{tail}"
 
 
-@dataclass
 class EventLog:
-    """Append-only event sink shared by the guard components."""
+    """Bounded ring-buffer event sink shared by the guard components.
 
-    events: list[RobustnessEvent] = field(default_factory=list)
+    Long-running processes (the :mod:`repro.serve` server above all)
+    emit guard events indefinitely; an unbounded list is a slow memory
+    leak.  The log therefore keeps only the most recent ``cap`` events
+    (oldest evicted first) and counts evictions in ``dropped``, which is
+    also surfaced process-wide as the ``repro_eventlog_dropped_total``
+    counter in :func:`repro.obs.metrics`.  Eviction never loses the
+    trace-export copy: when a tracer is active every event is forwarded
+    at emission time, before any ring-buffer wraparound.
+
+    ``emit`` is safe to call from concurrent worker threads (the
+    executor and the serve pool both do): appends and the dropped
+    counter are guarded by an internal lock.
+    """
+
+    #: Default ring capacity — generous for test runs, bounded for soaks.
+    DEFAULT_CAP = 1024
+
+    def __init__(self, events: "list[RobustnessEvent] | None" = None,
+                 cap: int = DEFAULT_CAP) -> None:
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self.cap = cap
+        self.events: deque[RobustnessEvent] = deque(events or (), maxlen=cap)
+        self.dropped = 0
+        self._lock = threading.Lock()
 
     def emit(self, kind: str, where: str, detail: str = "",
              attempt: int = 0, t: float | None = None) -> RobustnessEvent:
         event = RobustnessEvent(
             kind=kind, where=where, detail=detail, attempt=attempt,
             **({} if t is None else {"t": t}))
-        self.events.append(event)
+        with self._lock:
+            evicting = len(self.events) == self.cap
+            self.events.append(event)
+            if evicting:
+                self.dropped += 1
+        if evicting:
+            default_registry().counter(
+                "repro_eventlog_dropped_total",
+                "Events evicted from ring-buffer EventLogs (process-wide).",
+            ).inc()
         tracer = _obs_tracer.ACTIVE
         if tracer is not None:
             tracer.instant(kind, cat="robustness", t=event.t, where=where,
@@ -82,7 +118,9 @@ class EventLog:
         return len(self.of_kind(kind))
 
     def clear(self) -> None:
-        self.events.clear()
+        """Drop buffered events (``dropped`` stays cumulative)."""
+        with self._lock:
+            self.events.clear()
 
     def __len__(self) -> int:
         return len(self.events)

@@ -13,6 +13,7 @@ breaker protocol.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["EscalationPolicy", "CircuitBreaker", "BreakerState", "shape_class"]
@@ -98,11 +99,19 @@ class CircuitBreaker:
     call (half-open).  The probe's outcome either closes the breaker
     (``record_success``) or re-opens it for another cool-down
     (``record_failure``).
+
+    All methods are thread-safe: the serving layer hammers one breaker
+    from many worker threads, and the half-open protocol is only correct
+    if exactly one of N racing ``allow`` calls wins the probe slot.  A
+    single internal lock covers every state transition (the critical
+    sections are a few integer updates, far below contention range).
     """
 
     strikes_to_open: int = 3
     cooldown_calls: int = 32
     _states: dict[tuple[str, str], BreakerState] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def _state(self, key: tuple[str, str]) -> BreakerState:
         if key not in self._states:
@@ -110,36 +119,50 @@ class CircuitBreaker:
         return self._states[key]
 
     def is_open(self, key: tuple[str, str]) -> bool:
-        return self._state(key).open
+        with self._lock:
+            return self._state(key).open
 
     def allow(self, key: tuple[str, str]) -> bool:
-        state = self._state(key)
-        if not state.open:
-            return True
-        state.calls_since_open += 1
-        if state.calls_since_open > self.cooldown_calls:
-            # half-open: let one probe call through
-            state.calls_since_open = 0
-            return True
-        return False
+        with self._lock:
+            state = self._state(key)
+            if not state.open:
+                return True
+            state.calls_since_open += 1
+            if state.calls_since_open > self.cooldown_calls:
+                # half-open: let one probe call through
+                state.calls_since_open = 0
+                return True
+            return False
 
     def record_failure(self, key: tuple[str, str]) -> bool:
         """Returns True when this failure newly opens the breaker."""
-        state = self._state(key)
-        if state.open:
-            # failed half-open probe: restart the cool-down
-            state.calls_since_open = 0
-            return False
-        return state.record_failure(self.strikes_to_open)
+        with self._lock:
+            state = self._state(key)
+            if state.open:
+                # failed half-open probe: restart the cool-down
+                state.calls_since_open = 0
+                return False
+            return state.record_failure(self.strikes_to_open)
 
     def record_success(self, key: tuple[str, str]) -> bool:
         """Returns True when a half-open probe closes the breaker."""
-        state = self._state(key)
-        if state.open:
-            self._states[key] = BreakerState()
-            return True
-        state.record_success()
-        return False
+        with self._lock:
+            state = self._state(key)
+            if state.open:
+                self._states[key] = BreakerState()
+                return True
+            state.record_success()
+            return False
 
     def open_keys(self) -> list[tuple[str, str]]:
-        return [k for k, s in self._states.items() if s.open]
+        with self._lock:
+            return [k for k, s in self._states.items() if s.open]
+
+    def snapshot(self) -> dict[str, dict[str, int | bool]]:
+        """Consistent per-key state view for metrics/debugging."""
+        with self._lock:
+            return {
+                f"{alg}|{shape}": {"open": s.open, "strikes": s.strikes,
+                                   "calls_since_open": s.calls_since_open}
+                for (alg, shape), s in self._states.items()
+            }

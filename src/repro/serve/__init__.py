@@ -1,0 +1,39 @@
+"""APA-as-a-service: the fault-tolerant serving layer (ROADMAP item 1).
+
+An asyncio front-end over the :class:`~repro.core.engine.
+ExecutionEngine` whose headline is *failure behavior*: bounded
+admission with per-tenant QoS classes, same-plan-key coalescing into
+batched stacked calls, deadlines with retry + jittered backoff,
+circuit-breaker admission control, and a pressure-driven degradation
+ladder (full APA → reduced steps → classical → shed).  See
+``docs/SERVING.md`` for the guided tour.
+
+Public surface:
+
+- :class:`APAServer`, :class:`ServeConfig`, :class:`MatmulResponse` —
+  the server itself (:mod:`repro.serve.server`);
+- :class:`QoSClass`, :func:`default_qos_classes`,
+  :data:`ERROR_BUDGETS` — tenant classes (:mod:`repro.serve.qos`);
+- :class:`DegradationLadder`, :class:`DegradationLevel`,
+  :class:`LadderConfig` — the ladder (:mod:`repro.serve.degrade`);
+- :func:`run_chaos_soak` / :class:`ChaosReport` — the fault-injection
+  soak gate (:mod:`repro.serve.chaos`);
+- :func:`run_loadtest` / :class:`LoadTestResult` — the saturation
+  benchmark (:mod:`repro.serve.loadtest`).
+"""
+
+from repro.serve.chaos import ChaosReport, run_chaos_soak
+from repro.serve.degrade import (DegradationLadder, DegradationLevel,
+                                 LadderConfig)
+from repro.serve.loadtest import (LoadTestResult, default_loadtest_classes,
+                                  run_loadtest)
+from repro.serve.qos import ERROR_BUDGETS, QoSClass, default_qos_classes
+from repro.serve.server import APAServer, MatmulResponse, ServeConfig
+
+__all__ = [
+    "APAServer", "ServeConfig", "MatmulResponse",
+    "QoSClass", "ERROR_BUDGETS", "default_qos_classes",
+    "DegradationLadder", "DegradationLevel", "LadderConfig",
+    "ChaosReport", "run_chaos_soak",
+    "LoadTestResult", "run_loadtest", "default_loadtest_classes",
+]

@@ -1,0 +1,222 @@
+"""Chaos/soak harness: concurrent clients against an injected-fault server.
+
+The acceptance bar for the serving layer is behavioral, not structural:
+with seeded gemm faults firing and ≥ 8 concurrent clients, **zero
+silently-wrong results may escape** — every completed response must be
+bit-correct (classical rungs) or within the algorithm's error budget
+(full-APA rungs), and degradations must be *declared* in the response.
+This module drives exactly that scenario and folds the run into a
+:class:`ChaosReport` whose :meth:`~ChaosReport.assert_clean` is the
+CI gate (the ``soak`` job runs it under ``-W error::RuntimeWarning``).
+
+Fault schedule: the chaos QoS class routes its gemm seam through a
+seeded :class:`~repro.robustness.inject.GemmFaultInjector`, armed for
+the first ``armed_fraction`` of the run and disarmed afterwards — the
+arm phase forces guard escalations and opens breakers, the disarm
+phase lets half-open probes succeed so the report can also assert the
+*recovery* half of the breaker protocol (open → half-open → closed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ExecutionConfig
+from repro.robustness.inject import FaultSpec, GemmFaultInjector
+from repro.robustness.policy import EscalationPolicy
+from repro.serve.qos import QoSClass
+from repro.serve.server import APAServer, MatmulResponse, ServeConfig
+
+__all__ = ["ChaosReport", "run_chaos_soak"]
+
+#: Relative-error ceiling for full-APA responses in the soak.  The
+#: chaos class runs strassen222 (an exact algorithm), so a healthy
+#: full-rung answer differs from ``A @ B`` only by reassociation
+#: roundoff — many orders of magnitude below this line — while any
+#: escaped poison (NaN/Inf or a perturbed block) lands far above it.
+OK_REL_ERROR_CEILING = 1e-8
+
+
+@dataclass
+class ChaosReport:
+    """Everything :func:`run_chaos_soak` measured, plus the verdict."""
+
+    duration_s: float
+    clients: int
+    submitted: int = 0
+    completed: int = 0
+    ok: int = 0
+    degraded: int = 0
+    shed: int = 0
+    silent_wrong: int = 0
+    max_ok_rel_error: float = 0.0
+    guard_violations: int = 0
+    faults_fired: int = 0
+    breaker_opens: int = 0
+    breaker_probes: int = 0
+    breaker_closes: int = 0
+    log_len: int = 0
+    log_cap: int = 0
+    log_dropped: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    def assert_clean(self) -> None:
+        """Raise ``AssertionError`` listing every violated invariant."""
+        if self.problems:
+            raise AssertionError(
+                "chaos soak violated invariants:\n- "
+                + "\n- ".join(self.problems))
+
+    def summary(self) -> str:
+        verdict = "FAIL" if self.problems else "ok"
+        return (f"chaos soak: {self.submitted} requests from "
+                f"{self.clients} clients over {self.duration_s:.1f}s — "
+                f"{self.ok} ok, {self.degraded} degraded, "
+                f"{self.shed} shed, {self.silent_wrong} silent-wrong; "
+                f"{self.faults_fired} faults fired, "
+                f"{self.guard_violations} guard violations, breakers "
+                f"open/probe/close {self.breaker_opens}/"
+                f"{self.breaker_probes}/{self.breaker_closes}; "
+                f"log {self.log_len}/{self.log_cap} "
+                f"(+{self.log_dropped} dropped) — {verdict}")
+
+
+def _check_response(resp: MatmulResponse, A: np.ndarray, B: np.ndarray,
+                    report: ChaosReport) -> None:
+    """Fold one response into the report; flag silent wrongness."""
+    if resp.status == "shed":
+        report.shed += 1
+        if resp.result is not None:
+            report.silent_wrong += 1
+            report.problems.append("shed response carried a result")
+        return
+    report.completed += 1
+    if resp.result is None:
+        report.silent_wrong += 1
+        report.problems.append(f"{resp.status} response had no result")
+        return
+    ref = np.matmul(A, B)
+    if resp.status == "degraded":
+        report.degraded += 1
+        if not resp.detail:
+            report.silent_wrong += 1
+            report.problems.append("degraded response gave no reason")
+        # Every degraded rung bottoms out in trusted np.matmul —
+        # bit-identical to the reference by construction.
+        if resp.level >= 2 and not np.array_equal(resp.result, ref):
+            report.silent_wrong += 1
+            report.problems.append(
+                "classical-rung response not bit-equal to np.matmul")
+        return
+    report.ok += 1
+    if not np.isfinite(resp.result).all():
+        report.silent_wrong += 1
+        report.problems.append("ok response contained NaN/Inf")
+        return
+    err = (np.linalg.norm(resp.result - ref)
+           / max(np.linalg.norm(ref), 1e-300))
+    report.max_ok_rel_error = max(report.max_ok_rel_error, float(err))
+    if err > OK_REL_ERROR_CEILING:
+        report.silent_wrong += 1
+        report.problems.append(
+            f"ok response exceeded error budget: rel error {err:.2e}")
+
+
+async def _soak(report: ChaosReport, *, n: int, seed: int,
+                armed_fraction: float, server_config: ServeConfig) -> None:
+    injector = GemmFaultInjector(spec=FaultSpec(
+        kind="nan", probability=0.25, poison_fraction=0.05, seed=seed))
+    classes = {
+        # Guarded + injected: the class whose faults the guards must eat.
+        "chaos": QoSClass(
+            "chaos", priority=0, deadline_s=5.0, sheddable=False,
+            error_budget="strict",
+            execution=ExecutionConfig(
+                algorithm="strassen222", gemm=injector,
+                guard_policy=EscalationPolicy(strikes_to_open=3,
+                                              cooldown_calls=4))),
+        # Clean coalescible bulk traffic riding alongside.
+        "bulk": QoSClass(
+            "bulk", priority=1, deadline_s=5.0, sheddable=True,
+            error_budget="balanced",
+            execution=ExecutionConfig(algorithm="strassen222")),
+    }
+    async with APAServer(classes=classes, config=server_config) as server:
+        t0 = time.monotonic()
+        t_end = t0 + report.duration_s
+        t_disarm = t0 + report.duration_s * armed_fraction
+
+        async def client(cid: int) -> None:
+            rng = np.random.default_rng((seed, cid))
+            pairs = [(rng.standard_normal((n, n)),
+                      rng.standard_normal((n, n))) for _ in range(3)]
+            i = 0
+            while time.monotonic() < t_end:
+                A, B = pairs[i % len(pairs)]
+                qos = "chaos" if (cid + i) % 2 == 0 else "bulk"
+                i += 1
+                report.submitted += 1
+                resp = await server.submit(A, B, qos=qos)
+                _check_response(resp, A, B, report)
+                await asyncio.sleep(0)  # yield so clients interleave
+
+        async def disarm() -> None:
+            await asyncio.sleep(max(0.0, t_disarm - time.monotonic()))
+            injector.active = False
+
+        await asyncio.gather(disarm(),
+                             *(client(c) for c in range(report.clients)))
+
+        # -- invariants beyond per-response correctness ----------------
+        report.faults_fired = injector.faults_fired
+        for guard in server._guards.values():
+            report.guard_violations += guard.violations
+        report.breaker_opens = server.log.count("breaker-open")
+        report.breaker_probes = server.log.count("breaker-probe")
+        report.breaker_closes = server.log.count("breaker-close")
+        report.log_len = len(server.log)
+        report.log_cap = server.log.cap
+        report.log_dropped = server.log.dropped
+
+    if report.faults_fired == 0:
+        report.problems.append("no faults fired — the soak tested nothing")
+    if report.guard_violations == 0:
+        report.problems.append("faults fired but guards saw no violations")
+    if report.breaker_opens == 0:
+        report.problems.append("no breaker opened under sustained faults")
+    if report.breaker_closes == 0:
+        report.problems.append(
+            "no breaker recovered (half-open -> closed) after disarm")
+    if report.log_len > report.log_cap:
+        report.problems.append(
+            f"EventLog exceeded its ring cap ({report.log_len} > "
+            f"{report.log_cap})")
+    if report.completed + report.shed != report.submitted:
+        report.problems.append(
+            f"response accounting leak: {report.completed} completed + "
+            f"{report.shed} shed != {report.submitted} submitted")
+
+
+def run_chaos_soak(duration_s: float = 2.0, clients: int = 8, *,
+                   n: int = 24, seed: int = 0, armed_fraction: float = 0.5,
+                   server_config: ServeConfig | None = None) -> ChaosReport:
+    """Drive the server with injected faults; return the full report.
+
+    Call :meth:`ChaosReport.assert_clean` on the result to turn any
+    violated invariant into a test/CI failure.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if not 0.0 < armed_fraction < 1.0:
+        raise ValueError("armed_fraction must be in (0, 1)")
+    report = ChaosReport(duration_s=duration_s, clients=clients)
+    config = server_config or ServeConfig(
+        max_queue=64, workers=2, retries=1,
+        breaker_strikes=3, breaker_cooldown=4, log_cap=512)
+    asyncio.run(_soak(report, n=n, seed=seed,
+                      armed_fraction=armed_fraction, server_config=config))
+    return report

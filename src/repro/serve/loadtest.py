@@ -1,0 +1,171 @@
+"""Saturating load generator: per-class p50/p99 and shed behavior.
+
+The load test answers the serving layer's capacity question the same
+way the benchmarks answer the kernel question: drive the server past
+saturation (more back-to-back clients than workers, a deliberately
+small admission queue) and measure what the QoS machinery *does* —
+does the high-priority class keep meeting its deadline while excess
+low-priority load is shed rather than queued into oblivion?
+
+:func:`run_loadtest` returns a :class:`LoadTestResult`;
+``repro loadtest`` (and ``benchmarks/bench_serve.py``) serialize it to
+``benchmarks/out/BENCH_serve.json`` with per-class latency percentiles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ExecutionConfig
+from repro.serve.qos import QoSClass
+from repro.serve.server import APAServer, ServeConfig
+
+__all__ = ["LoadTestResult", "run_loadtest", "default_loadtest_classes"]
+
+
+@dataclass
+class LoadTestResult:
+    """Aggregated outcome of one load-test run."""
+
+    duration_s: float
+    clients: int
+    n: int
+    submitted: int = 0
+    per_class: dict[str, dict[str, float]] = field(default_factory=dict)
+    coalesced_batches: int = 0
+    coalesced_items: int = 0
+    max_batch: int = 0
+    shed_total: int = 0
+    degraded_total: int = 0
+
+    def to_dict(self) -> dict:
+        """The ``BENCH_serve.json`` payload."""
+        return {
+            "bench": "serve",
+            "duration_s": self.duration_s,
+            "clients": self.clients,
+            "n": self.n,
+            "submitted": self.submitted,
+            "shed_total": self.shed_total,
+            "degraded_total": self.degraded_total,
+            "coalescing": {
+                "batches": self.coalesced_batches,
+                "items": self.coalesced_items,
+                "max_batch": self.max_batch,
+            },
+            "per_class": self.per_class,
+        }
+
+    def summary(self) -> str:
+        lines = [f"loadtest: {self.submitted} requests, {self.clients} "
+                 f"clients, {self.duration_s:.1f}s, n={self.n}; "
+                 f"{self.shed_total} shed, {self.degraded_total} degraded, "
+                 f"coalesced {self.coalesced_items} requests into "
+                 f"{self.coalesced_batches} batches "
+                 f"(max {self.max_batch})"]
+        for name, row in sorted(self.per_class.items()):
+            lines.append(
+                f"  {name:>8}: {int(row['submitted'])} submitted, "
+                f"{int(row['completed'])} completed, "
+                f"{int(row['shed'])} shed | p50 {row['p50_ms']:.2f} ms, "
+                f"p99 {row['p99_ms']:.2f} ms | deadline hit rate "
+                f"{row['deadline_hit_rate']:.3f}")
+        return "\n".join(lines)
+
+
+def default_loadtest_classes() -> dict[str, QoSClass]:
+    """Two-tier saturation mix: tight-deadline gold vs sheddable bulk.
+
+    ``gold`` is non-sheddable with a comfortably-meetable deadline;
+    ``bulk`` is plentiful, coalescible, and carries a deadline tight
+    enough that queueing it (instead of shedding) would visibly fail.
+    """
+    return {
+        "gold": QoSClass(
+            "gold", priority=0, deadline_s=0.5, sheddable=False,
+            error_budget="balanced",
+            execution=ExecutionConfig(algorithm="strassen222")),
+        "bulk": QoSClass(
+            "bulk", priority=2, deadline_s=0.25, sheddable=True,
+            error_budget="balanced",
+            execution=ExecutionConfig(algorithm="strassen222")),
+    }
+
+
+async def _drive(result: LoadTestResult, *, seed: int, gold_fraction: float,
+                 classes: dict[str, QoSClass],
+                 server_config: ServeConfig) -> None:
+    latencies: dict[str, list[float]] = {name: [] for name in classes}
+    counts: dict[str, dict[str, int]] = {
+        name: {"submitted": 0, "completed": 0, "ok": 0, "degraded": 0,
+               "shed": 0, "deadline_hits": 0}
+        for name in classes}
+
+    async with APAServer(classes=classes, config=server_config) as server:
+        t_end = time.monotonic() + result.duration_s
+
+        async def client(cid: int) -> None:
+            rng = np.random.default_rng((seed, cid))
+            A = rng.standard_normal((result.n, result.n))
+            B = rng.standard_normal((result.n, result.n))
+            while time.monotonic() < t_end:
+                qos = ("gold" if rng.random() < gold_fraction else "bulk")
+                result.submitted += 1
+                row = counts[qos]
+                row["submitted"] += 1
+                resp = await server.submit(A, B, qos=qos)
+                if resp.status == "shed":
+                    row["shed"] += 1
+                    continue
+                row["completed"] += 1
+                row["ok" if resp.status == "ok" else "degraded"] += 1
+                if not resp.deadline_missed:
+                    row["deadline_hits"] += 1
+                latencies[qos].append(resp.latency_s)
+
+        await asyncio.gather(*(client(c) for c in range(result.clients)))
+        result.coalesced_batches = server.stats["coalesced_batches"]
+        result.coalesced_items = server.stats["coalesced_items"]
+        result.max_batch = server.stats["max_batch"]
+        result.shed_total = server.stats["shed"]
+        result.degraded_total = server.stats["degraded"]
+
+    for name, row in counts.items():
+        lat = np.asarray(latencies[name]) * 1e3
+        completed = row["completed"]
+        result.per_class[name] = {
+            "submitted": float(row["submitted"]),
+            "completed": float(completed),
+            "ok": float(row["ok"]),
+            "degraded": float(row["degraded"]),
+            "shed": float(row["shed"]),
+            "p50_ms": float(np.percentile(lat, 50)) if completed else 0.0,
+            "p99_ms": float(np.percentile(lat, 99)) if completed else 0.0,
+            "deadline_hit_rate": (row["deadline_hits"] / completed
+                                  if completed else 0.0),
+        }
+
+
+def run_loadtest(duration_s: float = 3.0, clients: int = 12, *,
+                 n: int = 32, seed: int = 0, gold_fraction: float = 0.25,
+                 classes: dict[str, QoSClass] | None = None,
+                 server_config: ServeConfig | None = None
+                 ) -> LoadTestResult:
+    """Saturate a server and measure per-class latency + shedding.
+
+    Defaults deliberately overload the server (12 back-to-back clients,
+    2 workers, queue of 8) so the QoS story is exercised, not idled.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    classes = classes or default_loadtest_classes()
+    config = server_config or ServeConfig(
+        max_queue=8, workers=2, max_batch=8, retries=1, log_cap=512)
+    result = LoadTestResult(duration_s=duration_s, clients=clients, n=n)
+    asyncio.run(_drive(result, seed=seed, gold_fraction=gold_fraction,
+                       classes=classes, server_config=config))
+    return result

@@ -1,0 +1,106 @@
+"""Per-tenant QoS classes: deadline + error budget → ``ExecutionConfig``.
+
+The paper's accuracy knob — error bound ``2^(-d·sigma/(sigma+phi))``
+growing with the recursion depth ``sigma`` — becomes a *serving* knob
+here: a request class trades approximation error for speed by picking
+how deep the APA recursion may go and whether the result is guarded.
+Each :class:`QoSClass` bundles that error budget with the scheduling
+half of the contract (priority, deadline, sheddability), and resolves
+to a concrete :class:`~repro.core.config.ExecutionConfig` through the
+engine's normal ``overrides()``/``merged()`` layering, so class configs
+compose with engine defaults exactly like any other caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ExecutionConfig
+
+__all__ = ["QoSClass", "ERROR_BUDGETS", "default_qos_classes"]
+
+#: Named error budgets, strictest first.  ``strict`` buys certainty
+#: (guarded execution: NaN scan + residual probe + escalation ladder),
+#: ``balanced`` takes the single-step APA error bound on faith, and
+#: ``relaxed`` accepts the deeper-recursion bound for more speed.
+ERROR_BUDGETS: dict[str, ExecutionConfig] = {
+    "strict": ExecutionConfig(guarded=True, steps=1),
+    "balanced": ExecutionConfig(steps=1),
+    "relaxed": ExecutionConfig(steps=2),
+}
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """One tenant class: scheduling contract + error budget.
+
+    Attributes
+    ----------
+    name:
+        Class id; requests select their class by this string.
+    priority:
+        Dispatch order, ``0`` highest.  The admission queue is a
+        priority heap, so under saturation high-priority requests are
+        always served first (FIFO within a class).
+    deadline_s:
+        Default per-request deadline, admission → completion.  A
+        request may tighten (never loosen) it at submit time.
+    sheddable:
+        Whether the server may drop this class's requests under
+        pressure.  Non-sheddable requests are never dropped — at worst
+        they complete on the trusted classical rung — and may evict a
+        queued sheddable request when the queue is full.
+    error_budget:
+        Key into :data:`ERROR_BUDGETS`.
+    execution:
+        Extra :class:`ExecutionConfig` overrides layered *on top of*
+        the error budget (algorithm choice, lam, gemm seam, ...).
+    """
+
+    name: str
+    priority: int
+    deadline_s: float
+    sheddable: bool = True
+    error_budget: str = "balanced"
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("name must be non-empty")
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.error_budget not in ERROR_BUDGETS:
+            raise ValueError(
+                f"unknown error budget {self.error_budget!r}; "
+                f"known: {sorted(ERROR_BUDGETS)}")
+
+    def config(self) -> ExecutionConfig:
+        """Budget + class overrides, ready for ``engine.resolve()``."""
+        return ERROR_BUDGETS[self.error_budget].merged(
+            self.execution.overrides())
+
+
+def default_qos_classes() -> dict[str, QoSClass]:
+    """The stock three-tier policy (callers usually tune their own).
+
+    ``gold`` is interactive and non-sheddable with a guarded result;
+    ``silver`` is the coalescible bulk tier (single-step, unguarded, so
+    same-shape requests can stack into one batched call); ``batch`` is
+    background work on the relaxed budget, first to be shed.
+    """
+    return {
+        "gold": QoSClass(
+            "gold", priority=0, deadline_s=0.5, sheddable=False,
+            error_budget="strict",
+            execution=ExecutionConfig(algorithm="strassen222")),
+        "silver": QoSClass(
+            "silver", priority=1, deadline_s=2.0,
+            error_budget="balanced",
+            execution=ExecutionConfig(algorithm="strassen222")),
+        "batch": QoSClass(
+            "batch", priority=2, deadline_s=10.0,
+            error_budget="relaxed",
+            execution=ExecutionConfig(algorithm="strassen444")),
+    }

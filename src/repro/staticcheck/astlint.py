@@ -5,7 +5,8 @@ the threaded executor and the robustness stack must never reintroduce:
 
 ``PAR001``
     A function handed to a thread pool (``pool.submit(fn, ...)``,
-    ``pool.map(fn, ...)``, ``threading.Thread(target=fn)``) writes to
+    ``pool.map(fn, ...)``, ``threading.Thread(target=fn)``,
+    ``loop.run_in_executor(pool, fn, ...)``) writes to
     state it closes over — a ``nonlocal``/``global`` rebind, or a
     subscript/attribute store on a closed-over object — without holding
     a lock (a ``with`` block whose context expression mentions a lock).
@@ -57,7 +58,8 @@ __all__ = ["lint_source", "lint_paths", "lint_engine_boundary",
 
 #: Trees the concurrency/numerics linter walks by default (relative to
 #: the repository's ``src`` directory).
-DEFAULT_LINT_ROOTS: tuple[str, ...] = ("repro/parallel", "repro/robustness")
+DEFAULT_LINT_ROOTS: tuple[str, ...] = ("repro/parallel", "repro/robustness",
+                                       "repro/serve")
 
 #: ``np.random`` attributes that are reentrancy-safe constructors, not
 #: draws from hidden global state.
@@ -139,6 +141,12 @@ def _worker_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
             first = node.args[0]
             if isinstance(first, ast.Name) and first.id in nested:
                 workers.add(first.id)
+        elif name == "run_in_executor" and len(node.args) >= 2:
+            # loop.run_in_executor(pool, fn, ...) — the callable is the
+            # second positional (the first is the executor, often None).
+            fn = node.args[1]
+            if isinstance(fn, ast.Name) and fn.id in nested:
+                workers.add(fn.id)
         elif name == "Thread":
             for kw in node.keywords:
                 if kw.arg == "target" and isinstance(kw.value, ast.Name) \

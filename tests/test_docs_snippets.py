@@ -4,7 +4,8 @@ Documentation rots when examples drift from the code.  This module
 keeps the two runnable guides honest:
 
 - every ```` ```python ```` fence in ``docs/USAGE.md``,
-  ``docs/OBSERVABILITY.md``, and ``docs/ARCHITECTURE.md`` is extracted
+  ``docs/OBSERVABILITY.md``, ``docs/ARCHITECTURE.md``, and
+  ``docs/SERVING.md`` is extracted
   and executed — fences within a
   file run **sequentially in one shared namespace** (later fences may
   use names an earlier fence defined), with the working directory in a
@@ -27,7 +28,8 @@ REPO = Path(__file__).resolve().parent.parent
 DOCS = REPO / "docs"
 
 #: Docs whose ``python`` fences must run end to end.
-RUNNABLE_DOCS = ("USAGE.md", "OBSERVABILITY.md", "ARCHITECTURE.md")
+RUNNABLE_DOCS = ("USAGE.md", "OBSERVABILITY.md", "ARCHITECTURE.md",
+                 "SERVING.md")
 
 #: Docs whose relative links must resolve.
 LINKED_DOCS = [REPO / "README.md", *sorted(DOCS.glob("*.md"))]

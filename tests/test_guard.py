@@ -85,6 +85,71 @@ class TestCircuitBreaker:
         assert br.allow(other)
 
 
+class TestCircuitBreakerConcurrency:
+    """The serving layer hammers one breaker from N worker threads; the
+    half-open protocol is only correct if the state never tears and
+    exactly one of N racing ``allow`` calls wins each probe slot."""
+
+    KEY = ("apa:strassen222", "64x64x64")
+
+    def test_exactly_one_probe_admitted_per_cooldown_window(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        cooldown = 4
+        br = CircuitBreaker(strikes_to_open=1, cooldown_calls=cooldown)
+        br.record_failure(self.KEY)
+        assert br.is_open(self.KEY)
+
+        n_threads, calls_each = 8, 250
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(_):
+            barrier.wait()
+            return sum(br.allow(self.KEY) for _ in range(calls_each))
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            admitted = sum(pool.map(hammer, range(n_threads)))
+
+        # Every (cooldown + 1)-call window admits exactly one probe, no
+        # matter how the threads interleave.
+        total = n_threads * calls_each
+        assert admitted == total // (cooldown + 1)
+        assert br.is_open(self.KEY)  # probes never reported back
+
+    def test_concurrent_strikes_open_exactly_once(self):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        br = CircuitBreaker(strikes_to_open=5, cooldown_calls=4)
+        n_threads, calls_each = 8, 100
+        barrier = threading.Barrier(n_threads)
+
+        def strike(_):
+            barrier.wait()
+            return sum(br.record_failure(self.KEY)
+                       for _ in range(calls_each))
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            opens = sum(pool.map(strike, range(n_threads)))
+
+        assert opens == 1  # the open transition is observed exactly once
+        snap = br.snapshot()["apa:strassen222|64x64x64"]
+        assert snap["open"] and snap["strikes"] == 5
+
+    def test_snapshot_is_a_consistent_copy(self):
+        br = CircuitBreaker(strikes_to_open=2, cooldown_calls=4)
+        br.record_failure(self.KEY)
+        other = ("apa:bini322", "32x32x32")
+        br.record_failure(other), br.record_failure(other)
+        snap = br.snapshot()
+        assert snap["apa:strassen222|64x64x64"] == {
+            "open": False, "strikes": 1, "calls_since_open": 0}
+        assert snap["apa:bini322|32x32x32"]["open"]
+        snap["apa:bini322|32x32x32"]["open"] = False  # a copy, not a view
+        assert br.is_open(other)
+
+
 class TestHealthChecks:
     def test_exact_product_has_tiny_residual(self, rng):
         A = rng.random((32, 32)).astype(np.float32)

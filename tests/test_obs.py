@@ -211,6 +211,55 @@ class TestEventLog:
         assert len(log) == 1
 
 
+class TestEventLogRing:
+    def test_bounded_with_cumulative_dropped_counter(self):
+        log = EventLog(cap=4)
+        for i in range(10):
+            log.emit("retry", "test", str(i))
+        assert len(log) == 4 and log.cap == 4
+        assert log.dropped == 6
+        # oldest evicted, newest kept
+        assert [ev.detail for ev in log] == ["6", "7", "8", "9"]
+
+    def test_dropped_counter_lands_in_registry(self):
+        from repro.obs.registry import default_registry, reset_registry
+
+        reset_registry()
+        try:
+            log = EventLog(cap=2)
+            for i in range(5):
+                log.emit("retry", "test", str(i))
+            value = default_registry().counter(
+                "repro_eventlog_dropped_total",
+                "Events evicted from bounded EventLog ring buffers.").value
+            assert value == 3.0
+        finally:
+            reset_registry()
+
+    def test_clear_keeps_cumulative_dropped(self):
+        log = EventLog(cap=2)
+        for i in range(3):
+            log.emit("retry", "test", str(i))
+        log.clear()
+        assert len(log) == 0 and log.dropped == 1
+
+    def test_wraparound_still_forwards_to_tracer(self):
+        """The ring bounds *memory*, not the trace: every event reaches
+        an active tracer even after eviction begins."""
+        log = EventLog(cap=2)
+        with use_tracer() as tracer:
+            for i in range(6):
+                log.emit("retry", "test", str(i))
+        assert len(log) == 2
+        assert len(tracer.instants) == 6
+
+    def test_cap_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            EventLog(cap=0)
+
+
 # ----------------------------------------------------------------------
 # numerical invariance
 # ----------------------------------------------------------------------

@@ -216,10 +216,48 @@ def test_syntax_error_reported_not_raised():
     assert len(findings) == 1 and findings[0].severity is Severity.ERROR
 
 
+def test_run_in_executor_worker_detected():
+    """Closures shipped to a loop's thread pool are workers too: the
+    serving layer dispatches via ``loop.run_in_executor(pool, fn)``."""
+    source = """
+async def run(loop, pool, jobs):
+    total = 0
+    def worker(i):
+        nonlocal total
+        total += i
+        return i
+    for i in jobs:
+        await loop.run_in_executor(pool, worker, i)
+    return total
+"""
+    findings = lint_source(source, "fixture.py")
+    assert [f.rule_id for f in findings] == ["PAR001"]
+    assert "total" in findings[0].message
+
+
+def test_run_in_executor_value_returning_worker_passes():
+    source = """
+async def run(loop, pool, jobs):
+    def worker(i):
+        return i * 2
+    return [await loop.run_in_executor(pool, worker, i) for i in jobs]
+"""
+    assert lint_source(source, "fixture.py") == []
+
+
+def test_serve_is_a_default_lint_root():
+    from repro.staticcheck.astlint import DEFAULT_LINT_ROOTS
+
+    assert "repro/serve" in DEFAULT_LINT_ROOTS
+
+
 def test_repo_execution_stack_is_clean():
-    """The shipped parallel/ and robustness/ trees pass the linter."""
+    """The shipped parallel/, robustness/, and serve/ trees pass."""
+    import repro.serve as serve_pkg
+
     roots = [Path(parallel_pkg.__file__).parent,
-             Path(robustness_pkg.__file__).parent]
+             Path(robustness_pkg.__file__).parent,
+             Path(serve_pkg.__file__).parent]
     assert lint_paths(roots) == []
 
 
