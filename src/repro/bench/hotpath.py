@@ -116,7 +116,7 @@ def measure_engine_overhead(
     must stay free on the hot path.
     """
     from repro.algorithms.catalog import get_algorithm
-    from repro.core.apa_matmul import _apa_matmul_impl  # lint: ignore[ENG001]
+    from repro.core.apa_matmul import _apa_matmul_impl  # lint: ignore[ENG001]: the overhead probe must import the engine-private seam it measures
 
     alg = get_algorithm(algorithm) if isinstance(algorithm, str) \
         else algorithm
@@ -127,7 +127,7 @@ def measure_engine_overhead(
 
     def direct_round() -> None:
         for _ in range(iters):
-            _apa_matmul_impl(  # lint: ignore[ENG001] - measuring the seam
+            _apa_matmul_impl(  # lint: ignore[ENG001]: measuring the seam
                 A, B, alg, None, 1, None, None, cache)
 
     def shim_round() -> None:

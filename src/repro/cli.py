@@ -98,29 +98,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="static verification & lint (catalog, codegen, executor)")
     p.add_argument("--families", default=None,
                    help="comma-separated subset of "
-                        "algorithms,codegen,concurrency,engine "
+                        "algorithms,codegen,concurrency,engine,flow "
                         "(default: all)")
     p.add_argument("--algorithms", nargs="*", default=None,
                    help="catalog names to check (default: whole catalog)")
     p.add_argument("--paths", nargs="*", default=None,
-                   help="files/dirs for the concurrency linter "
-                        "(default: parallel/ and robustness/)")
+                   help="files/dirs for the source-tree linters "
+                        "(default: parallel/robustness/serve for "
+                        "concurrency, the whole package for engine/flow)")
     p.add_argument("--select", default=None,
                    help="comma-separated rule ids to keep")
     p.add_argument("--ignore", default=None,
                    help="comma-separated rule ids to drop")
     p.add_argument("--fail-on", choices=["error", "warning", "never"],
                    default="error", help="gate threshold (default: error)")
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text")
     p.add_argument("--rules", action="store_true",
                    help="print the rule catalog and exit")
-    p.add_argument("--seed-defect", choices=["bini322-m10-ocr"],
+    p.add_argument("--seed-defect",
+                   choices=["bini322-m10-ocr", "asy-blocking-coroutine",
+                            "lck-two-lock-cycle", "own-escaping-arena",
+                            "num-silent-narrowing"],
                    default=None,
-                   help="self-test: lint with a known-corrupted catalog "
-                        "entry substituted in; must exit non-zero")
+                   help="self-test: lint a known-bad input (corrupted "
+                        "catalog entry or synthetic defective package); "
+                        "must exit non-zero")
     p.add_argument("--max-cse-rank", type=int, default=128,
                    help="skip (and report) CSE-mode codegen audits above "
                         "this rank (default: 128)")
+    p.add_argument("--baseline", default=None,
+                   help="committed baseline file; fingerprinted findings "
+                        "are reported but no longer gate")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline from this run's findings "
+                        "and exit 0")
 
     p = sub.add_parser(
         "trace",
@@ -328,19 +340,23 @@ def _cmd_hotpath(args, out) -> int:
 
 
 def _cmd_lint(args, out) -> int:
-    from repro.staticcheck import LintConfig, render_json, render_text, run_lint
+    from repro.staticcheck import (LintConfig, render_json, render_sarif,
+                                   render_text, run_lint)
     from repro.staticcheck.rules import describe_rules
 
     if args.rules:
         print(describe_rules(), file=out)
         return 0
+    if args.update_baseline and not args.baseline:
+        print("--update-baseline requires --baseline", file=out)
+        return 2
 
     def _split(text):
         return tuple(part.strip() for part in text.split(",") if part.strip())
 
     config = LintConfig(
         families=_split(args.families) if args.families else
-        ("algorithms", "codegen", "concurrency", "engine"),
+        ("algorithms", "codegen", "concurrency", "engine", "flow"),
         algorithms=tuple(args.algorithms or ()),
         paths=tuple(args.paths or ()),
         select=_split(args.select) if args.select else (),
@@ -348,13 +364,27 @@ def _cmd_lint(args, out) -> int:
         fail_on=args.fail_on,
         seed_defect=args.seed_defect,
         max_cse_rank=args.max_cse_rank,
+        # --update-baseline must refingerprint from scratch, not
+        # through the old baseline's filter.
+        baseline=None if args.update_baseline else args.baseline,
     )
     result = run_lint(config)
+    if args.update_baseline:
+        from repro.staticcheck.baseline import write_baseline
+
+        count = write_baseline(args.baseline, result.findings)
+        print(f"wrote {args.baseline} ({count} grandfathered "
+              f"finding(s))", file=out)
+        return 0
     if args.format == "json":
         print(render_json(result.findings), file=out)
+    elif args.format == "sarif":
+        print(render_sarif(result.findings), file=out)
     else:
         if result.findings:
             print(render_text(result.findings), file=out)
+        for finding in result.baselined:
+            print(f"{finding.render()} [baselined]", file=out)
         print(result.summary(), file=out)
     return result.exit_code()
 

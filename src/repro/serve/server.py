@@ -256,8 +256,10 @@ class APAServer:
             await self._metrics_server.wait_closed()
             self._metrics_server = None
         assert self._pool is not None
-        self._pool.shutdown(wait=True)
-        self._pool = None
+        # shutdown(wait=True) joins worker threads — off the loop thread,
+        # or every other coroutine stalls behind the drain.
+        pool, self._pool = self._pool, None
+        await asyncio.get_running_loop().run_in_executor(None, pool.shutdown)
 
     async def __aenter__(self) -> "APAServer":
         await self.start()

@@ -40,18 +40,20 @@ the threaded executor and the robustness stack must never reintroduce:
     itself — otherwise configs, contexts, guards, and fault injection
     silently stop applying to that call site.
 
-Suppression: append ``# lint: ignore[RULE1,RULE2]`` (or a blanket
-``# lint: ignore``) to the flagged line.
+Suppression: append a *reasoned* ignore comment to the flagged line,
+``x = f()  # lint: ignore[PAR001]: single-writer, readers are atomic``
+(see :mod:`repro.staticcheck.suppress` — a suppression with no trailing
+reason draws an ``LNT001`` meta-finding from the flow family).
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.suppress import SuppressionIndex
 
 __all__ = ["lint_source", "lint_paths", "lint_engine_boundary",
            "lint_engine_paths", "DEFAULT_LINT_ROOTS", "ENGINE_PRIVATE_NAMES"]
@@ -82,21 +84,6 @@ _GEMM_NAMES = {"gemm", "matmul", "apa_matmul", "dot"}
 ENGINE_PRIVATE_NAMES = frozenset({
     "_apa_matmul_impl", "_threaded_matmul_impl", "_batched_matmul_impl",
 })
-
-_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
-
-
-def _suppressed(lines: Sequence[str], lineno: int, rule_id: str) -> bool:
-    if not (1 <= lineno <= len(lines)):
-        return False
-    match = _SUPPRESS_RE.search(lines[lineno - 1])
-    if not match:
-        return False
-    listed = match.group(1)
-    if listed is None:
-        return True  # blanket ignore
-    return rule_id in {r.strip() for r in listed.split(",")}
-
 
 def _call_name(node: ast.Call) -> str | None:
     if isinstance(node.func, ast.Name):
@@ -306,7 +293,6 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     except SyntaxError as exc:
         return [Finding("NUM001", Severity.ERROR, f"{path}:{exc.lineno or 0}",
                         f"file does not parse: {exc.msg}")]
-    lines = source.splitlines()
     findings: list[Finding] = []
 
     imported_random = any(
@@ -380,8 +366,10 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     unique: dict[tuple[str, str, str], Finding] = {
         (f.rule_id, f.location, f.message): f for f in findings
     }
+    index = SuppressionIndex(path, source, tree)
     return [f for f in unique.values()
-            if not _suppressed(lines, int(f.location.rsplit(":", 1)[1]), f.rule_id)]
+            if not index.is_suppressed(
+                int(f.location.rsplit(":", 1)[1]), f.rule_id)]
 
 
 def lint_paths(paths: Sequence[str | Path]) -> list[Finding]:
@@ -416,7 +404,6 @@ def lint_engine_boundary(source: str, path: str = "<string>") -> list[Finding]:
         tree = ast.parse(source)
     except SyntaxError:
         return []  # lint_source reports the parse failure as NUM001
-    lines = source.splitlines()
     findings: list[Finding] = []
     for node in ast.walk(tree):
         hits: list[tuple[str, str]] = []
@@ -441,9 +428,10 @@ def lint_engine_boundary(source: str, path: str = "<string>") -> list[Finding]:
     unique: dict[tuple[str, str, str], Finding] = {
         (f.rule_id, f.location, f.message): f for f in findings
     }
+    index = SuppressionIndex(path, source, tree)
     return [f for f in unique.values()
-            if not _suppressed(lines, int(f.location.rsplit(":", 1)[1]),
-                               f.rule_id)]
+            if not index.is_suppressed(
+                int(f.location.rsplit(":", 1)[1]), f.rule_id)]
 
 
 def _collect_files(paths: Sequence[str | Path]) -> list[Path]:

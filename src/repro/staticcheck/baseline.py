@@ -1,0 +1,88 @@
+"""Committed lint baselines: adopt the analyzer without a flag day.
+
+A baseline is a JSON file of *grandfathered* findings.  ``repro lint
+--baseline lint_baseline.json`` still reports every finding, but ones
+whose fingerprint appears in the file no longer fail the gate — only
+**new** findings do.  ``--update-baseline`` rewrites the file from the
+current run, which is how a finding is retired (fix it, update, commit
+the shrunken baseline; the diff *is* the review record).
+
+Fingerprints are ``(rule, path, message)`` — deliberately **not** the
+line number, so unrelated edits above a grandfathered finding don't
+resurrect it as "new".  Two findings of one rule with identical
+messages in one file collapse to one fingerprint; that is the right
+trade — the message carries the symbol names, so genuinely distinct
+defects fingerprint apart.
+
+The shipped tree's baseline is *empty*: every finding the flow analyzer
+knows about is either fixed or carries a reasoned inline suppression.
+The mechanism exists for downstream forks adopting the analyzer over a
+dirtier tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.staticcheck.findings import Finding
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline",
+           "split_by_baseline"]
+
+_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-number-agnostic identity of one finding."""
+    path, _, line = finding.location.rpartition(":")
+    if not path or not line.isdigit():
+        path = finding.location
+    return f"{finding.rule_id}::{path}::{finding.message}"
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Fingerprints grandfathered by the file (empty if it is missing)."""
+    p = Path(path)
+    if not p.is_file():
+        return frozenset()
+    data = json.loads(p.read_text())
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(
+            f"{p}: not a lint baseline (expected "
+            f'{{"version": {_VERSION}, "findings": [...]}})')
+    out: set[str] = set()
+    for entry in data.get("findings", []):
+        out.add(f"{entry['rule']}::{entry['path']}::{entry['message']}")
+    return frozenset(out)
+
+
+def write_baseline(path: str | Path,
+                   findings: Iterable[Finding]) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    entries = []
+    seen: set[str] = set()
+    for finding in findings:
+        fp = fingerprint(finding)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        rule, fpath, message = fp.split("::", 2)
+        entries.append({"rule": rule, "path": fpath, "message": message})
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["message"]))
+    Path(path).write_text(json.dumps(
+        {"version": _VERSION, "findings": entries}, indent=2) + "\n")
+    return len(entries)
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], grandfathered: frozenset[str],
+) -> tuple[list[Finding], list[Finding]]:
+    """``(new, baselined)`` — baselined findings don't gate."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if fingerprint(finding) in grandfathered else new).append(
+            finding)
+    return new, old

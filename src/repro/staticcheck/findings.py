@@ -77,6 +77,36 @@ class Finding:
         return out
 
 
+def _location_key(location: str) -> tuple[str, int]:
+    """``(path, line)`` sort key; non-file locations sort line 0."""
+    path, _, line = location.rpartition(":")
+    if path and line.isdigit():
+        return (path, int(line))
+    return (location, 0)
+
+
+def dedupe_findings(
+    findings: list[Finding] | tuple[Finding, ...],
+) -> list[Finding]:
+    """Drop duplicate ``(rule, location)`` pairs, then sort.
+
+    Multiple passes (or multiple walk roots within one pass) can land on
+    the same call site; the first emission wins — passes put their most
+    specific message first.  Output order is ``(path, line, rule)`` so
+    runs are byte-stable across pass-internal iteration-order changes.
+    """
+    seen: set[tuple[str, str]] = set()
+    kept: list[Finding] = []
+    for finding in findings:
+        key = (finding.rule_id, finding.location)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(finding)
+    kept.sort(key=lambda f: (*_location_key(f.location), f.rule_id))
+    return kept
+
+
 def render_text(findings: list[Finding] | tuple[Finding, ...]) -> str:
     """One line per finding, errors first, stable within severity."""
     ordered = sorted(findings, key=lambda f: (-int(f.severity), f.location, f.rule_id))

@@ -1,0 +1,72 @@
+"""Whole-program flow analysis: async-safety, lock order, ownership, dtype.
+
+Unlike the per-function families in :mod:`repro.staticcheck.astlint`,
+these passes share one package-wide :class:`CallGraph` and reason about
+*composition*: a blocking call three helpers below a coroutine, a lock
+cycle spanning two modules, an arena escaping through a closure, a
+float64 product landing in a float32 buffer allocated elsewhere.
+
+:func:`analyze_paths` is the entry point the runner uses; it builds the
+project, runs every pass, filters findings through the shared reasoned
+suppression machinery (emitting ``LNT001`` for unexplained
+suppressions), and returns findings deduplicated by ``(rule, location)``
+and sorted by ``(path, line, rule)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from repro.staticcheck.findings import Finding, dedupe_findings
+from repro.staticcheck.flow.asyncsafety import check_async_safety
+from repro.staticcheck.flow.callgraph import CallGraph
+from repro.staticcheck.flow.dtypeflow import check_dtype_flow
+from repro.staticcheck.flow.lockorder import check_lock_order
+from repro.staticcheck.flow.ownership import check_ownership
+from repro.staticcheck.flow.project import Module, Project
+from repro.staticcheck.suppress import SuppressionIndex
+
+__all__ = [
+    "CallGraph",
+    "Module",
+    "Project",
+    "analyze_paths",
+    "analyze_project",
+    "analyze_sources",
+]
+
+_PASSES = (check_async_safety, check_lock_order, check_ownership,
+           check_dtype_flow)
+
+
+def analyze_project(project: Project) -> list[Finding]:
+    """Run every flow pass over ``project``; suppression-filtered."""
+    graph = CallGraph(project)
+    raw: list[Finding] = []
+    for check in _PASSES:
+        raw.extend(check(graph))
+
+    indexes = {m.path: SuppressionIndex(m.path, m.source, m.tree)
+               for m in project.modules.values()}
+    kept: list[Finding] = []
+    for finding in raw:
+        path, _, lineno = finding.location.rpartition(":")
+        index = indexes.get(path)
+        if index is not None and lineno.isdigit() \
+                and index.is_suppressed(int(lineno), finding.rule_id):
+            continue
+        kept.append(finding)
+    for index in indexes.values():
+        kept.extend(index.meta_findings())
+    return dedupe_findings(kept)
+
+
+def analyze_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Analyze the python files/trees under ``paths`` as one project."""
+    return analyze_project(Project.from_paths(paths))
+
+
+def analyze_sources(sources: Mapping[str, str]) -> list[Finding]:
+    """Analyze an in-memory package (path-like name -> source)."""
+    return analyze_project(Project.from_sources(sources))

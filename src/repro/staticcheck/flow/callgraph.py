@@ -1,0 +1,575 @@
+"""Package-wide call graph with lightweight type resolution.
+
+The flow passes (async-safety, lock-order, ownership, dtype-flow) all
+need the same question answered: *for this call expression, which
+function does control reach, and does the call stay on the current
+thread?*  :class:`CallGraph` answers it by combining
+
+- module symbol tables (``import x``, ``from x import y as z``,
+  relative imports, module-level ``def``/``class``);
+- class tables with method lookup through project-resolvable bases and
+  attribute types gathered from ``__init__`` assignments, ``self.x:
+  T = ...`` annotations, and class-level (dataclass-field) annotations;
+- per-function local types from parameter annotations and
+  ``name = ClassName(...)`` / ``name = self.attr`` assignments;
+- indirection through ``functools.partial(fn, ...)`` and the executor
+  seams (``pool.submit(fn)``, ``loop.run_in_executor(pool, fn)``,
+  ``threading.Thread(target=fn)``), whose edges are tagged
+  ``'executor'`` so the async-safety walk knows the callee leaves the
+  event-loop thread.
+
+Resolution is deliberately conservative: an unresolvable call produces
+*no* edge (and no finding downstream) rather than a guessed one — the
+analyzer must hold a zero-false-positive line on the shipped tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.staticcheck.flow.project import Module, Project
+
+__all__ = ["CallGraph", "FuncNode", "ClassNode", "CallEdge", "Resolver",
+           "walk_scope"]
+
+#: Call-edge kinds.  ``direct`` stays on the calling thread, ``executor``
+#: hands the callee to a worker thread, ``ref`` records a callable
+#: reference whose eventual call site is unknown.
+EDGE_KINDS = ("direct", "executor", "ref")
+
+_EXECUTOR_METHODS = {"submit", "map"}
+
+
+@dataclass
+class FuncNode:
+    """One function/method/nested function in the project."""
+
+    qualname: str
+    module: Module
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    cls: "ClassNode | None" = None
+    parent: "FuncNode | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def location(self) -> str:
+        return f"{self.module.path}:{self.node.lineno}"
+
+
+@dataclass
+class ClassNode:
+    """One class definition plus the types of its ``self.*`` attributes."""
+
+    qualname: str
+    module: Module
+    node: ast.ClassDef
+    methods: dict[str, FuncNode] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """``caller`` reaches ``callee`` (both qualnames) at ``lineno``."""
+
+    caller: str
+    callee: str
+    lineno: int
+    kind: str = "direct"
+
+
+def walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Yield nodes of ``root``'s own scope, not entering nested defs.
+
+    Nested ``def``/``async def``/``class``/``lambda`` nodes themselves
+    are yielded (so callers can *see* them) but their bodies belong to
+    the nested scope and are skipped.
+    """
+    stack: list[ast.AST] = (list(root.body)
+                            if isinstance(root, (ast.FunctionDef,
+                                                 ast.AsyncFunctionDef,
+                                                 ast.Module, ast.ClassDef))
+                            else [root])
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _resolve_relative(module: Module, level: int, target: str | None) -> str:
+    """Absolute module name for a ``from ...x import y`` statement."""
+    if level == 0:
+        return target or ""
+    base_parts = module.package.split(".") if module.package else []
+    if level > 1:
+        base_parts = base_parts[: len(base_parts) - (level - 1)]
+    if target:
+        base_parts = base_parts + target.split(".")
+    return ".".join(base_parts)
+
+
+class _ModuleTable:
+    """Per-module symbol table: imports, defs, module-global types."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.imports: dict[str, str] = {}
+        self.funcs: dict[str, FuncNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        self.global_types: dict[str, str] = {}
+
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0])
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = _resolve_relative(module, node.level, node.module)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.imports[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}" if base else alias.name)
+
+
+class Resolver:
+    """Expression/call resolution in the context of one function."""
+
+    def __init__(self, graph: "CallGraph", func: FuncNode) -> None:
+        self.graph = graph
+        self.func = func
+        self.table = graph._tables[func.module.name]
+        self.local_types: dict[str, str] = {}
+        self.partials: dict[str, str] = {}
+        self._infer_locals()
+
+    # -- construction --------------------------------------------------
+
+    def _infer_locals(self) -> None:
+        node = self.func.node
+        args = node.args
+        for a in (args.posonlyargs + args.args + args.kwonlyargs):
+            if a.annotation is not None:
+                t = self.annotation_type(a.annotation)
+                if t:
+                    self.local_types[a.arg] = t
+        if self.func.cls is not None and (args.posonlyargs + args.args):
+            first = (args.posonlyargs + args.args)[0].arg
+            if first in ("self", "cls"):
+                self.local_types[first] = self.func.cls.qualname
+        for stmt in walk_scope(node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if isinstance(stmt, ast.AnnAssign) and stmt.annotation is not None:
+                t = self.annotation_type(stmt.annotation)
+                if t:
+                    self.local_types[target.id] = t
+                    continue
+            # functools.partial(fn, ...) binding
+            if isinstance(value, ast.Call):
+                ref = self.resolve_ref(value.func)
+                if ref in ("functools.partial", "partial") and value.args:
+                    inner = self.resolve_callable(value.args[0])
+                    if inner:
+                        self.partials[target.id] = inner
+                        continue
+            t = self.type_of(value)
+            if t and target.id not in self.local_types:
+                self.local_types[target.id] = t
+
+    # -- reference resolution (module paths, imported symbols) ---------
+
+    def resolve_ref(self, expr: ast.expr) -> str | None:
+        """Dotted name an expression refers to, if it is a pure path.
+
+        ``np.matmul`` → ``numpy.matmul``; ``ExecutionConfig`` (imported)
+        → ``repro.core.config.ExecutionConfig``; anything that is not a
+        static module/symbol path → ``None``.
+        """
+        if isinstance(expr, ast.Name):
+            if expr.id in self.partials or expr.id in self.local_types:
+                return None  # shadowed by a local value
+            nested = self._lexical_lookup(expr.id)
+            if nested is not None:
+                return nested.qualname
+            if expr.id in self.table.funcs:
+                return self.table.funcs[expr.id].qualname
+            if expr.id in self.table.classes:
+                return self.table.classes[expr.id].qualname
+            if expr.id in self.table.imports:
+                target = self.table.imports[expr.id]
+                return self.graph.canonical(target)
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self.resolve_ref(expr.value)
+            if base is None:
+                return None
+            return self.graph.canonical(f"{base}.{expr.attr}")
+        return None
+
+    def _lexical_lookup(self, name: str) -> FuncNode | None:
+        """A nested function visible from this function's scope chain."""
+        scope: FuncNode | None = self.func
+        while scope is not None:
+            child = self.graph.functions.get(f"{scope.qualname}.{name}")
+            if child is not None:
+                return child
+            scope = scope.parent
+        return None
+
+    # -- type resolution -----------------------------------------------
+
+    def annotation_type(self, ann: ast.expr) -> str | None:
+        """Class a parameter/attribute annotation names (Optional peeled)."""
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            for side in (ann.left, ann.right):
+                if isinstance(side, ast.Constant) and side.value is None:
+                    continue
+                t = self.annotation_type(side)
+                if t:
+                    return t
+            return None
+        if isinstance(ann, ast.Subscript):
+            ref = self.resolve_ref(ann.value)
+            if ref and ref.rsplit(".", 1)[-1] == "Optional":
+                return self.annotation_type(ann.slice)
+            return None
+        if isinstance(ann, (ast.Name, ast.Attribute)):
+            return self.resolve_ref(ann)
+        return None
+
+    def type_of(self, expr: ast.expr) -> str | None:
+        """Instance type of an expression (project class or dotted name)."""
+        if isinstance(expr, ast.Name):
+            if expr.id in self.local_types:
+                return self.local_types[expr.id]
+            return self.table.global_types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base_t = self.type_of(expr.value)
+            if base_t is not None:
+                cls = self.graph.classes.get(base_t)
+                while cls is not None:
+                    if expr.attr in cls.attr_types:
+                        return cls.attr_types[expr.attr]
+                    cls = self._first_project_base(cls)
+            return None
+        if isinstance(expr, ast.Call):
+            ref = self.resolve_ref(expr.func)
+            if ref is None:
+                # ``fut = pool.submit(...)`` yields a blocking Future.
+                if isinstance(expr.func, ast.Attribute):
+                    method = self._resolve_method(expr.func)
+                    if method and method.endswith("Executor.submit"):
+                        return "concurrent.futures.Future"
+                return None
+            if ref in self.graph.classes:
+                return ref
+            # External constructor-ish path: threading.Lock(), Queue()...
+            if ref not in self.graph.functions:
+                return ref
+            return None
+        if isinstance(expr, ast.Await):
+            return None
+        return None
+
+    def _first_project_base(self, cls: ClassNode) -> ClassNode | None:
+        for base in cls.bases:
+            node = self.graph.classes.get(base)
+            if node is not None:
+                return node
+        return None
+
+    # -- call resolution -----------------------------------------------
+
+    def resolve_callable(self, expr: ast.expr) -> str | None:
+        """Qualname a callable-valued expression will invoke, if known."""
+        if isinstance(expr, ast.Name):
+            if expr.id in self.partials:
+                return self.partials[expr.id]
+            ref = self.resolve_ref(expr)
+            if ref in self.graph.functions:
+                return ref
+            if ref in self.graph.classes:
+                init = self._lookup_method(self.graph.classes[ref], "__init__")
+                return init.qualname if init else ref
+            return ref
+        if isinstance(expr, ast.Call):
+            ref = self.resolve_ref(expr.func)
+            if ref in ("functools.partial", "partial") and expr.args:
+                return self.resolve_callable(expr.args[0])
+            return None
+        if isinstance(expr, ast.Attribute):
+            return self._resolve_method(expr)
+        return None
+
+    def _lookup_method(self, cls: ClassNode, name: str) -> FuncNode | None:
+        seen: set[str] = set()
+        node: ClassNode | None = cls
+        while node is not None and node.qualname not in seen:
+            seen.add(node.qualname)
+            if name in node.methods:
+                return node.methods[name]
+            node = self._first_project_base(node)
+        return None
+
+    def _resolve_method(self, attr: ast.Attribute) -> str | None:
+        ref = self.resolve_ref(attr)
+        if ref is not None:
+            return ref
+        base_t = self.type_of(attr.value)
+        if base_t is None:
+            return None
+        cls = self.graph.classes.get(base_t)
+        if cls is not None:
+            method = self._lookup_method(cls, attr.attr)
+            if method is not None:
+                return method.qualname
+            return None
+        return f"{base_t}.{attr.attr}"
+
+    def resolve_call(self, call: ast.Call) -> str | None:
+        """Dotted target of one call expression (project or external)."""
+        if isinstance(call.func, ast.Name):
+            return self.resolve_callable(call.func)
+        if isinstance(call.func, ast.Attribute):
+            return self._resolve_method(call.func)
+        if isinstance(call.func, ast.Call):
+            return self.resolve_callable(call.func)
+        return None
+
+
+class CallGraph:
+    """Functions, classes, and resolved call edges of one project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.functions: dict[str, FuncNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        self.edges: dict[str, list[CallEdge]] = {}
+        self._tables: dict[str, _ModuleTable] = {}
+        self._resolvers: dict[str, Resolver] = {}
+        self._build()
+
+    # -- lookup helpers ------------------------------------------------
+
+    def canonical(self, dotted: str) -> str:
+        """Follow one level of re-export: an imported symbol that is
+        itself a project function/class resolves to its home qualname."""
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        # ``from repro.serve.qos import QoSClass`` re-exported through a
+        # package ``__init__``: try resolving through that module's table.
+        if "." in dotted:
+            mod, leaf = dotted.rsplit(".", 1)
+            table = self._tables.get(mod)
+            if table is not None:
+                if leaf in table.funcs:
+                    return table.funcs[leaf].qualname
+                if leaf in table.classes:
+                    return table.classes[leaf].qualname
+                if leaf in table.imports:
+                    return self.canonical(table.imports[leaf])
+        return dotted
+
+    def resolver(self, func: FuncNode) -> Resolver:
+        resolver = self._resolvers.get(func.qualname)
+        if resolver is None:
+            resolver = Resolver(self, func)
+            self._resolvers[func.qualname] = resolver
+        return resolver
+
+    def callees(self, qualname: str) -> list[CallEdge]:
+        return self.edges.get(qualname, [])
+
+    # -- construction --------------------------------------------------
+
+    def _build(self) -> None:
+        for module in self.project:
+            self._tables[module.name] = _ModuleTable(module)
+        for module in self.project:
+            self._collect_defs(module)
+        for module in self.project:
+            self._collect_module_globals(module)
+        for cls in self.classes.values():
+            self._collect_attr_types(cls)
+        for func in list(self.functions.values()):
+            self._collect_edges(func)
+
+    def _collect_defs(self, module: Module) -> None:
+        table = self._tables[module.name]
+
+        def visit_func(node, prefix, cls, parent):
+            qualname = f"{prefix}.{node.name}"
+            func = FuncNode(
+                qualname=qualname, module=module, node=node,
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+                cls=cls, parent=parent)
+            self.functions[qualname] = func
+            if cls is not None and parent is None:
+                cls.methods[node.name] = func
+            elif parent is None:
+                table.funcs[node.name] = func
+            for child in node.body:
+                walk(child, qualname, None, func)
+            return func
+
+        def walk(node, prefix, cls, parent):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit_func(node, prefix, cls, parent)
+            elif isinstance(node, ast.ClassDef) and parent is None:
+                qualname = f"{prefix}.{node.name}"
+                cnode = ClassNode(qualname=qualname, module=module, node=node)
+                self.classes[qualname] = cnode
+                table.classes[node.name] = cnode
+                for child in node.body:
+                    walk(child, qualname, cnode, None)
+            elif isinstance(node, (ast.If, ast.Try)):
+                for child in ast.iter_child_nodes(node):
+                    walk(child, prefix, cls, parent)
+
+        for node in module.tree.body:
+            walk(node, module.name, None, None)
+        # Base-class resolution needs every class registered first; do a
+        # second pass per module in _collect_module_globals.
+
+    def _collect_module_globals(self, module: Module) -> None:
+        table = self._tables[module.name]
+        # Resolve class bases now that every project class is known.
+        for cnode in table.classes.values():
+            resolver = _module_resolver(self, module)
+            for base in cnode.node.bases:
+                ref = resolver.resolve_ref(base)
+                if ref:
+                    cnode.bases.append(ref)
+        # Module-level ``NAME = <expr>`` types (locks, singletons).
+        resolver = _module_resolver(self, module)
+        for stmt in module.tree.body:
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if not isinstance(target, ast.Name):
+                continue
+            t = None
+            if isinstance(stmt, ast.AnnAssign) and stmt.annotation is not None:
+                t = resolver.annotation_type(stmt.annotation)
+            if t is None and value is not None:
+                t = resolver.type_of(value)
+            if t:
+                table.global_types[target.id] = t
+
+    def _collect_attr_types(self, cls: ClassNode) -> None:
+        # Class-level annotations (dataclass fields).
+        resolver = _module_resolver(self, cls.module)
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                t = resolver.annotation_type(stmt.annotation)
+                if t:
+                    cls.attr_types.setdefault(stmt.target.id, t)
+        # ``self.x = ...`` / ``self.x: T = ...`` in every method.
+        for method in cls.methods.values():
+            mres = self.resolver(method)
+            for stmt in walk_scope(method.node):
+                target = None
+                value = None
+                ann = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value, ann = stmt.target, stmt.value, \
+                        stmt.annotation
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                t = mres.annotation_type(ann) if ann is not None else None
+                if t is None and value is not None:
+                    t = mres.type_of(value)
+                if t:
+                    cls.attr_types.setdefault(target.attr, t)
+
+    # -- edges ---------------------------------------------------------
+
+    def _collect_edges(self, func: FuncNode) -> None:
+        resolver = self.resolver(func)
+        edges: list[CallEdge] = []
+
+        def add(callee: str | None, lineno: int, kind: str) -> None:
+            if callee and callee in self.functions:
+                edges.append(CallEdge(func.qualname, callee, lineno, kind))
+
+        for node in walk_scope(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolver.resolve_call(node)
+            leaf = target.rsplit(".", 1)[-1] if target else (
+                node.func.attr if isinstance(node.func, ast.Attribute)
+                else None)
+            # Executor indirection: the handed-off callable runs on a
+            # worker thread, not the calling one.
+            if leaf == "run_in_executor" and len(node.args) >= 2:
+                add(resolver.resolve_callable(node.args[1]),
+                    node.lineno, "executor")
+                continue
+            if leaf in _EXECUTOR_METHODS and isinstance(
+                    node.func, ast.Attribute) and node.args \
+                    and (target is None or target not in self.functions):
+                add(resolver.resolve_callable(node.args[0]),
+                    node.lineno, "executor")
+                continue
+            if leaf == "Thread" or (target and target.endswith(
+                    "threading.Thread")):
+                for kw in node.keywords:
+                    if kw.arg == "target":
+                        add(resolver.resolve_callable(kw.value),
+                            node.lineno, "executor")
+                continue
+            if target in ("functools.partial", "partial") and node.args:
+                add(resolver.resolve_callable(node.args[0]),
+                    node.lineno, "ref")
+                continue
+            if target in self.classes:
+                init = resolver._lookup_method(self.classes[target],
+                                               "__init__")
+                if init is not None:
+                    add(init.qualname, node.lineno, "direct")
+                continue
+            add(target, node.lineno, "direct")
+        self.edges[func.qualname] = edges
+
+
+def _module_resolver(graph: CallGraph, module: Module) -> Resolver:
+    """A resolver with module-level context (no enclosing function)."""
+    dummy = ast.parse("def __module__(): pass").body[0]
+    func = FuncNode(qualname=f"{module.name}.__module__", module=module,
+                    node=dummy, is_async=False)
+    return Resolver(graph, func)

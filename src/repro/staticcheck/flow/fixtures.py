@@ -1,0 +1,105 @@
+"""Seeded-defect sources for the flow analyzer's self-tests.
+
+Each entry is a tiny synthetic *package* (module name -> source) that
+contains exactly one instance of a defect family the whole-program pass
+must catch.  CI runs ``repro lint --seed-defect <name>`` for each and
+asserts a non-zero exit: if a refactor of the call-graph builder or one
+of the passes silently loses a detection, the self-test — not a
+production deadlock — is what breaks.
+
+The defects are deliberately *indirect* (the blocking call hides behind
+a helper, the cycle spans two functions, the escape rides a closure):
+they exercise the interprocedural machinery, not just the leaf
+classifiers.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FLOW_SEED_DEFECTS"]
+
+#: seed-defect name -> (expected rule, {module name -> source}).
+FLOW_SEED_DEFECTS: dict[str, tuple[str, dict[str, str]]] = {
+    # ASY001 through one helper hop: the coroutine itself looks clean.
+    "asy-blocking-coroutine": ("ASY001", {
+        "seeded/__init__.py": "",
+        "seeded/server.py": (
+            "import time\n"
+            "from seeded.util import settle\n"
+            "\n"
+            "async def handle(request):\n"
+            "    settle()\n"
+            "    return request\n"
+        ),
+        "seeded/util.py": (
+            "import time\n"
+            "\n"
+            "def settle():\n"
+            "    time.sleep(0.5)\n"
+        ),
+    }),
+    # LCK001: two module locks acquired in opposite orders by two
+    # functions — composed through a call edge on one side.
+    "lck-two-lock-cycle": ("LCK001", {
+        "seeded/__init__.py": "",
+        "seeded/locks.py": (
+            "import threading\n"
+            "\n"
+            "_PLAN_LOCK = threading.Lock()\n"
+            "_LOG_LOCK = threading.Lock()\n"
+            "\n"
+            "def record(event):\n"
+            "    with _LOG_LOCK:\n"
+            "        return event\n"
+            "\n"
+            "def plan_and_log(event):\n"
+            "    with _PLAN_LOCK:\n"
+            "        record(event)\n"
+            "\n"
+            "def log_and_plan(event):\n"
+            "    with _LOG_LOCK:\n"
+            "        with _PLAN_LOCK:\n"
+            "            return event\n"
+        ),
+    }),
+    # OWN001: a pooled workspace stored on self outlives its checkout.
+    "own-escaping-arena": ("OWN001", {
+        "seeded/__init__.py": "",
+        "seeded/cachehit.py": (
+            "class PlanRunner:\n"
+            "    def __init__(self, plan):\n"
+            "        self.plan = plan\n"
+            "        self.last_ws = None\n"
+            "\n"
+            "    def run(self, a, b):\n"
+            "        ws = self.plan.checkout()\n"
+            "        try:\n"
+            "            self.last_ws = ws\n"
+            "            return ws\n"
+            "        finally:\n"
+            "            self.plan.release(ws)\n"
+        ),
+    }),
+    # NUM003: float64 operands silently narrowed into a float32 out=
+    # buffer allocated one helper away.
+    "num-silent-narrowing": ("NUM003", {
+        "seeded/__init__.py": "",
+        "seeded/train.py": (
+            "import numpy as np\n"
+            "\n"
+            "from seeded.buffers import make_out\n"
+            "\n"
+            "def step(n):\n"
+            "    a = np.zeros((n, n), dtype=np.float64)\n"
+            "    b = np.ones((n, n), dtype=np.float64)\n"
+            "    out = make_out(n)\n"
+            "    np.matmul(a, b, out=out)\n"
+            "    return out\n"
+        ),
+        "seeded/buffers.py": (
+            "import numpy as np\n"
+            "\n"
+            "def make_out(n):\n"
+            "    return np.empty((n, n), dtype=np.float32)\n"
+        ),
+    }),
+}

@@ -1,0 +1,286 @@
+"""LCK family: lock-order cycles and locks held across blocking points.
+
+Every lock in the execution stack — the pool module lock, the plan-cache
+and per-plan arena locks, the EventLog ring lock, the breaker lock — is
+fine in isolation; deadlocks come from *composition*: function ``f``
+takes lock A then calls ``g`` which takes lock B, while ``h`` does the
+reverse.  No per-function linter can see that.  This pass
+
+1. names every lock it can prove is one — a module global or class
+   attribute whose statically-inferred type is a ``threading`` lock —
+   as ``module.NAME`` or ``module.Class.attr`` (all instances of a
+   class share the identity: ordering is a per-class discipline);
+2. records each function's acquisition sequence (``with lock:`` nesting
+   and bare ``.acquire()`` calls) plus the locks held at every call
+   site;
+3. composes acquisition sets along ``direct`` call edges to a fixpoint,
+   yielding a global acquired-while-holding graph; every cycle is a
+   potential deadlock (``LCK001``);
+4. flags locks held across an ``await`` or a blocking primitive
+   (``LCK002``) — the event loop (or every pool sibling) stalls behind
+   the holder.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.flow.asyncsafety import classify_blocking
+from repro.staticcheck.flow.callgraph import CallGraph, FuncNode
+
+__all__ = ["check_lock_order", "lock_identity"]
+
+_LOCK_TYPES = ("threading.Lock", "threading.RLock", "threading.Condition",
+               "threading.Semaphore", "threading.BoundedSemaphore")
+
+
+def _is_lock_type(t: str | None) -> bool:
+    return t is not None and t.startswith(_LOCK_TYPES)
+
+
+def lock_identity(expr: ast.expr, func: FuncNode,
+                  graph: CallGraph) -> str | None:
+    """Stable identity for a lock-valued expression, or ``None``.
+
+    Only expressions whose inferred type is a ``threading`` lock get an
+    identity — a name that merely *looks* like a lock is never fed into
+    the order graph (a wrong identity could fabricate a cycle).
+    """
+    resolver = graph.resolver(func)
+    if not _is_lock_type(resolver.type_of(expr)):
+        return None
+    if isinstance(expr, ast.Name):
+        # Module-global lock (locals shadowing it would have been typed
+        # from the same assignment anyway — identity still holds).
+        return f"{func.module.name}.{expr.id}"
+    if isinstance(expr, ast.Attribute):
+        base_t = resolver.type_of(expr.value)
+        if base_t is not None and base_t in graph.classes:
+            return f"{base_t}.{expr.attr}"
+    return None
+
+
+@dataclass
+class _FuncLocks:
+    """Per-function acquisition facts, pre-composition."""
+
+    acquisitions: list[tuple[str, int, tuple[str, ...]]] = \
+        field(default_factory=list)
+    calls: list[tuple[str, int, tuple[str, ...]]] = field(default_factory=list)
+    held_regions: list[tuple[str, ast.stmt, int]] = field(default_factory=list)
+
+
+def _scan_function(func: FuncNode, graph: CallGraph) -> _FuncLocks:
+    resolver = graph.resolver(func)
+    facts = _FuncLocks()
+
+    def scan_stmts(stmts: list[ast.stmt], held: tuple[str, ...]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = held
+                for item in stmt.items:
+                    lid = lock_identity(item.context_expr, func, graph)
+                    if lid is not None and isinstance(stmt, ast.With):
+                        facts.acquisitions.append((lid, stmt.lineno, inner))
+                        inner = inner + (lid,)
+                scan_exprs(stmt, held)
+                scan_stmts(stmt.body, inner)
+                continue
+            scan_exprs(stmt, held)
+            for attr in ("body", "orelse", "finalbody"):
+                scan_stmts(getattr(stmt, attr, []) or [], held)
+            for handler in getattr(stmt, "handlers", []) or []:
+                scan_stmts(handler.body, held)
+
+    def scan_exprs(stmt: ast.stmt, held: tuple[str, ...]) -> None:
+        # Expressions attached to this statement itself (not sub-blocks).
+        blocks = {id(s) for attr in ("body", "orelse", "finalbody")
+                  for s in getattr(stmt, attr, []) or []}
+        for handler in getattr(stmt, "handlers", []) or []:
+            blocks.update(id(s) for s in handler.body)
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if id(node) in blocks or isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.Lambda, ast.ClassDef)):
+                continue
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Attribute) \
+                        and node.func.attr == "acquire":
+                    lid = lock_identity(node.func.value, func, graph)
+                    if lid is not None:
+                        facts.acquisitions.append((lid, node.lineno, held))
+                target = resolver.resolve_call(node)
+                if target in graph.functions:
+                    facts.calls.append((target, node.lineno, held))
+            stack.extend(ast.iter_child_nodes(node))
+
+    scan_stmts(list(func.node.body), ())
+
+    # Record each with-lock region for the LCK002 lexical scan.
+    from repro.staticcheck.flow.callgraph import walk_scope
+
+    for node in walk_scope(func.node):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                lid = lock_identity(item.context_expr, func, graph)
+                if lid is not None:
+                    facts.held_regions.append((lid, node, node.lineno))
+    return facts
+
+
+def _acquired_fixpoint(
+    facts: dict[str, _FuncLocks],
+) -> dict[str, set[str]]:
+    """Locks each function may acquire, transitively over direct calls."""
+    acquired = {qn: {lid for lid, _, _ in f.acquisitions}
+                for qn, f in facts.items()}
+    changed = True
+    while changed:
+        changed = False
+        for qn, f in facts.items():
+            mine = acquired[qn]
+            before = len(mine)
+            for callee, _, _ in f.calls:
+                mine |= acquired.get(callee, set())
+            if len(mine) != before:
+                changed = True
+    return acquired
+
+
+def _find_cycles(edges: dict[tuple[str, str], tuple[int, str, str]],
+                 ) -> list[tuple[str, ...]]:
+    """Elementary cycles in the acquired-while-holding graph (deduped)."""
+    graph: dict[str, set[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    cycles: set[tuple[str, ...]] = set()
+
+    def dfs(start: str, node: str, path: tuple[str, ...]) -> None:
+        for nxt in sorted(graph.get(node, ())):
+            if nxt == start and len(path) > 1:
+                # Canonicalize: rotate so the smallest node leads.
+                k = path.index(min(path))
+                cycles.add(path[k:] + path[:k])
+            elif nxt not in path and nxt > start:
+                dfs(start, nxt, path + (nxt,))
+
+    for start in sorted(graph):
+        if start in graph.get(start, ()):
+            cycles.add((start,))
+        dfs(start, start, (start,))
+    return sorted(cycles)
+
+
+def check_lock_order(graph: CallGraph) -> list[Finding]:
+    facts = {qn: _scan_function(func, graph)
+             for qn, func in graph.functions.items()}
+    acquired = _acquired_fixpoint(facts)
+
+    # -- LCK001: the acquired-while-holding graph and its cycles -------
+    edges: dict[tuple[str, str], tuple[int, str, str]] = {}
+
+    def note_edge(held: str, taken: str, lineno: int, func: FuncNode,
+                  how: str) -> None:
+        key = (held, taken)
+        if key not in edges:
+            edges[key] = (lineno, func.module.path, how)
+
+    for qn, f in facts.items():
+        func = graph.functions[qn]
+        for lid, lineno, held in f.acquisitions:
+            for h in held:
+                note_edge(h, lid, lineno, func, f"{qn} acquires {lid}")
+        for callee, lineno, held in f.calls:
+            if not held:
+                continue
+            for lid in acquired.get(callee, ()):
+                for h in held:
+                    if h != lid:
+                        note_edge(h, lid, lineno, func,
+                                  f"{qn} calls {callee} which acquires "
+                                  f"{lid}")
+
+    findings: list[Finding] = []
+    for cycle in _find_cycles(edges):
+        if len(cycle) == 1:
+            continue  # re-acquisition of one lock: RLock-legal, skip
+        ring = " -> ".join(cycle + (cycle[0],))
+        first = cycle[0]
+        nxt = cycle[1]
+        lineno, path, how = edges[(first, nxt)]
+        findings.append(Finding(
+            "LCK001", Severity.ERROR, f"{path}:{lineno}",
+            f"lock-order cycle: {ring}",
+            detail=f"{how}; another path acquires them in the opposite "
+                   "order — a concurrent interleaving deadlocks",
+        ))
+
+    # -- LCK002: locks held across await / blocking points -------------
+    blocking_fns = _may_block_fixpoint(graph, facts)
+    for qn, f in facts.items():
+        func = graph.functions[qn]
+        resolver = graph.resolver(func)
+        for lid, with_node, _ in f.held_regions:
+            stack: list[ast.AST] = [s for s in with_node.body]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda, ast.ClassDef)):
+                    continue
+                stack.extend(ast.iter_child_nodes(node))
+                if isinstance(node, ast.Await):
+                    findings.append(Finding(
+                        "LCK002", Severity.ERROR,
+                        f"{func.module.path}:{node.lineno}",
+                        f"lock {lid} held across an await point",
+                        detail="every other acquirer (and the event "
+                               "loop) stalls behind the suspended "
+                               "holder; release before awaiting",
+                    ))
+                elif isinstance(node, ast.Call):
+                    hit = classify_blocking(node, resolver, set())
+                    desc = None
+                    if hit is not None:
+                        desc = hit[1]
+                    else:
+                        target = resolver.resolve_call(node)
+                        if target in blocking_fns:
+                            desc = f"call into blocking {target}"
+                    if desc is not None:
+                        findings.append(Finding(
+                            "LCK002", Severity.ERROR,
+                            f"{func.module.path}:{node.lineno}",
+                            f"lock {lid} held across blocking {desc}",
+                            detail="move the blocking work outside the "
+                                   "critical section",
+                        ))
+    return findings
+
+
+def _may_block_fixpoint(graph: CallGraph,
+                        facts: dict[str, _FuncLocks]) -> set[str]:
+    """Project functions that may execute a blocking primitive."""
+    from repro.staticcheck.flow.asyncsafety import blocking_ops
+
+    blocking: set[str] = set()
+    for qn, func in graph.functions.items():
+        if any(rule == "ASY001" for rule, _, _ in blocking_ops(func, graph)):
+            blocking.add(qn)
+    changed = True
+    while changed:
+        changed = False
+        for qn, f in facts.items():
+            if qn in blocking:
+                continue
+            if any(callee in blocking for callee, _, _ in f.calls):
+                blocking.add(qn)
+                changed = True
+    return blocking

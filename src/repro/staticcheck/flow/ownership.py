@@ -1,0 +1,206 @@
+"""OWN family: pooled arena/workspace objects must not outlive checkout.
+
+The plan engine's arenas are *pooled*: :meth:`ExecutionPlan.checkout`
+hands a caller exclusive use of a workspace whose buffers are recycled
+the moment :meth:`release` runs.  A workspace that escapes its checkout
+scope — returned to the caller, stored on ``self``, yielded, or
+captured by a closure that is handed to an executor — aliases the next
+caller's arena: silent cross-request data corruption, the exact failure
+class the bit-identity oracle cannot localize after the fact.
+
+``OWN001`` flags every such escape.  Ownership creation sites are calls
+whose attribute name is ``checkout`` (the plan-arena contract); passing
+the workspace *down* as a plain call argument is fine (callees borrow),
+as is releasing it — only stores that survive the function body are
+escapes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.flow.callgraph import CallGraph, FuncNode, walk_scope
+
+__all__ = ["check_ownership"]
+
+#: Method names whose call produces a pooled, scope-bound object.
+_CHECKOUT_ATTRS = {"checkout"}
+
+
+def _owned_names(func: FuncNode) -> dict[str, int]:
+    """``name -> lineno`` for locals bound from a checkout call."""
+    owned: dict[str, int] = {}
+    for stmt in walk_scope(func.node):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target, value = stmt.targets[0], stmt.value
+        if isinstance(target, ast.Name) and isinstance(value, ast.Call) \
+                and isinstance(value.func, ast.Attribute) \
+                and value.func.attr in _CHECKOUT_ATTRS:
+            owned[target.id] = stmt.lineno
+    return owned
+
+
+def _names_in(expr: ast.expr) -> set[str]:
+    return {n.id for n in ast.walk(expr)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)}
+
+
+def _direct_names(expr: ast.expr) -> set[str]:
+    """Names the expression evaluates *to* (not ones merely used by it).
+
+    ``return ws`` and ``return (ws, err)`` hand the workspace itself
+    out; ``return consume(ws)`` hands out the *result* of a borrowing
+    call — the callee sees the workspace only for the call's duration,
+    which is the sanctioned pattern.
+    """
+    if isinstance(expr, ast.Name) and isinstance(expr.ctx, ast.Load):
+        return {expr.id}
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        return {n for elt in expr.elts for n in _direct_names(elt)}
+    if isinstance(expr, ast.IfExp):
+        return _direct_names(expr.body) | _direct_names(expr.orelse)
+    if isinstance(expr, ast.NamedExpr):
+        return _direct_names(expr.value)
+    return set()
+
+
+def _local_names(func: FuncNode) -> set[str]:
+    args = func.node.args
+    local = {a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)}
+    for node in walk_scope(func.node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            local.add(node.id)
+    return local
+
+
+def check_ownership(graph: CallGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    for qualname in sorted(graph.functions):
+        func = graph.functions[qualname]
+        owned = _owned_names(func)
+        if not owned:
+            continue
+        path = func.module.path
+        local = _local_names(func)
+        short = qualname.rsplit(".", 1)[-1]
+
+        for node in walk_scope(func.node):
+            # return ws / yield ws — the workspace outlives the scope.
+            if isinstance(node, ast.Return) and node.value is not None:
+                hit = _direct_names(node.value) & owned.keys()
+                for name in sorted(hit):
+                    findings.append(Finding(
+                        "OWN001", Severity.ERROR, f"{path}:{node.lineno}",
+                        f"pooled workspace {name!r} (checked out at line "
+                        f"{owned[name]}) is returned from {short!r}",
+                        detail="the arena is recycled at release; a "
+                               "returned workspace aliases the next "
+                               "caller's buffers",
+                    ))
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)) \
+                    and node.value is not None:
+                hit = _direct_names(node.value) & owned.keys()
+                for name in sorted(hit):
+                    findings.append(Finding(
+                        "OWN001", Severity.ERROR, f"{path}:{node.lineno}",
+                        f"pooled workspace {name!r} is yielded from "
+                        f"{short!r}",
+                        detail="the consumer may resume after release",
+                    ))
+            # self.x = ws / shared[k] = ws — stored beyond the scope.
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (list(node.targets)
+                           if isinstance(node, ast.Assign) else [node.target])
+                value = node.value
+                if value is None:
+                    continue
+                used = _direct_names(value) & owned.keys()
+                if not used:
+                    continue
+                for target in targets:
+                    base = target
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if not isinstance(base, ast.Name):
+                        continue
+                    escapes = (isinstance(target, (ast.Subscript,
+                                                   ast.Attribute))
+                               and (base.id == "self"
+                                    or base.id not in local))
+                    if escapes:
+                        for name in sorted(used):
+                            findings.append(Finding(
+                                "OWN001", Severity.ERROR,
+                                f"{path}:{node.lineno}",
+                                f"pooled workspace {name!r} stored on "
+                                f"{ast.unparse(target)} outlives its "
+                                f"checkout in {short!r}",
+                                detail="stores on self/shared state "
+                                       "survive release; keep the "
+                                       "workspace local",
+                            ))
+            # append/insert into a non-local container.
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("append", "add", "insert",
+                                           "put", "extend"):
+                used = set()
+                for arg in node.args:
+                    used |= _direct_names(arg) & owned.keys()
+                if not used:
+                    continue
+                base = node.func.value
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if isinstance(base, ast.Name) and (base.id == "self"
+                                                   or base.id not in local):
+                    for name in sorted(used):
+                        findings.append(Finding(
+                            "OWN001", Severity.ERROR,
+                            f"{path}:{node.lineno}",
+                            f"pooled workspace {name!r} stored into "
+                            f"shared container "
+                            f"{ast.unparse(node.func.value)}",
+                            detail="the container outlives the checkout "
+                                   "scope",
+                        ))
+
+        # Closure capture: a nested function that references the owned
+        # name and escapes the scope (returned, or handed to an
+        # executor/thread via a non-direct call edge).
+        escaping: set[str] = set()
+        for edge in graph.callees(qualname):
+            if edge.kind in ("executor", "ref"):
+                escaping.add(edge.callee)
+        returned_names: set[str] = set()
+        for node in walk_scope(func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                returned_names |= _direct_names(node.value)
+        for nested_qn, nested in graph.functions.items():
+            if nested.parent is not func:
+                continue
+            loads = {n for stmt in nested.node.body
+                     for n in _names_in_stmt(stmt)}
+            captured = (loads - _local_names(nested)) & owned.keys()
+            if not captured:
+                continue
+            if nested_qn in escaping or nested.name in returned_names:
+                how = ("handed to an executor"
+                       if nested_qn in escaping else "returned")
+                for name in sorted(captured):
+                    findings.append(Finding(
+                        "OWN001", Severity.ERROR,
+                        f"{path}:{nested.lineno}",
+                        f"closure {nested.name!r} captures pooled "
+                        f"workspace {name!r} and is {how}",
+                        detail="the closure may run after release, "
+                               "aliasing a recycled arena",
+                    ))
+    return findings
+
+
+def _names_in_stmt(stmt: ast.stmt) -> set[str]:
+    return {n.id for n in ast.walk(stmt)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)}

@@ -1,0 +1,111 @@
+"""Package loading for the whole-program flow analyzer.
+
+A :class:`Project` is the unit every flow pass operates on: a set of
+parsed modules with stable dotted names.  Two constructors cover the
+two ways the analyzer is used — :meth:`Project.from_paths` walks real
+source trees (the ``repro lint`` case), and :meth:`Project.from_sources`
+builds a synthetic package from in-memory snippets (fixture tests and
+the seeded-defect self-tests), so every pass can be exercised without
+touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Module:
+    """One parsed source file (or in-memory snippet)."""
+
+    name: str            #: dotted module name, e.g. ``repro.serve.server``
+    path: str            #: display path used in finding locations
+    source: str
+    tree: ast.Module
+    package: str         #: dotted package the module lives in ("" for roots)
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+
+def _module_name_for(file: Path) -> tuple[str, str]:
+    """Derive ``(dotted_name, package)`` by climbing ``__init__.py`` dirs."""
+    parts = [file.stem] if file.stem != "__init__" else []
+    directory = file.parent
+    while (directory / "__init__.py").is_file():
+        parts.insert(0, directory.name)
+        directory = directory.parent
+    name = ".".join(parts) if parts else file.stem
+    package = name if file.stem == "__init__" else ".".join(parts[:-1])
+    return name, package
+
+
+class Project:
+    """A closed set of modules the flow passes analyze together."""
+
+    def __init__(self, modules: Iterable[Module]) -> None:
+        self.modules: dict[str, Module] = {m.name: m for m in modules}
+
+    @classmethod
+    def from_paths(cls, paths: Sequence[str | Path]) -> "Project":
+        """Parse every ``*.py`` under the given files/directories.
+
+        Files that do not parse are skipped here — the concurrency
+        linter already reports parse failures as findings, and a broken
+        module cannot contribute call edges anyway.
+        """
+        files: list[Path] = []
+        for entry in paths:
+            p = Path(entry)
+            if p.is_dir():
+                files.extend(sorted(p.rglob("*.py")))
+            elif p.suffix == ".py":
+                files.append(p)
+        modules: list[Module] = []
+        seen: set[str] = set()
+        for file in files:
+            try:
+                source = file.read_text()
+                tree = ast.parse(source)
+            except (OSError, SyntaxError):
+                continue
+            name, package = _module_name_for(file.resolve())
+            if name in seen:
+                continue
+            seen.add(name)
+            modules.append(Module(name=name, path=str(file), source=source,
+                                  tree=tree, package=package))
+        return cls(modules)
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "Project":
+        """Build a synthetic project from ``{name: source}``.
+
+        Keys may be dotted module names (``pkg.mod``) or repo-style
+        paths (``pkg/mod.py``); paths are normalized so fixtures can be
+        written the way the files would actually be laid out.
+        """
+        modules = []
+        for key, source in sources.items():
+            name = key
+            if name.endswith(".py"):
+                name = name[:-3].replace("/", ".")
+            if name.endswith(".__init__"):
+                name = name[: -len(".__init__")]
+            package = name.rsplit(".", 1)[0] if "." in name else ""
+            if key.endswith("__init__.py"):
+                package = name
+            modules.append(Module(
+                name=name, path=key, source=source,
+                tree=ast.parse(source), package=package))
+        return cls(modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __iter__(self):
+        return iter(self.modules.values())

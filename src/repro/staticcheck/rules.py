@@ -14,10 +14,23 @@ Rule families
 ``ENG0xx``
     Execution-engine boundary lints (:mod:`repro.staticcheck.astlint`):
     the single-dispatch-point invariant of :mod:`repro.core.engine`.
+``ASY0xx``
+    Whole-program async-safety (:mod:`repro.staticcheck.flow`): blocking
+    operations transitively reachable from coroutines.
+``LCK0xx``
+    Whole-program lock-order and held-across-blocking analysis
+    (:mod:`repro.staticcheck.flow`).
+``OWN0xx``
+    Ownership/escape analysis for pooled arena workspaces
+    (:mod:`repro.staticcheck.flow`).
+``LNT0xx``
+    Meta-rules about the lint machinery itself (unreasoned
+    suppressions).
 
 Default severities here are what the analyzers emit; ``--select`` /
-``--ignore`` filter by id, and inline ``# lint: ignore[ID]`` comments
-suppress source-line findings.
+``--ignore`` filter by id, and inline suppression comments of the form
+``# lint: ignore[ID]: reason`` silence source-line findings (the
+trailing reason is required — see ``LNT001``).
 """
 
 from __future__ import annotations
@@ -88,6 +101,11 @@ _RULE_LIST: tuple[RuleInfo, ...] = (
     RuleInfo("NUM002", Severity.WARNING,
              "silent exception swallow: broad handler whose body is only "
              "'pass' (error when the try block contains a gemm call)"),
+    RuleInfo("NUM003", Severity.ERROR,
+             "silent float narrowing: a float64 value flows into a "
+             "float32 buffer (gemm out=, np.copyto, in-place store) "
+             "without an explicit astype — invalidates the per-dtype "
+             "APA error bound"),
     # -- engine boundary ----------------------------------------------
     RuleInfo("ENG001", Severity.ERROR,
              "single-dispatch-point violation: engine-private internals "
@@ -95,6 +113,37 @@ _RULE_LIST: tuple[RuleInfo, ...] = (
              "_batched_matmul_impl) imported or called outside "
              "core/engine.py — go through a public shim or the "
              "ExecutionEngine"),
+    # -- whole-program async safety -----------------------------------
+    RuleInfo("ASY001", Severity.ERROR,
+             "blocking wait reachable from a coroutine: time.sleep, "
+             "Future.result(), Thread.join(), or Executor.shutdown("
+             "wait=True) on the event-loop thread"),
+    RuleInfo("ASY002", Severity.ERROR,
+             "synchronous lock acquisition reachable from a coroutine: "
+             "a non-awaited .acquire() on a threading lock stalls the "
+             "event loop behind other threads"),
+    RuleInfo("ASY003", Severity.ERROR,
+             "heavy compute on the event loop: a gemm (np.matmul / "
+             "apa_matmul family) reachable from a coroutine without an "
+             "intervening run_in_executor hop"),
+    # -- whole-program lock order -------------------------------------
+    RuleInfo("LCK001", Severity.ERROR,
+             "lock-order cycle: two execution paths acquire the same "
+             "locks in opposite orders (composed across call edges) — "
+             "a concurrent interleaving deadlocks"),
+    RuleInfo("LCK002", Severity.ERROR,
+             "lock held across a blocking point: an await or a blocking "
+             "primitive executes inside a with-lock region"),
+    # -- ownership / escape -------------------------------------------
+    RuleInfo("OWN001", Severity.ERROR,
+             "pooled workspace escapes its checkout scope: returned, "
+             "yielded, stored on self/shared state, or captured by an "
+             "escaping closure — aliases the next caller's arena after "
+             "release"),
+    # -- lint meta ----------------------------------------------------
+    RuleInfo("LNT001", Severity.ERROR,
+             "suppression without a reason: inline ignore comments must "
+             "carry a trailing ': why the rule is wrong here'"),
 )
 
 RULES: dict[str, RuleInfo] = {r.rule_id: r for r in _RULE_LIST}

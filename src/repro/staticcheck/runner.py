@@ -13,18 +13,25 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.staticcheck.algcheck import DEFAULT_GROWTH_THRESHOLD
-from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.findings import Finding, Severity, dedupe_findings
 
 __all__ = ["LintConfig", "LintResult", "run_lint", "FAMILIES", "SEED_DEFECTS"]
 
 #: Analyzer families in execution order.
 FAMILIES: tuple[str, ...] = ("algorithms", "codegen", "concurrency",
-                             "engine")
+                             "engine", "flow")
 
-#: Known seeded corruptions for gate self-tests (``--seed-defect``).
-#: Each maps a name to ``(catalog_name, constructor)``.
+#: Known seeded defects for gate self-tests (``--seed-defect``).
+#: Maps a name to the rule the self-test must trip.  ``bini322-m10-ocr``
+#: substitutes a corrupted catalog entry (algorithms family); the rest
+#: swap the flow family's scan target for a synthetic known-bad package
+#: from :data:`repro.staticcheck.flow.fixtures.FLOW_SEED_DEFECTS`.
 SEED_DEFECTS: dict[str, str] = {
-    "bini322-m10-ocr": "bini322",
+    "bini322-m10-ocr": "APA003",
+    "asy-blocking-coroutine": "ASY001",
+    "lck-two-lock-cycle": "LCK001",
+    "own-escaping-arena": "OWN001",
+    "num-silent-narrowing": "NUM003",
 }
 
 
@@ -53,13 +60,18 @@ class LintConfig:
     growth_threshold:
         ``APA004`` coefficient-growth gate.
     seed_defect:
-        Name from :data:`SEED_DEFECTS`; replaces the corresponding
-        catalog entry with its known-corrupted variant for this run
-        only (the catalog cache is never touched) so CI can prove the
-        gate trips.
+        Name from :data:`SEED_DEFECTS`; substitutes a known-bad input
+        for this run only — a corrupted catalog entry (algorithms
+        family) or a synthetic defective package (flow family) — so CI
+        can prove the gate trips.  The catalog cache is never touched.
     max_cse_rank:
         Rank cap above which the codegen family skips the (expensive)
         CSE-mode audit; skips are counted in the result, never silent.
+    baseline:
+        Path to a committed baseline file
+        (:mod:`repro.staticcheck.baseline`); findings fingerprinted
+        there are still reported but no longer gate.  A missing file is
+        an empty baseline.
     """
 
     families: tuple[str, ...] = FAMILIES
@@ -71,6 +83,7 @@ class LintConfig:
     growth_threshold: float = DEFAULT_GROWTH_THRESHOLD
     seed_defect: str | None = None
     max_cse_rank: int = 128
+    baseline: str | None = None
 
     def __post_init__(self) -> None:
         unknown = set(self.families) - set(FAMILIES)
@@ -89,11 +102,16 @@ class LintConfig:
 
 @dataclass
 class LintResult:
-    """Findings plus per-family work counts and the gate verdict."""
+    """Findings plus per-family work counts and the gate verdict.
+
+    ``baselined`` findings matched the committed baseline: they are
+    kept (and rendered) for visibility but excluded from the gate.
+    """
 
     findings: tuple[Finding, ...]
     checked: dict[str, int] = field(default_factory=dict)
     fail_on: str = "error"
+    baselined: tuple[Finding, ...] = ()
 
     @property
     def errors(self) -> tuple[Finding, ...]:
@@ -117,9 +135,11 @@ class LintResult:
         work = ", ".join(f"{count} {what}" for what, count in
                          self.checked.items())
         verdict = "FAIL" if self.exit_code() else "ok"
+        grand = (f", {len(self.baselined)} baselined"
+                 if self.baselined else "")
         return (f"repro lint: {len(self.errors)} error(s), "
-                f"{len(self.warnings)} warning(s) over {work or 'nothing'} "
-                f"— {verdict}")
+                f"{len(self.warnings)} warning(s){grand} over "
+                f"{work or 'nothing'} — {verdict}")
 
 
 def _default_lint_paths() -> tuple[str, ...]:
@@ -136,13 +156,12 @@ def _engine_lint_paths() -> tuple[str, ...]:
 
 
 def _seeded_overrides(defect: str | None) -> dict[str, object]:
-    if defect is None:
-        return {}
+    """Catalog substitutions for the algorithms family (others: no-op)."""
     if defect == "bini322-m10-ocr":
         from repro.staticcheck.algcheck import bini322_m10_ocr_defect
 
         return {"bini322": bini322_m10_ocr_defect()}
-    raise ValueError(f"unknown seed defect {defect!r}")  # pragma: no cover
+    return {}
 
 
 def run_lint(config: LintConfig | None = None) -> LintResult:
@@ -198,10 +217,37 @@ def run_lint(config: LintConfig | None = None) -> LintResult:
         findings.extend(eng_findings)
         checked["engine-boundary files"] = scanned
 
+    if "flow" in config.families:
+        from repro.staticcheck.flow import analyze_paths, analyze_sources
+        from repro.staticcheck.flow.fixtures import FLOW_SEED_DEFECTS
+
+        if config.seed_defect in FLOW_SEED_DEFECTS:
+            # Self-test mode: scan the synthetic known-bad package
+            # instead of the tree — the gate must trip on it.
+            _, sources = FLOW_SEED_DEFECTS[config.seed_defect]
+            findings.extend(analyze_sources(sources))
+            checked["flow modules (seeded)"] = len(sources)
+        else:
+            paths = config.paths or _engine_lint_paths()
+            findings.extend(analyze_paths(list(paths)))
+            checked["flow roots"] = len(paths)
+
+    # Cross-family dedupe by (rule, location) + stable (path, line,
+    # rule) ordering, so output is byte-identical across runs.
+    findings = dedupe_findings(findings)
+
     if config.select:
         findings = [f for f in findings if f.rule_id in config.select]
     if config.ignore:
         findings = [f for f in findings if f.rule_id not in config.ignore]
 
+    baselined: list[Finding] = []
+    if config.baseline is not None:
+        from repro.staticcheck.baseline import (load_baseline,
+                                                split_by_baseline)
+
+        findings, baselined = split_by_baseline(
+            findings, load_baseline(config.baseline))
+
     return LintResult(findings=tuple(findings), checked=checked,
-                      fail_on=config.fail_on)
+                      fail_on=config.fail_on, baselined=tuple(baselined))

@@ -1,0 +1,74 @@
+"""SARIF 2.1.0 export for ``repro lint --format sarif``.
+
+One run, one driver (``repro-lint``), one result per finding.  The
+shape follows the published schema's required core: ``runs[0]`` carries
+a ``tool.driver`` with the rule catalog (every rule that appears in the
+results, with its catalog summary when known) and ``results`` whose
+``locations`` use ``physicalLocation`` with an ``artifactLocation.uri``
+and a ``region.startLine``.  Non-file locations (``catalog:bini322``)
+have no line; they export the uri alone, which SARIF permits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.staticcheck.findings import Finding, Severity
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning",
+           Severity.INFO: "note"}
+
+
+def _result(finding: Finding) -> dict:
+    path, _, line = finding.location.rpartition(":")
+    physical: dict = {}
+    if path and line.isdigit():
+        physical = {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": int(line)},
+        }
+    else:
+        physical = {"artifactLocation": {"uri": finding.location}}
+    text = finding.message
+    if finding.detail:
+        text += f" ({finding.detail})"
+    return {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": text},
+        "locations": [{"physicalLocation": physical}],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    from repro.staticcheck.rules import RULES
+
+    rule_ids = sorted({f.rule_id for f in findings})
+    rules = []
+    for rule_id in rule_ids:
+        info = RULES.get(rule_id)
+        entry: dict = {"id": rule_id}
+        if info is not None:
+            entry["shortDescription"] = {"text": info.summary}
+            entry["defaultConfiguration"] = {
+                "level": _LEVELS[info.severity]}
+        rules.append(entry)
+
+    doc = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "rules": rules,
+            }},
+            "results": [_result(f) for f in findings],
+        }],
+    }
+    return json.dumps(doc, indent=2)

@@ -1,0 +1,108 @@
+"""Reasoned inline suppressions, shared by all lint families.
+
+A finding is suppressed by a comment on its line or the line above::
+
+    thing.acquire()  # lint: ignore[ASY002]: bounded handoff, <1us hold
+
+The trailing ``: reason`` is **required**: a suppression without one
+still silences its target finding (so behaviour is predictable while a
+tree is being migrated) but emits an ``LNT001`` meta-finding at ERROR —
+``--fail-on error`` therefore treats an unexplained suppression as a
+defect in its own right.  The reason is for the *next* reader: why the
+rule is wrong here, not what the code does.
+
+For ``async def`` functions the whole-program passes report findings at
+call sites deep inside the body, where no single line is a sensible
+anchor; a suppression placed on a **decorator line** of an async def is
+therefore aliased to the entire function body.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.staticcheck.findings import Finding, Severity
+
+__all__ = ["SuppressionIndex", "SUPPRESS_RE"]
+
+#: ``# lint: ignore[RULE1, RULE2]: reason`` — reason group optional so we
+#: can *detect* its absence (LNT001) rather than silently not matching.
+SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?(?:\s*:\s*(\S.*))?")
+
+
+class SuppressionIndex:
+    """All suppression comments of one source file, pre-resolved."""
+
+    def __init__(self, path: str, source: str,
+                 tree: ast.AST | None = None) -> None:
+        self.path = path
+        self._lines = source.splitlines()
+        #: lineno -> (rules frozenset or None for blanket, has_reason)
+        self._at_line: dict[int, tuple[frozenset[str] | None, bool]] = {}
+        #: (start, end, rules) ranges from decorator-line aliasing.
+        self._ranges: list[tuple[int, int, frozenset[str] | None]] = []
+        self._used: set[int] = set()
+
+        for idx, line in enumerate(self._lines, start=1):
+            m = SUPPRESS_RE.search(line)
+            if m is None:
+                continue
+            rules = None
+            if m.group(1):
+                rules = frozenset(
+                    r.strip() for r in m.group(1).split(",") if r.strip())
+            self._at_line[idx] = (rules, bool(m.group(2)))
+
+        if self._at_line and tree is None:
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                tree = None
+        if tree is not None:
+            self._alias_decorators(tree)
+
+    def _alias_decorators(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for deco in node.decorator_list:
+                entry = self._at_line.get(deco.lineno)
+                if entry is not None:
+                    self._ranges.append(
+                        (node.lineno, node.end_lineno or node.lineno,
+                         entry[0]))
+                    self._used.add(deco.lineno)
+
+    @staticmethod
+    def _matches(rules: frozenset[str] | None, rule_id: str) -> bool:
+        return rules is None or rule_id in rules
+
+    def is_suppressed(self, lineno: int, rule_id: str) -> bool:
+        for cand in (lineno, lineno - 1):
+            entry = self._at_line.get(cand)
+            if entry is not None and self._matches(entry[0], rule_id):
+                self._used.add(cand)
+                return True
+        for start, end, rules in self._ranges:
+            if start <= lineno <= end and self._matches(rules, rule_id):
+                return True
+        return False
+
+    def meta_findings(self) -> list[Finding]:
+        """``LNT001`` for every suppression without a ``: reason``."""
+        out: list[Finding] = []
+        for lineno in sorted(self._at_line):
+            rules, has_reason = self._at_line[lineno]
+            if has_reason:
+                continue
+            shown = ",".join(sorted(rules)) if rules else "*"
+            out.append(Finding(
+                "LNT001", Severity.ERROR, f"{self.path}:{lineno}",
+                f"suppression ignore[{shown}] has no ': reason' — "
+                "unexplained suppressions rot",
+                detail="write '# lint: ignore[RULE]: why the rule is "
+                       "wrong here'; the reason is the review record",
+            ))
+        return out

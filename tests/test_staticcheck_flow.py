@@ -1,0 +1,535 @@
+"""The whole-program flow analyzer: call graph, passes, baseline, SARIF.
+
+Fixture style: every rule gets a known-bad snippet that must produce
+exactly that finding and a known-good twin that must stay clean — the
+zero-false-positive discipline is tested as hard as the detections.
+"""
+
+import json
+
+from repro.cli import main as cli_main
+from repro.staticcheck import LintConfig, run_lint
+from repro.staticcheck.baseline import (fingerprint, load_baseline,
+                                        split_by_baseline, write_baseline)
+from repro.staticcheck.findings import Finding, Severity, dedupe_findings
+from repro.staticcheck.flow import analyze_sources
+from repro.staticcheck.flow.callgraph import CallGraph
+from repro.staticcheck.flow.fixtures import FLOW_SEED_DEFECTS
+from repro.staticcheck.flow.project import Project
+from repro.staticcheck.sarif import render_sarif
+from repro.staticcheck.suppress import SuppressionIndex
+
+
+def rules_of(findings):
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# call-graph resolution over a synthetic 3-module package
+# ----------------------------------------------------------------------
+
+
+THREE_MODULE_PKG = {
+    "pkg/__init__.py": "",
+    "pkg/engine.py": (
+        "from pkg.plan import PlanCache\n"
+        "\n"
+        "class Engine:\n"
+        "    def __init__(self):\n"
+        "        self.cache = PlanCache()\n"
+        "\n"
+        "    def execute(self, a, b):\n"
+        "        plan = self.cache.plan_for(a)\n"
+        "        return plan\n"
+    ),
+    "pkg/plan.py": (
+        "from pkg.util import emit\n"
+        "\n"
+        "class PlanCache:\n"
+        "    def __init__(self):\n"
+        "        self.hits = 0\n"
+        "\n"
+        "    def plan_for(self, a):\n"
+        "        emit('hit')\n"
+        "        return a\n"
+    ),
+    "pkg/util.py": (
+        "import functools\n"
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "\n"
+        "def emit(event):\n"
+        "    return event\n"
+        "\n"
+        "def heavy(x):\n"
+        "    return x\n"
+        "\n"
+        "def dispatch(pool: ThreadPoolExecutor, x):\n"
+        "    fn = functools.partial(heavy, x)\n"
+        "    return pool.submit(fn)\n"
+    ),
+}
+
+
+def build_graph(sources):
+    return CallGraph(Project.from_sources(sources))
+
+
+def edges_of(graph, qualname):
+    return {(e.callee, e.kind) for e in graph.callees(qualname)}
+
+
+def test_callgraph_resolves_methods_across_modules():
+    graph = build_graph(THREE_MODULE_PKG)
+    # Engine.execute -> PlanCache.plan_for through the typed self.cache
+    # attribute, with the class imported from a sibling module.
+    assert ("pkg.plan.PlanCache.plan_for", "direct") in edges_of(
+        graph, "pkg.engine.Engine.execute")
+    # plan_for -> emit through a from-import.
+    assert ("pkg.util.emit", "direct") in edges_of(
+        graph, "pkg.plan.PlanCache.plan_for")
+    # Engine.__init__ -> PlanCache constructor edge.
+    assert any(callee.startswith("pkg.plan.PlanCache")
+               for callee, _ in edges_of(graph, "pkg.engine.Engine.__init__"))
+
+
+def test_callgraph_partial_submit_is_executor_edge():
+    graph = build_graph(THREE_MODULE_PKG)
+    # pool.submit(partial(heavy, x)): the callee is resolved through the
+    # partial binding and tagged 'executor' — it leaves the thread.
+    assert ("pkg.util.heavy", "executor") in edges_of(
+        graph, "pkg.util.dispatch")
+
+
+def test_callgraph_unresolvable_calls_produce_no_edges():
+    graph = build_graph({
+        "m.py": "def f(cb):\n    cb()\n    unknown_name_xyz()\n"})
+    assert graph.callees("m.f") == []
+
+
+# ----------------------------------------------------------------------
+# ASY: blocking ops reachable from coroutines
+# ----------------------------------------------------------------------
+
+
+def test_asy001_interprocedural_sleep():
+    findings = analyze_sources({
+        "a.py": (
+            "import time\n"
+            "def helper():\n"
+            "    time.sleep(1)\n"
+            "async def coro():\n"
+            "    helper()\n"),
+    })
+    assert rules_of(findings) == ["ASY001"]
+    assert "a.py:3" in findings[0].location
+    assert "coro" in findings[0].message
+
+
+def test_asy001_executor_hop_is_clean():
+    findings = analyze_sources({
+        "a.py": (
+            "import asyncio, time\n"
+            "def helper():\n"
+            "    time.sleep(1)\n"
+            "async def coro():\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    await loop.run_in_executor(None, helper)\n"),
+    })
+    assert findings == []
+
+
+def test_asy002_sync_acquire_in_coroutine():
+    findings = analyze_sources({
+        "a.py": (
+            "import threading\n"
+            "_LOCK = threading.Lock()\n"
+            "async def coro():\n"
+            "    _LOCK.acquire()\n"),
+    })
+    assert rules_of(findings) == ["ASY002"]
+
+
+def test_asy002_with_lock_is_clean():
+    # Bounded `with lock:` critical sections are the sanctioned way to
+    # touch cross-thread sinks from the loop — not flagged.
+    findings = analyze_sources({
+        "a.py": (
+            "import threading\n"
+            "_LOCK = threading.Lock()\n"
+            "async def coro():\n"
+            "    with _LOCK:\n"
+            "        return 1\n"),
+    })
+    assert findings == []
+
+
+def test_asy003_gemm_on_loop():
+    findings = analyze_sources({
+        "a.py": (
+            "import numpy as np\n"
+            "async def coro(a, b):\n"
+            "    return np.matmul(a, b)\n"),
+    })
+    assert rules_of(findings) == ["ASY003"]
+
+
+def test_asy_sync_function_not_flagged():
+    findings = analyze_sources({
+        "a.py": (
+            "import time\n"
+            "def plain():\n"
+            "    time.sleep(1)\n"),
+    })
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# LCK: lock-order cycles, locks held across blocking points
+# ----------------------------------------------------------------------
+
+
+def test_lck001_cycle_through_call_edge():
+    _, sources = FLOW_SEED_DEFECTS["lck-two-lock-cycle"]
+    findings = analyze_sources(sources)
+    assert rules_of(findings) == ["LCK001"]
+    assert "_PLAN_LOCK" in findings[0].message
+    assert "_LOG_LOCK" in findings[0].message
+
+
+def test_lck001_consistent_order_is_clean():
+    findings = analyze_sources({
+        "a.py": (
+            "import threading\n"
+            "A = threading.Lock()\n"
+            "B = threading.Lock()\n"
+            "def one():\n"
+            "    with A:\n"
+            "        with B:\n"
+            "            pass\n"
+            "def two():\n"
+            "    with A:\n"
+            "        with B:\n"
+            "            pass\n"),
+    })
+    assert findings == []
+
+
+def test_lck002_await_under_lock():
+    findings = analyze_sources({
+        "a.py": (
+            "import asyncio, threading\n"
+            "_LOCK = threading.Lock()\n"
+            "async def coro():\n"
+            "    with _LOCK:\n"
+            "        await asyncio.sleep(0)\n"),
+    })
+    assert "LCK002" in rules_of(findings)
+
+
+def test_lck002_sleep_under_lock():
+    findings = analyze_sources({
+        "a.py": (
+            "import threading, time\n"
+            "_LOCK = threading.Lock()\n"
+            "def hold():\n"
+            "    with _LOCK:\n"
+            "        time.sleep(1)\n"),
+    })
+    assert rules_of(findings) == ["LCK002"]
+
+
+def test_lck_untyped_name_never_gets_identity():
+    # A lock-*named* object whose type can't be proven must not enter
+    # the order graph — a wrong identity could fabricate a cycle.
+    findings = analyze_sources({
+        "a.py": (
+            "def f(my_lock, other_lock):\n"
+            "    with my_lock:\n"
+            "        with other_lock:\n"
+            "            pass\n"
+            "def g(my_lock, other_lock):\n"
+            "    with other_lock:\n"
+            "        with my_lock:\n"
+            "            pass\n"),
+    })
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# OWN: pooled workspace escapes
+# ----------------------------------------------------------------------
+
+
+def test_own001_return_and_self_store():
+    _, sources = FLOW_SEED_DEFECTS["own-escaping-arena"]
+    findings = analyze_sources(sources)
+    assert rules_of(findings) == ["OWN001", "OWN001"]
+
+
+def test_own001_borrowing_callee_is_clean():
+    findings = analyze_sources({
+        "a.py": (
+            "def consume(ws):\n"
+            "    return len(ws)\n"
+            "def run(plan):\n"
+            "    ws = plan.checkout()\n"
+            "    try:\n"
+            "        return consume(ws)\n"
+            "    finally:\n"
+            "        plan.release(ws)\n"),
+    })
+    assert findings == []
+
+
+def test_own001_closure_to_executor():
+    findings = analyze_sources({
+        "a.py": (
+            "def run(plan, pool):\n"
+            "    ws = plan.checkout()\n"
+            "    def work():\n"
+            "        return ws\n"
+            "    fut = pool.submit(work)\n"
+            "    plan.release(ws)\n"
+            "    return fut\n"),
+    })
+    assert rules_of(findings) == ["OWN001"]
+    assert "closure" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# NUM003: silent dtype narrowing
+# ----------------------------------------------------------------------
+
+
+def test_num003_interprocedural_out_buffer():
+    _, sources = FLOW_SEED_DEFECTS["num-silent-narrowing"]
+    findings = analyze_sources(sources)
+    assert rules_of(findings) == ["NUM003"]
+    assert "float64" in findings[0].message
+    assert "float32" in findings[0].message
+
+
+def test_num003_matching_dtypes_clean():
+    findings = analyze_sources({
+        "a.py": (
+            "import numpy as np\n"
+            "def step(n):\n"
+            "    a = np.zeros((n, n), dtype=np.float32)\n"
+            "    b = np.ones((n, n), dtype=np.float32)\n"
+            "    out = np.empty((n, n), dtype=np.float32)\n"
+            "    np.matmul(a, b, out=out)\n"
+            "    return out\n"),
+    })
+    assert findings == []
+
+
+def test_num003_explicit_astype_is_clean():
+    # .astype is *explicit* narrowing — the boundary the rule demands.
+    findings = analyze_sources({
+        "a.py": (
+            "import numpy as np\n"
+            "def shrink(n):\n"
+            "    a = np.zeros((n, n), dtype=np.float64)\n"
+            "    return a.astype(np.float32)\n"),
+    })
+    assert findings == []
+
+
+def test_num003_subscript_store():
+    findings = analyze_sources({
+        "a.py": (
+            "import numpy as np\n"
+            "def fill(n):\n"
+            "    buf = np.zeros((n, n), dtype=np.float32)\n"
+            "    acc = np.ones((n, n), dtype=np.float64)\n"
+            "    buf[0] = acc[0]\n"
+            "    return buf\n"),
+    })
+    assert rules_of(findings) == ["NUM003"]
+
+
+# ----------------------------------------------------------------------
+# suppression: reasons required, decorator-line aliasing, LNT001
+# ----------------------------------------------------------------------
+
+
+def test_reasoned_suppression_silences_finding():
+    findings = analyze_sources({
+        "a.py": (
+            "import time\n"
+            "async def coro():\n"
+            "    time.sleep(0)  "
+            "# lint: ignore[ASY001]: zero-duration yield probe\n"),
+    })
+    assert findings == []
+
+
+def test_unreasoned_suppression_draws_lnt001():
+    findings = analyze_sources({
+        "a.py": (
+            "import time\n"
+            "async def coro():\n"
+            "    time.sleep(0)  # lint: ignore[ASY001]\n"),
+    })
+    # The target finding is suppressed but the naked suppression itself
+    # is an ERROR — the gate still fails.
+    assert rules_of(findings) == ["LNT001"]
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_decorator_line_suppression_covers_async_def_body():
+    findings = analyze_sources({
+        "a.py": (
+            "import time\n"
+            "def deco(f):\n"
+            "    return f\n"
+            "@deco  # lint: ignore[ASY001]: demo coroutine, loop "
+            "blocking is the point\n"
+            "async def coro():\n"
+            "    time.sleep(1)\n"),
+    })
+    assert findings == []
+
+
+def test_suppression_index_wrong_rule_does_not_suppress():
+    index = SuppressionIndex(
+        "a.py", "x = 1  # lint: ignore[ASY001]: reasoned\n")
+    assert index.is_suppressed(1, "ASY001")
+    assert not index.is_suppressed(1, "LCK001")
+
+
+# ----------------------------------------------------------------------
+# dedupe + ordering
+# ----------------------------------------------------------------------
+
+
+def test_dedupe_findings_by_rule_and_location():
+    a = Finding("ASY001", Severity.ERROR, "m.py:3", "first")
+    b = Finding("ASY001", Severity.ERROR, "m.py:3", "second (dup)")
+    c = Finding("LCK001", Severity.ERROR, "m.py:3", "different rule")
+    out = dedupe_findings([a, b, c])
+    assert [f.message for f in out] == ["first", "different rule"]
+
+
+def test_dedupe_sorts_by_path_line_rule():
+    fs = [
+        Finding("OWN001", Severity.ERROR, "z.py:2", "z2"),
+        Finding("ASY001", Severity.ERROR, "a.py:10", "a10"),
+        Finding("ASY001", Severity.ERROR, "a.py:2", "a2"),
+        Finding("LCK001", Severity.ERROR, "a.py:2", "a2-lck"),
+    ]
+    out = dedupe_findings(fs)
+    assert [f.location for f in out] == ["a.py:2", "a.py:2", "a.py:10",
+                                         "z.py:2"]
+    assert [f.rule_id for f in out][:2] == ["ASY001", "LCK001"]
+
+
+# ----------------------------------------------------------------------
+# baseline mechanism
+# ----------------------------------------------------------------------
+
+
+def test_fingerprint_ignores_line_numbers():
+    a = Finding("ASY001", Severity.ERROR, "m.py:3", "same message")
+    b = Finding("ASY001", Severity.ERROR, "m.py:99", "same message")
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_baseline_roundtrip_and_split(tmp_path):
+    old = Finding("ASY001", Severity.ERROR, "m.py:3", "grandfathered")
+    new = Finding("LCK001", Severity.ERROR, "m.py:9", "fresh")
+    path = tmp_path / "baseline.json"
+    assert write_baseline(path, [old]) == 1
+    grand = load_baseline(path)
+    kept, baselined = split_by_baseline([old, new], grand)
+    assert kept == [new]
+    assert baselined == [old]
+
+
+def test_missing_baseline_is_empty():
+    assert load_baseline("/nonexistent/baseline.json") == frozenset()
+
+
+def test_runner_baseline_demotes_from_gate(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nasync def c():\n    time.sleep(1)\n")
+    config = LintConfig(families=("flow",), paths=(str(tmp_path),))
+    assert run_lint(config).exit_code() == 1
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, run_lint(config).findings)
+    result = run_lint(LintConfig(families=("flow",), paths=(str(tmp_path),),
+                                 baseline=str(baseline)))
+    assert result.exit_code() == 0
+    assert len(result.baselined) == 1
+
+
+# ----------------------------------------------------------------------
+# SARIF export
+# ----------------------------------------------------------------------
+
+
+def test_sarif_shape():
+    findings = [
+        Finding("ASY001", Severity.ERROR, "src/m.py:7", "blocking op"),
+        Finding("APA004", Severity.WARNING, "catalog:bini322", "growth"),
+    ]
+    doc = json.loads(render_sarif(findings))
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert {r["id"] for r in driver["rules"]} == {"ASY001", "APA004"}
+    assert all(r["shortDescription"]["text"] for r in driver["rules"])
+    first, second = run["results"]
+    assert first["ruleId"] == "ASY001" and first["level"] == "error"
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/m.py"
+    assert loc["region"]["startLine"] == 7
+    # Non-file locations export a uri without a region.
+    loc2 = second["locations"][0]["physicalLocation"]
+    assert loc2["artifactLocation"]["uri"] == "catalog:bini322"
+    assert "region" not in loc2
+
+
+def test_cli_sarif_output(tmp_path, capsys=None):
+    import io
+
+    out = io.StringIO()
+    code = cli_main(["lint", "--families", "flow", "--seed-defect",
+                     "asy-blocking-coroutine", "--format", "sarif"],
+                    out=out)
+    assert code == 1
+    doc = json.loads(out.getvalue())
+    assert doc["runs"][0]["results"][0]["ruleId"] == "ASY001"
+
+
+# ----------------------------------------------------------------------
+# seeded-defect self-tests (the CI gate's gate)
+# ----------------------------------------------------------------------
+
+
+def test_every_flow_seed_defect_trips_its_rule():
+    for name, (rule, _) in FLOW_SEED_DEFECTS.items():
+        result = run_lint(LintConfig(families=("flow",), seed_defect=name))
+        assert result.exit_code() == 1, name
+        assert rule in {f.rule_id for f in result.findings}, name
+
+
+def test_cli_update_baseline_requires_baseline():
+    import io
+
+    out = io.StringIO()
+    assert cli_main(["lint", "--families", "flow", "--update-baseline"],
+                    out=out) == 2
+
+
+# ----------------------------------------------------------------------
+# the shipped tree itself is clean
+# ----------------------------------------------------------------------
+
+
+def test_shipped_tree_has_no_flow_findings():
+    result = run_lint(LintConfig(families=("flow",)))
+    assert result.findings == (), "\n".join(
+        f.render() for f in result.findings)
