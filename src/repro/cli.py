@@ -9,6 +9,7 @@ Commands
 ``table1``        — regenerate Table 1
 ``fig N``         — regenerate a figure (1-7)
 ``matmul``        — run one APA product and report the error
+``shard-matmul``  — out-of-core sharded APA product over .npy memmaps
 ``save/load``     — algorithm file round-trip
 ``guard-study``   — guarded-vs-unguarded mid-training fault recovery
 ``guard-overhead``— wall-clock cost of the guarded backend's checks
@@ -70,6 +71,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--guarded", action="store_true",
                    help="run through GuardedBackend (health checks + "
                         "escalation) and report guard events")
+    p.add_argument("--executor", choices=["thread", "process"],
+                   default=None,
+                   help="scheduled executor: 'process' stages blocks in "
+                        "shared memory and runs real worker processes")
+    p.add_argument("--threads", type=int, default=None,
+                   help="worker count for the scheduled executor")
+
+    p = sub.add_parser(
+        "shard-matmul",
+        help="out-of-core sharded APA product over .npy memmaps")
+    p.add_argument("name", nargs="?", default="strassen222")
+    p.add_argument("--a", default=None,
+                   help=".npy path for A (default: generate)")
+    p.add_argument("--b", default=None,
+                   help=".npy path for B (default: generate)")
+    p.add_argument("--n", type=int, default=256,
+                   help="square dim when generating operands")
+    p.add_argument("--dtype", choices=["float32", "float64"],
+                   default="float32")
+    p.add_argument("--tile", type=int, default=None,
+                   help="cube tile edge (default: from --memory-budget)")
+    p.add_argument("--memory-budget", type=int, default=64 * 1024 * 1024,
+                   help="in-flight byte budget when --tile is unset "
+                        "(default: 64 MiB)")
+    p.add_argument("--out", default=None,
+                   help="stream the result into this .npy memmap")
+    p.add_argument("--executor", choices=["thread", "process"],
+                   default=None)
+    p.add_argument("--threads", type=int, default=None)
 
     p = sub.add_parser("guard-study",
                        help="guarded-vs-unguarded fault recovery study")
@@ -119,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed-defect",
                    choices=["bini322-m10-ocr", "asy-blocking-coroutine",
                             "lck-two-lock-cycle", "own-escaping-arena",
-                            "num-silent-narrowing"],
+                            "shm-escaping-view", "num-silent-narrowing"],
                    default=None,
                    help="self-test: lint a known-bad input (corrupted "
                         "catalog entry or synthetic defective package); "
@@ -273,6 +303,7 @@ def _cmd_fig(number: int, threads: int, out) -> int:
 def _cmd_matmul(args, out) -> int:
     from repro.algorithms.catalog import get_algorithm
     from repro.core.backend import make_backend
+    from repro.core.config import execution_context
     from repro.core.lam import optimal_lambda, precision_bits
 
     names = [part.strip() for part in args.name.split(",") if part.strip()]
@@ -283,7 +314,14 @@ def _cmd_matmul(args, out) -> int:
     B = rng.random((args.n, args.n)).astype(dtype)
     backend = make_backend(names if len(names) > 1 else names[0],
                            steps=args.steps, guarded=args.guarded)
-    C = backend.matmul(A, B)
+    if args.executor is not None or args.threads is not None:
+        # Backends re-resolve through the ambient context, so the
+        # executor/worker knobs route through without a new factory.
+        with execution_context(executor=args.executor,
+                               threads=args.threads):
+            C = backend.matmul(A, B)
+    else:
+        C = backend.matmul(A, B)
     ref = A.astype(np.float64) @ B.astype(np.float64)
     err = float(np.linalg.norm(C - ref) / np.linalg.norm(ref))
     d = precision_bits(dtype)
@@ -305,6 +343,53 @@ def _cmd_matmul(args, out) -> int:
               f"violation(s), {backend.fallback_calls} fallback(s)", file=out)
         for event in backend.log:
             print(f"  {event}", file=out)
+    return 0
+
+
+def _cmd_shard_matmul(args, out) -> int:
+    from repro.algorithms.catalog import get_algorithm
+    from repro.shard import ShardSpec, recommend_shard_spec, shard_matmul
+
+    alg = get_algorithm(args.name)
+    dtype = np.dtype(args.dtype)
+    if args.a is not None or args.b is not None:
+        if args.a is None or args.b is None:
+            print("shard-matmul: --a and --b must be given together",
+                  file=out)
+            return 2
+        A = np.load(args.a, mmap_mode="r")
+        B = np.load(args.b, mmap_mode="r")
+    else:
+        rng = np.random.default_rng(0)
+        A = rng.random((args.n, args.n)).astype(dtype)
+        B = rng.random((args.n, args.n)).astype(dtype)
+    M, N = A.shape
+    K = B.shape[1]
+    if args.tile is not None:
+        spec = ShardSpec.coerce(args.tile)
+    else:
+        spec = recommend_shard_spec(M, N, K, args.memory_budget,
+                                    itemsize=A.dtype.itemsize)
+    overrides = {}
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.threads is not None:
+        overrides["threads"] = args.threads
+    C = shard_matmul(A, B, args.name, shard=spec, out=args.out,
+                     **overrides)
+    ref = np.asarray(A, dtype=np.float64) @ np.asarray(B, dtype=np.float64)
+    err = float(np.linalg.norm(np.asarray(C, dtype=np.float64) - ref)
+                / np.linalg.norm(ref))
+    ti, tj, tp = spec.tiles(M, N, K)
+    print(f"{args.name} {alg.signature()} "
+          f"{M}x{N} @ {N}x{K} {A.dtype.name}", file=out)
+    print(f"shard=({spec.tile_m},{spec.tile_n},{spec.tile_k}) "
+          f"tiles={ti}x{tj}x{tp} "
+          f"in_flight={spec.in_flight_bytes(A.dtype.itemsize)}B "
+          f"executor={args.executor or 'thread'}", file=out)
+    print(f"rel_error={err:.2e}", file=out)
+    if args.out is not None:
+        print(f"wrote {args.out}", file=out)
     return 0
 
 
@@ -551,6 +636,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_fig(args.number, args.threads, out)
     if args.command == "matmul":
         return _cmd_matmul(args, out)
+    if args.command == "shard-matmul":
+        return _cmd_shard_matmul(args, out)
     if args.command == "guard-study":
         return _cmd_guard_study(args, out)
     if args.command == "guard-overhead":

@@ -48,6 +48,7 @@ from repro.types import GemmFn
 __all__ = [
     "BATCH_MODES",
     "EXECUTION_MODES",
+    "EXECUTORS",
     "ExecutionConfig",
     "active_overrides",
     "execution_context",
@@ -60,6 +61,37 @@ EXECUTION_MODES = ("auto", "interpreter", "plan", "kernel", "threaded")
 
 #: Batched execution modes (``apa_matmul_batched``).
 BATCH_MODES = ("stacked", "loop")
+
+#: Schedule executors: worker threads (the default — gemms release the
+#: GIL) or worker processes over shared memory (the combinations scale
+#: too; see :mod:`repro.parallel.procpool`).
+EXECUTORS = ("thread", "process")
+
+
+def _validate_shard(shard: Any) -> None:
+    """Shard geometry: a positive tile edge, a ``(tile_m, tile_n,
+    tile_k)`` triple, or any object with those attributes (duck-typed so
+    config does not import :mod:`repro.shard`)."""
+    if isinstance(shard, bool):
+        raise TypeError(f"shard must be a tile size, triple, or "
+                        f"ShardSpec, got {shard!r}")
+    if isinstance(shard, int):
+        if shard < 1:
+            raise ValueError(f"shard tile size must be >= 1, got {shard}")
+        return
+    if isinstance(shard, (tuple, list)):
+        if len(shard) != 3 or not all(
+                isinstance(t, int) and not isinstance(t, bool) and t >= 1
+                for t in shard):
+            raise ValueError(
+                f"shard triple must be three ints >= 1, got {shard!r}")
+        return
+    tiles = (getattr(shard, "tile_m", None), getattr(shard, "tile_n", None),
+             getattr(shard, "tile_k", None))
+    if not all(isinstance(t, int) and t >= 1 for t in tiles):
+        raise TypeError(
+            f"shard must be a tile size, a (tile_m, tile_n, tile_k) "
+            f"triple, or a ShardSpec-like object, got {shard!r}")
 
 
 @dataclass(frozen=True)
@@ -105,6 +137,13 @@ class ExecutionConfig:
     check_finite: bool | None = None
     #: Products with ``min(M, N, K)`` below this fall back to ``A @ B``.
     min_dim: int | None = None
+    #: One of :data:`EXECUTORS` (resolved default ``"thread"``):
+    #: which worker kind runs the §3.2 schedule.
+    executor: str | None = None
+    #: Out-of-core tile geometry: an int edge, ``(tile_m, tile_n,
+    #: tile_k)``, or a :class:`repro.shard.ShardSpec`.  Setting it
+    #: routes 2-D products through the sharded path.
+    shard: Any = None
 
     def __post_init__(self) -> None:
         if self.lam is not None and (
@@ -132,6 +171,12 @@ class ExecutionConfig:
             raise ValueError(
                 f"unknown batch_mode {self.batch_mode!r}; expected one of "
                 f"{BATCH_MODES}")
+        if self.executor is not None and self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of "
+                f"{EXECUTORS}")
+        if self.shard is not None:
+            _validate_shard(self.shard)
         self._check_combinations()
 
     def _check_combinations(self) -> None:
@@ -175,6 +220,15 @@ class ExecutionConfig:
                 raise ValueError(
                     "mode='plan' is the sequential cached path; threads > 1 "
                     "requires mode='auto' or 'threaded'")
+        if self.executor == "process":
+            if mode in ("interpreter", "plan", "kernel"):
+                raise ValueError(
+                    f"executor='process' runs the scheduled executor; it "
+                    f"cannot combine with mode={mode!r}")
+            if self.gemm is not None or self.fault is not None:
+                raise ValueError(
+                    "executor='process' runs gemms in worker processes; "
+                    "the gemm/fault seams are thread-executor only")
 
     # -- merge helpers -------------------------------------------------
 

@@ -16,8 +16,8 @@ stack::
       ↓
     trace    one "apa_matmul" span when a tracer is on (obs layer)
       ↓
-    dispatch → plan | kernel | threaded | interpreter | batched
-               | non-stationary | surrogate | classical gemm
+    dispatch → plan | kernel | threaded | process | shard | interpreter
+               | batched | non-stationary | surrogate | classical gemm
 
 The legacy entry points are now thin shims over this engine; the
 private implementations (``_apa_matmul_impl``, ``_threaded_matmul_impl``,
@@ -60,19 +60,26 @@ _IMPL_LOCK = threading.Lock()
 _seq_impl: Callable[..., np.ndarray] | None = None
 _threaded_impl: Callable[..., np.ndarray] | None = None
 _batched_impl: Callable[..., np.ndarray] | None = None
+_process_impl: Callable[..., np.ndarray] | None = None
+_shard_impl: Callable[..., np.ndarray] | None = None
 
 
 def _load_impls() -> None:
     global _seq_impl, _threaded_impl, _batched_impl
+    global _process_impl, _shard_impl
     with _IMPL_LOCK:
         if _seq_impl is not None:
             return
         from repro.core.apa_matmul import _apa_matmul_impl
         from repro.core.batched import _batched_matmul_impl
         from repro.parallel.executor import _threaded_matmul_impl
+        from repro.parallel.procpool import _process_matmul_impl
+        from repro.shard.sharded import _shard_matmul_impl
 
         _batched_impl = _batched_matmul_impl
         _threaded_impl = _threaded_matmul_impl
+        _process_impl = _process_matmul_impl
+        _shard_impl = _shard_matmul_impl
         # Bound last: its non-None-ness is the "all loaded" flag read
         # without the lock by the fast lanes.
         _seq_impl = _apa_matmul_impl
@@ -330,6 +337,8 @@ class ExecutionEngine:
         """
         from repro.core.plan import resolve_plan_cache
         from repro.parallel.pool import pool_stats
+        from repro.parallel.procpool import process_pool_stats
+        from repro.parallel.shm import shm_stats
 
         caches: list[dict[str, Any]] = []
         seen: set[int] = set()
@@ -346,7 +355,8 @@ class ExecutionEngine:
         for guard in guards:
             inner = getattr(guard, "inner", guard)
             add(getattr(inner, "plan_cache", None))
-        return {"plan_caches": caches, "pool": pool_stats()}
+        return {"plan_caches": caches, "pool": pool_stats(),
+                "process_pool": process_pool_stats(), "shm": shm_stats()}
 
     # -- fast lanes for the legacy shims -------------------------------
     #
@@ -462,6 +472,13 @@ class ExecutionEngine:
         """The single dispatch point — every execution path branches here."""
         if getattr(A, "ndim", 2) == 3 or getattr(B, "ndim", 2) == 3:
             return self._dispatch_batched(A, B, cfg, alg)
+        if cfg.shard is not None:
+            impl = _shard_impl
+            if impl is None:
+                _load_impls()
+                impl = _shard_impl
+                assert impl is not None
+            return impl(A, B, alg, cfg, self, gemm, report)
         if (cfg.min_dim and A.ndim == 2 and B.ndim == 2
                 and A.shape[1] == B.shape[0]
                 and min(A.shape[0], A.shape[1], B.shape[1]) < cfg.min_dim):
@@ -475,6 +492,25 @@ class ExecutionEngine:
             return self._run_kernel(A, B, alg, cfg, gemm)
         threads = 1 if cfg.threads is None else cfg.threads
         steps = 1 if cfg.steps is None else cfg.steps
+        if (cfg.executor or "thread") == "process":
+            # Config validation already rejects gemm/fault *fields* on
+            # process configs; this backstop catches a gemm grafted on
+            # later (a guard escalation writing backend.gemm).
+            if gemm is not None:
+                raise ValueError(
+                    "executor='process' runs gemms in worker processes; "
+                    "the gemm/fault seams are thread-executor only")
+            impl = _process_impl
+            if impl is None:
+                _load_impls()
+                impl = _process_impl
+                assert impl is not None
+            return impl(
+                A, B, alg, threads, lam=cfg.lam,
+                strategy=cfg.strategy or "hybrid", schedule=cfg.schedule,
+                steps=steps, retries=cfg.retries or 0, timeout=cfg.timeout,
+                check_finite=bool(cfg.check_finite), report=report,
+                plan_cache=cfg.plan_cache)
         if mode == "threaded" or (mode == "auto" and (
                 threads > 1 or bool(cfg.retries) or cfg.timeout is not None
                 or bool(cfg.check_finite) or cfg.schedule is not None
@@ -512,11 +548,38 @@ class ExecutionEngine:
             raise ValueError(
                 "batched execution takes a single algorithm, not a "
                 "non-stationary level list")
-        if ((cfg.threads or 1) > 1 or cfg.mode not in (None, "auto")
-                or (cfg.steps or 1) > 1):
+        if cfg.shard is not None:
+            raise ValueError(
+                "sharded execution is 2-D only; loop over batch items "
+                "to shard each product")
+        wants_scheduled = (
+            (cfg.threads or 1) > 1 or (cfg.steps or 1) > 1
+            or (cfg.executor or "thread") == "process"
+            or cfg.mode == "threaded")
+        if wants_scheduled and (cfg.batch_mode or "stacked") == "loop":
+            # Loop mode has no cross-item arithmetic to fuse, so each
+            # item can take the full scheduled path (threads, steps,
+            # executor='process') independently; stacked mode stays
+            # sequential-only below.
+            if A.ndim != 3 or B.ndim != 3:
+                raise ValueError(
+                    "batched operands must be 3-D (batch, rows, cols)")
+            if A.shape[0] != B.shape[0]:
+                raise ValueError(
+                    f"batch sizes differ: {A.shape[0]} vs {B.shape[0]}")
+            if A.shape[0] == 0:
+                dtype = np.result_type(A.dtype, B.dtype)
+                return np.zeros((0, A.shape[1], B.shape[2]), dtype=dtype)
+            item_cfg = cfg.replace(batch_mode=None)
+            return np.stack([
+                self._dispatch(A[i], B[i], item_cfg, alg, None, None)
+                for i in range(A.shape[0])])
+        if wants_scheduled or cfg.mode not in (None, "auto"):
             raise ValueError(
                 "batched execution supports only the sequential "
-                "single-step auto path (mode/threads/steps are 2-D knobs)")
+                "single-step auto path (mode/threads/steps are 2-D "
+                "knobs; batch_mode='loop' additionally accepts the "
+                "scheduled knobs per item)")
         impl = _batched_impl
         if impl is None:
             _load_impls()
@@ -560,6 +623,12 @@ class ExecutionEngine:
                 f"mode={cfg.mode!r} does not apply to non-stationary "
                 "execution (pass plan_cache=False for the per-call "
                 "interpreter)")
+        if (cfg.executor or "thread") == "process":
+            raise ValueError(
+                "non-stationary execution threads a per-level gemm "
+                "closure through the schedule; executor='process' "
+                "cannot ship closures to workers — use the thread "
+                "executor")
         lam = cfg.lam
         if lam is None:
             # The combined-phi optimum: levels multiply intermediate

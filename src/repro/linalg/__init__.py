@@ -10,6 +10,8 @@ built on:
   ``T<m,n,k>`` and exact trilinear contractions.
 - :mod:`repro.linalg.blocking` — block partitioning, padding and peeling of
   NumPy operands so that fixed-size bilinear rules apply to arbitrary shapes.
+- :mod:`repro.linalg.storage` — ``.npy`` memmap helpers backing the
+  out-of-core shard path (:mod:`repro.shard`).
 """
 
 from repro.linalg.laurent import Laurent
@@ -20,6 +22,7 @@ from repro.linalg.blocking import (
     split_blocks,
     join_blocks,
 )
+from repro.linalg.storage import create_matrix, open_matrix, save_matrix
 
 __all__ = [
     "Laurent",
@@ -29,4 +32,7 @@ __all__ = [
     "pad_to_multiple",
     "split_blocks",
     "join_blocks",
+    "save_matrix",
+    "open_matrix",
+    "create_matrix",
 ]

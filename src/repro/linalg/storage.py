@@ -1,0 +1,41 @@
+"""Memory-mapped matrix storage for the out-of-core shard path.
+
+Thin, dependency-free wrappers over the ``.npy`` format: the shard
+layer (:mod:`repro.shard`) needs matrices that live on disk and are
+read window-by-window, and tests need a one-liner to materialize
+them.  ``.npy`` keeps the dtype/shape header with the data, so an
+opened operand needs no side-channel metadata.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+__all__ = ["save_matrix", "open_matrix", "create_matrix"]
+
+
+def save_matrix(path: Any, array: np.ndarray) -> str:
+    """Write ``array`` to ``path`` as ``.npy``; returns the path."""
+    path = os.fspath(path)
+    np.save(path, np.asarray(array))
+    return path
+
+
+def open_matrix(path: Any, mode: str = "r") -> np.memmap:
+    """Open a ``.npy`` file memory-mapped (default read-only).
+
+    Slicing the result reads only the touched windows from disk —
+    exactly the access pattern of the shard loop.
+    """
+    return np.load(os.fspath(path), mmap_mode=mode)
+
+
+def create_matrix(path: Any, shape: tuple[int, ...],
+                  dtype: Any = np.float64) -> np.memmap:
+    """Create a writable ``.npy`` memmap of ``shape`` (zero-filled by
+    the OS); flush() when done writing."""
+    return np.lib.format.open_memmap(
+        os.fspath(path), mode="w+", dtype=np.dtype(dtype), shape=shape)

@@ -21,5 +21,20 @@ measurements for use on actual multicore hosts.
 from repro.machine.spec import MachineSpec, paper_machine
 from repro.machine.gemm_model import GemmModel
 from repro.machine.bandwidth import BandwidthModel
+from repro.machine.numa import (
+    ExecutorCostModel,
+    ProcessPlacement,
+    default_cost_model,
+    place_workers,
+)
 
-__all__ = ["MachineSpec", "paper_machine", "GemmModel", "BandwidthModel"]
+__all__ = [
+    "MachineSpec",
+    "paper_machine",
+    "GemmModel",
+    "BandwidthModel",
+    "ExecutorCostModel",
+    "ProcessPlacement",
+    "place_workers",
+    "default_cost_model",
+]

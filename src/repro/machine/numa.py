@@ -1,0 +1,177 @@
+"""Multi-socket placement and the thread-vs-process cost model.
+
+The process-backed executor (:mod:`repro.parallel.procpool`) wins when
+the GIL-serialized linear combinations dominate; the thread executor
+wins when process dispatch and shared-memory staging dominate.  Both
+regimes are pure functions of the machine model already calibrated in
+this package, so the decision is *simulatable*: on the 1-core CI box
+the same inputs produce the same crossover, and the tests pin it.
+
+Model, per call of the §3.2 schedule on ``workers`` ranks:
+
+- **thread**: the simulator's predicted time, plus a per-job dispatch
+  cost, plus the GIL serialization penalty — a ``gil_fraction`` of the
+  combination time re-serialized per extra thread (combinations are
+  interpreter-bound NumPy elementwise calls, not GIL-releasing gemms).
+- **process**: the simulator's predicted time, plus a (much larger)
+  per-job process dispatch cost, plus staging traffic through shared
+  memory (padded A and B written + read once, the r product blocks
+  written + read once) at single-core bandwidth, scaled by the NUMA
+  penalty of the placement's remote fraction — workers past the first
+  socket read staging written on socket 0.
+
+Placement itself is compact pinning (fill socket 0, then 1, ...),
+mirroring :meth:`~repro.machine.spec.MachineSpec.sockets_used`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linalg.blocking import required_padding
+from repro.machine.bandwidth import BandwidthModel
+from repro.machine.spec import MachineSpec, paper_machine
+
+__all__ = ["ProcessPlacement", "place_workers", "ExecutorCostModel",
+           "default_cost_model"]
+
+
+@dataclass(frozen=True)
+class ProcessPlacement:
+    """Where ``workers`` ranks land under compact pinning."""
+
+    workers: int
+    #: Ranks per socket, zero-padded to the machine's socket count.
+    per_socket: tuple[int, ...]
+
+    @property
+    def cross_socket(self) -> bool:
+        return sum(1 for c in self.per_socket if c > 0) > 1
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of ranks whose staging reads cross the socket link
+        (everything is staged from socket 0)."""
+        return 1.0 - self.per_socket[0] / self.workers
+
+
+def place_workers(spec: MachineSpec, workers: int) -> ProcessPlacement:
+    """Compact placement of ``workers`` ranks on ``spec``."""
+    spec.validate_threads(workers)
+    per_socket = []
+    remaining = workers
+    for _ in range(spec.sockets):
+        on_socket = min(remaining, spec.cores_per_socket)
+        per_socket.append(on_socket)
+        remaining -= on_socket
+    return ProcessPlacement(workers=workers, per_socket=tuple(per_socket))
+
+
+def _resolve(algorithm):
+    if isinstance(algorithm, str):
+        from repro.algorithms.catalog import get_algorithm
+
+        return get_algorithm(algorithm)
+    return algorithm
+
+
+@dataclass(frozen=True)
+class ExecutorCostModel:
+    """Predicted wall time of one call on each executor.
+
+    ``thread_dispatch_s`` / ``process_dispatch_s`` are per-job submit +
+    result costs (a future through a thread queue vs a pickled spec
+    through a process pipe); ``gil_fraction`` is the share of the
+    combination time each extra thread re-serializes on the
+    interpreter lock.  Defaults are order-of-magnitude CPython
+    constants — the *decision* they produce, not the absolute times,
+    is what the tests pin.
+    """
+
+    spec: MachineSpec
+    thread_dispatch_s: float = 30e-6
+    process_dispatch_s: float = 250e-6
+    gil_fraction: float = 0.25
+
+    def _timing(self, algorithm, M, N, K, workers, strategy, steps,
+                dtype_bytes):
+        from repro.parallel.simulator import simulate_fast
+
+        return simulate_fast(algorithm, M, N, K, threads=workers,
+                             strategy=strategy, steps=steps,
+                             spec=self.spec, dtype_bytes=dtype_bytes)
+
+    def thread_time(self, algorithm, M: int, N: int, K: int,
+                    workers: int, strategy: str = "hybrid",
+                    steps: int = 1, dtype_bytes: int = 4) -> float:
+        algorithm = _resolve(algorithm)
+        t = self._timing(algorithm, M, N, K, workers, strategy, steps,
+                         dtype_bytes)
+        dispatch = algorithm.rank * self.thread_dispatch_s
+        gil = (self.gil_fraction * (t.t_input_combos + t.t_output_combos)
+               * (workers - 1))
+        return t.total + dispatch + gil
+
+    def staging_time(self, algorithm, M: int, N: int, K: int,
+                     workers: int, steps: int = 1,
+                     dtype_bytes: int = 4) -> float:
+        """Shared-memory staging cost of the process executor."""
+        algorithm = _resolve(algorithm)
+        m, n, k = algorithm.m, algorithm.n, algorithm.k
+        Mp = required_padding(M, m, steps)
+        Np = required_padding(N, n, steps)
+        Kp = required_padding(K, k, steps)
+        bm, bk = Mp // m, Kp // k
+        traffic = 2 * (Mp * Np + Np * Kp
+                       + algorithm.rank * bm * bk) * dtype_bytes
+        placement = place_workers(self.spec, workers)
+        numa = 1.0
+        if placement.cross_socket:
+            numa += placement.remote_fraction * (
+                1.0 / self.spec.numa_bw_factor - 1.0)
+        return BandwidthModel(self.spec).time(traffic, 1) * numa
+
+    def process_time(self, algorithm, M: int, N: int, K: int,
+                     workers: int, strategy: str = "hybrid",
+                     steps: int = 1, dtype_bytes: int = 4) -> float:
+        algorithm = _resolve(algorithm)
+        t = self._timing(algorithm, M, N, K, workers, strategy, steps,
+                         dtype_bytes)
+        dispatch = algorithm.rank * self.process_dispatch_s
+        staging = self.staging_time(algorithm, M, N, K, workers,
+                                    steps=steps, dtype_bytes=dtype_bytes)
+        return t.total + dispatch + staging
+
+    def recommend_executor(self, algorithm, M: int, N: int, K: int,
+                           workers: int, strategy: str = "hybrid",
+                           steps: int = 1,
+                           dtype_bytes: int = 4) -> str:
+        """``'thread'`` or ``'process'`` — whichever the model predicts
+        faster (single-rank calls never pay process overhead)."""
+        if workers <= 1:
+            return "thread"
+        thread = self.thread_time(algorithm, M, N, K, workers,
+                                  strategy, steps, dtype_bytes)
+        process = self.process_time(algorithm, M, N, K, workers,
+                                    strategy, steps, dtype_bytes)
+        return "process" if process < thread else "thread"
+
+    def crossover_dim(self, algorithm, workers: int,
+                      strategy: str = "hybrid", steps: int = 1,
+                      dtype_bytes: int = 4, lo: int = 64,
+                      hi: int = 16384) -> int | None:
+        """Smallest square dim in ``[lo, hi]`` (doubling scan) where the
+        process executor wins, or ``None`` if threads win throughout."""
+        dim = lo
+        while dim <= hi:
+            if self.recommend_executor(algorithm, dim, dim, dim, workers,
+                                       strategy, steps,
+                                       dtype_bytes) == "process":
+                return dim
+            dim *= 2
+        return None
+
+
+def default_cost_model() -> ExecutorCostModel:
+    """The cost model on the paper's dual-socket machine."""
+    return ExecutorCostModel(paper_machine())

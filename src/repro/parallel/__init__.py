@@ -5,6 +5,10 @@
 - :mod:`repro.parallel.executor` — a real thread-pool executor that runs
   a schedule with NumPy gemm (NumPy releases the GIL inside BLAS, so this
   is a faithful implementation on real multicore hosts);
+- :mod:`repro.parallel.procpool` — the process-backed executor: the same
+  schedules on a persistent worker-process pool with operands staged in
+  shared memory (:mod:`repro.parallel.shm`), for the combination-bound
+  regime where the GIL throttles the thread path;
 - :mod:`repro.parallel.simulator` — predicted timings of the same
   schedules on a :class:`~repro.machine.spec.MachineSpec` (used to
   regenerate the paper's performance figures on hosts where wall-clock
@@ -20,6 +24,13 @@ from repro.parallel.simulator import (
 )
 from repro.parallel.executor import threaded_apa_matmul
 from repro.parallel.pool import get_pool, pool_stats, shutdown_pool
+from repro.parallel.procpool import (
+    process_apa_matmul,
+    get_process_pool,
+    process_pool_stats,
+    shutdown_process_pool,
+)
+from repro.parallel.shm import shm_stats, shutdown_segments
 
 __all__ = [
     "Schedule",
@@ -33,4 +44,10 @@ __all__ = [
     "get_pool",
     "pool_stats",
     "shutdown_pool",
+    "process_apa_matmul",
+    "get_process_pool",
+    "process_pool_stats",
+    "shutdown_process_pool",
+    "shm_stats",
+    "shutdown_segments",
 ]

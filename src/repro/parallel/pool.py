@@ -91,4 +91,11 @@ def pool_stats() -> dict[str, int]:
         }
 
 
-atexit.register(shutdown_pool, wait=False)
+# ``wait=True``: the seed registered ``wait=False``, which raced
+# interpreter teardown — worker threads could still be alive while
+# module globals were being cleared, and their executor queues leaked
+# past exit (a ResourceWarning under ``-W error``, and the occasional
+# "leaked semaphore" stderr noise from the mp machinery).  Joining is
+# cheap here: by exit time the queue is idle, so the join returns as
+# soon as each worker observes the shutdown sentinel.
+atexit.register(shutdown_pool, wait=True)

@@ -1,0 +1,200 @@
+"""Pooled POSIX shared-memory segments for the process-backed executor.
+
+The process executor stages the padded A/B operands and the r product
+blocks in :class:`multiprocessing.shared_memory.SharedMemory` segments
+so worker processes operate on zero-copy ``np.ndarray`` views — the
+only bytes that cross the process boundary per task are a small spec
+tuple.  Segment creation is not free (a shm_open + mmap + resource
+tracker round-trip), so segments are pooled in power-of-two size
+buckets and reused across calls, like the plan cache's arenas.
+
+Cleanup discipline (the PR-8 leak fix applies here from day one):
+
+- every segment carries a :func:`weakref.finalize` that closes *and*
+  unlinks it, so a leaked reference still cannot outlive the process
+  without being reclaimed (finalizers run at interpreter exit);
+- :func:`shutdown_segments` drains the free pool and is registered
+  with :mod:`atexit`;
+- a caller that suspects a stale writer (a timed-out or crashed
+  worker) releases with ``pooled=False``: the segment is *condemned* —
+  unlinked immediately instead of pooled.  POSIX keeps existing
+  mappings alive after unlink, so a straggler worker writes into
+  memory nobody will ever read instead of into the next call's data.
+
+Only the *parent* process creates segments.  Workers attach by name
+(see :mod:`repro.parallel.procpool`) with the resource tracker's
+``register`` patched out for the duration of the attach: on 3.11 every
+POSIX attach registers with the tracker, and the worker-side cleanup
+would otherwise unregister the parent's sole registration (bpo-39959).
+
+All module-global rebinds happen under ``_LOCK`` (lint rule PAR001).
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.obs.registry import default_registry
+
+__all__ = ["ShmSegment", "acquire_segment", "release_segment",
+           "shm_stats", "shutdown_segments"]
+
+#: Smallest bucket (one page's worth of typical small-operand tests).
+_BUCKET_MIN = 1 << 12
+
+#: Free-pool cap: beyond this the released segment is destroyed, not
+#: pooled, so pathological size churn cannot pin unbounded shm.
+_MAX_POOLED_BYTES = 256 * 1024 * 1024
+
+_LOCK = threading.Lock()
+_FREE: dict[int, list["ShmSegment"]] = {}
+_POOLED_BYTES: int = 0
+_CREATES: int = 0
+_REUSES: int = 0
+_CONDEMNED: int = 0
+_DESTROYS: int = 0
+
+
+def _bucket(nbytes: int) -> int:
+    size = _BUCKET_MIN
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+def _destroy(shm: shared_memory.SharedMemory) -> None:
+    """Close + unlink one segment (finalizer body; idempotent-safe)."""
+    global _DESTROYS
+    try:
+        shm.close()
+    except OSError:  # pragma: no cover - buffer already released
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+    try:
+        with _LOCK:
+            _DESTROYS += 1
+        default_registry().gauge(
+            "repro_shm_segments_active",
+            "live shared-memory segments owned by this process").dec()
+    except Exception:  # lint: ignore[NUM002]: finalizer at interpreter teardown; registry/lock may be gone
+        pass
+
+
+class ShmSegment:
+    """One owned shared-memory segment plus typed ndarray views.
+
+    Created only in the parent process; :meth:`view` returns a
+    zero-copy ``np.ndarray`` over the mapping.  The finalizer both
+    closes and unlinks, so ``del``-ing the last reference (or
+    interpreter exit) reclaims the kernel object even on error paths.
+    """
+
+    __slots__ = ("_shm", "name", "nbytes", "_finalizer", "__weakref__")
+
+    def __init__(self, nbytes: int) -> None:
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.name = self._shm.name
+        self.nbytes = nbytes
+        self._finalizer = weakref.finalize(self, _destroy, self._shm)
+
+    def view(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        return np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+
+    @property
+    def alive(self) -> bool:
+        return self._finalizer.alive
+
+    def destroy(self) -> None:
+        """Close and unlink now (idempotent)."""
+        self._finalizer()
+
+
+def acquire_segment(nbytes: int) -> ShmSegment:
+    """A segment of at least ``nbytes``, pooled when possible.
+
+    The returned segment's contents are *unspecified* (it may be a
+    reused buffer); callers must overwrite every byte they later read.
+    Return it with :func:`release_segment`.
+    """
+    global _CREATES, _REUSES
+    size = _bucket(max(1, int(nbytes)))
+    with _LOCK:
+        bucket = _FREE.get(size)
+        if bucket:
+            global _POOLED_BYTES
+            seg = bucket.pop()
+            _POOLED_BYTES -= size
+            _REUSES += 1
+            return seg
+        _CREATES += 1
+    seg = ShmSegment(size)
+    reg = default_registry()
+    reg.counter("repro_shm_segments_created_total",
+                "shared-memory segments created").inc()
+    reg.counter("repro_shm_bytes_allocated_total",
+                "bytes of shared memory allocated").inc(size)
+    reg.gauge("repro_shm_segments_active",
+              "live shared-memory segments owned by this process").inc()
+    return seg
+
+
+def release_segment(seg: ShmSegment, *, pooled: bool = True) -> None:
+    """Return ``seg`` to the pool, or condemn it (``pooled=False``).
+
+    Condemned segments are unlinked immediately: a worker that timed
+    out may still hold a mapping and write into it later, and a pooled
+    reuse of that memory would corrupt an unrelated call.  Unlinking
+    removes only the *name* — the straggler's mapping stays valid and
+    its writes land in orphaned memory.
+    """
+    global _POOLED_BYTES, _CONDEMNED
+    if not seg.alive:
+        return
+    if pooled:
+        with _LOCK:
+            if _POOLED_BYTES + seg.nbytes <= _MAX_POOLED_BYTES:
+                _FREE.setdefault(seg.nbytes, []).append(seg)
+                _POOLED_BYTES += seg.nbytes
+                return
+    else:
+        with _LOCK:
+            _CONDEMNED += 1
+        default_registry().counter(
+            "repro_shm_segments_condemned_total",
+            "segments unlinked early because a worker went rogue").inc()
+    seg.destroy()
+
+
+def shutdown_segments() -> None:
+    """Destroy every pooled segment (tests and interpreter exit)."""
+    global _POOLED_BYTES
+    with _LOCK:
+        segments = [seg for bucket in _FREE.values() for seg in bucket]
+        _FREE.clear()
+        _POOLED_BYTES = 0
+    for seg in segments:
+        seg.destroy()
+
+
+def shm_stats() -> dict[str, int]:
+    """Lifetime counters of the segment pool."""
+    with _LOCK:
+        return {
+            "pooled_segments": sum(len(b) for b in _FREE.values()),
+            "pooled_bytes": _POOLED_BYTES,
+            "creates": _CREATES,
+            "reuses": _REUSES,
+            "condemned": _CONDEMNED,
+            "destroys": _DESTROYS,
+        }
+
+
+atexit.register(shutdown_segments)

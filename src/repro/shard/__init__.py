@@ -1,0 +1,13 @@
+"""Sharded out-of-core execution: tile huge products through the engine.
+
+- :mod:`repro.shard.geometry` — :class:`ShardSpec` tile geometry and
+  the deterministic budget-to-tile recommender;
+- :mod:`repro.shard.sharded` — the engine-owned sharded dispatch body
+  and the user-facing :func:`shard_matmul` (arrays or ``.npy``
+  memmaps in, optionally a streamed ``.npy`` memmap out).
+"""
+
+from repro.shard.geometry import ShardSpec, recommend_shard_spec
+from repro.shard.sharded import shard_matmul
+
+__all__ = ["ShardSpec", "recommend_shard_spec", "shard_matmul"]

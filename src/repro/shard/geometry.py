@@ -1,0 +1,113 @@
+"""Shard geometry: how an out-of-core product is cut into tiles.
+
+A sharded product ``C = A @ B`` walks output tiles of shape
+``(tile_m, tile_k)``; each tile accumulates partial products over inner
+panels of width ``tile_n`` in a fixed ascending order, so the result is
+deterministic for a given :class:`ShardSpec` (the tests pin it
+bit-identical to the reference tiled loop).  In-flight memory is
+bounded by the three staged tiles plus the engine's own working set
+for one tile-sized product — the matrices themselves can be
+memory-mapped files of any size.
+
+``recommend_shard_spec`` turns a byte budget into a square tile size
+with a deterministic closed form, so shard decisions are testable on
+the 1-core CI box without measuring anything.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ShardSpec", "recommend_shard_spec"]
+
+#: The engine working set for one tile product is a small multiple of
+#: the staged tiles (padded copies of both operands, the r product
+#: blocks, and the padded output); 4x the three staged tiles is a
+#: deliberately conservative, deterministic bound.
+_WORKING_SET_FACTOR = 4
+
+#: Tiles below this are all combination overhead and no gemm; the
+#: recommender never goes smaller even under a starvation budget.
+_MIN_TILE = 16
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard geometry: output tiles ``tile_m x tile_k``, inner
+    panels of width ``tile_n``."""
+
+    tile_m: int
+    tile_n: int
+    tile_k: int
+
+    def __post_init__(self) -> None:
+        for name in ("tile_m", "tile_n", "tile_k"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeError(f"{name} must be an int, got {value!r}")
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    @classmethod
+    def coerce(cls, value: Any) -> "ShardSpec":
+        """Accept the config-level shorthands: a spec, a cube edge, or
+        an ``(m, n, k)`` triple (mirrors ``ExecutionConfig`` validation)."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, bool):
+            raise TypeError("shard must be an int, a 3-tuple, or a "
+                            f"ShardSpec, got {value!r}")
+        if isinstance(value, int):
+            return cls(value, value, value)
+        if isinstance(value, (tuple, list)):
+            if len(value) != 3:
+                raise ValueError(
+                    f"shard triple must be (tile_m, tile_n, tile_k), "
+                    f"got {value!r}")
+            return cls(*value)
+        try:
+            return cls(value.tile_m, value.tile_n, value.tile_k)
+        except AttributeError:
+            raise TypeError("shard must be an int, a 3-tuple, or a "
+                            f"ShardSpec, got {value!r}") from None
+
+    def staged_bytes(self, itemsize: int = 8) -> int:
+        """Bytes held by the three staged tiles of one output tile."""
+        return (self.tile_m * self.tile_n + self.tile_n * self.tile_k
+                + self.tile_m * self.tile_k) * itemsize
+
+    def in_flight_bytes(self, itemsize: int = 8) -> int:
+        """Conservative peak bytes while one tile product is running."""
+        return self.staged_bytes(itemsize) * _WORKING_SET_FACTOR
+
+    def tiles(self, M: int, N: int, K: int) -> tuple[int, int, int]:
+        """Tile counts ``(rows, panels, cols)`` for an ``M x N @ N x K``
+        product."""
+        return (-(-M // self.tile_m), -(-N // self.tile_n),
+                -(-K // self.tile_k))
+
+
+def recommend_shard_spec(
+    M: int,
+    N: int,
+    K: int,
+    memory_budget_bytes: int,
+    itemsize: int = 8,
+) -> ShardSpec:
+    """The square tile that fits ``memory_budget_bytes`` in flight.
+
+    Solves ``3 * t^2 * itemsize * WORKING_SET_FACTOR <= budget`` for
+    ``t``, clamps to the problem dims and the :data:`_MIN_TILE` floor.
+    Pure arithmetic — the same inputs always give the same spec, which
+    is what makes shard decisions assertable in CI.
+    """
+    if memory_budget_bytes < 1:
+        raise ValueError("memory_budget_bytes must be >= 1")
+    if min(M, N, K) < 1:
+        raise ValueError("matrix dims must be >= 1")
+    t = math.isqrt(memory_budget_bytes
+                   // (3 * itemsize * _WORKING_SET_FACTOR))
+    t = max(_MIN_TILE, t)
+    return ShardSpec(min(t, M), min(t, N), min(t, K))

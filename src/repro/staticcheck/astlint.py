@@ -83,6 +83,7 @@ _GEMM_NAMES = {"gemm", "matmul", "apa_matmul", "dot"}
 #: ``repro/core/engine.py`` may import or call these.
 ENGINE_PRIVATE_NAMES = frozenset({
     "_apa_matmul_impl", "_threaded_matmul_impl", "_batched_matmul_impl",
+    "_process_matmul_impl", "_shard_matmul_impl",
 })
 
 def _call_name(node: ast.Call) -> str | None:
@@ -134,11 +135,18 @@ def _worker_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
             fn = node.args[1]
             if isinstance(fn, ast.Name) and fn.id in nested:
                 workers.add(fn.id)
-        elif name == "Thread":
+        elif name in ("Thread", "Process"):
             for kw in node.keywords:
                 if kw.arg == "target" and isinstance(kw.value, ast.Name) \
                         and kw.value.id in nested:
                     workers.add(kw.value.id)
+        elif name in ("apply_async", "map_async", "starmap",
+                      "starmap_async", "imap", "imap_unordered") \
+                and node.args:
+            # multiprocessing.pool dispatch: first arg is the worker.
+            first = node.args[0]
+            if isinstance(first, ast.Name) and first.id in nested:
+                workers.add(first.id)
     return workers
 
 

@@ -35,11 +35,20 @@ __all__ = ["CallGraph", "FuncNode", "ClassNode", "CallEdge", "Resolver",
            "walk_scope"]
 
 #: Call-edge kinds.  ``direct`` stays on the calling thread, ``executor``
-#: hands the callee to a worker thread, ``ref`` records a callable
-#: reference whose eventual call site is unknown.
-EDGE_KINDS = ("direct", "executor", "ref")
+#: hands the callee to a worker thread, ``process`` hands it to a worker
+#: *process* (a different address space — objects cross by pickling),
+#: ``ref`` records a callable reference whose eventual call site is
+#: unknown.
+EDGE_KINDS = ("direct", "executor", "process", "ref")
 
 _EXECUTOR_METHODS = {"submit", "map"}
+
+#: ``multiprocessing.pool.Pool`` dispatch methods whose first argument
+#: is the callable shipped to a worker process.  Bare ``apply``/``map``
+#: are deliberately absent: those names are too generic to claim a
+#: process boundary without a resolved receiver type.
+_POOL_METHODS = {"apply_async", "map_async", "starmap",
+                 "starmap_async", "imap", "imap_unordered"}
 
 
 @dataclass
@@ -543,8 +552,18 @@ class CallGraph:
             if leaf in _EXECUTOR_METHODS and isinstance(
                     node.func, ast.Attribute) and node.args \
                     and (target is None or target not in self.functions):
+                # A submit on a ProcessPoolExecutor crosses the process
+                # boundary; a plain (thread) executor stays in-process.
+                kind = ("process" if target is not None
+                        and "ProcessPool" in target else "executor")
                 add(resolver.resolve_callable(node.args[0]),
-                    node.lineno, "executor")
+                    node.lineno, kind)
+                continue
+            if leaf in _POOL_METHODS and isinstance(
+                    node.func, ast.Attribute) and node.args \
+                    and (target is None or target not in self.functions):
+                add(resolver.resolve_callable(node.args[0]),
+                    node.lineno, "process")
                 continue
             if leaf == "Thread" or (target and target.endswith(
                     "threading.Thread")):
@@ -552,6 +571,13 @@ class CallGraph:
                     if kw.arg == "target":
                         add(resolver.resolve_callable(kw.value),
                             node.lineno, "executor")
+                continue
+            if leaf == "Process" or (target and target.endswith(
+                    "multiprocessing.Process")):
+                for kw in node.keywords:
+                    if kw.arg == "target":
+                        add(resolver.resolve_callable(kw.value),
+                            node.lineno, "process")
                 continue
             if target in ("functools.partial", "partial") and node.args:
                 add(resolver.resolve_callable(node.args[0]),

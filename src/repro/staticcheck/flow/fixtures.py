@@ -79,6 +79,25 @@ FLOW_SEED_DEFECTS: dict[str, tuple[str, dict[str, str]]] = {
             "            self.plan.release(ws)\n"
         ),
     }),
+    # OWN002: a zero-copy view over a shared-memory segment is handed
+    # out after the segment is closed and unlinked.
+    "shm-escaping-view": ("OWN002", {
+        "seeded/__init__.py": "",
+        "seeded/staging.py": (
+            "import numpy as np\n"
+            "from multiprocessing import shared_memory\n"
+            "\n"
+            "def stage_block(payload):\n"
+            "    seg = shared_memory.SharedMemory(create=True,\n"
+            "                                     size=payload.nbytes)\n"
+            "    view = np.ndarray(payload.shape, dtype=payload.dtype,\n"
+            "                      buffer=seg.buf)\n"
+            "    view[...] = payload\n"
+            "    seg.close()\n"
+            "    seg.unlink()\n"
+            "    return view\n"
+        ),
+    }),
     # NUM003: float64 operands silently narrowed into a float32 out=
     # buffer allocated one helper away.
     "num-silent-narrowing": ("NUM003", {

@@ -13,6 +13,14 @@ whose attribute name is ``checkout`` (the plan-arena contract); passing
 the workspace *down* as a plain call argument is fine (callees borrow),
 as is releasing it — only stores that survive the function body are
 escapes.
+
+``OWN002`` is the shared-memory twin: an ``np.ndarray`` view built over
+a ``SharedMemory`` segment's ``.buf`` is valid only while the segment
+mapping is open.  A function that closes/unlinks the segment *and*
+lets a view over it escape (returned, yielded, stored on shared state,
+or captured by a closure handed across a thread/process boundary)
+ships a pointer into memory that may already be torn down —
+``BufferError`` at best, silent reads of recycled pages at worst.
 """
 
 from __future__ import annotations
@@ -172,7 +180,7 @@ def check_ownership(graph: CallGraph) -> list[Finding]:
         # executor/thread via a non-direct call edge).
         escaping: set[str] = set()
         for edge in graph.callees(qualname):
-            if edge.kind in ("executor", "ref"):
+            if edge.kind in ("executor", "process", "ref"):
                 escaping.add(edge.callee)
         returned_names: set[str] = set()
         for node in walk_scope(func.node):
@@ -198,6 +206,164 @@ def check_ownership(graph: CallGraph) -> list[Finding]:
                         detail="the closure may run after release, "
                                "aliasing a recycled arena",
                     ))
+    findings.extend(_check_shm_views(graph))
+    return findings
+
+
+# -- OWN002: shared-memory views escaping their segment ---------------
+
+def _shm_segments(func: FuncNode) -> dict[str, int]:
+    """``name -> lineno`` for locals bound from a ``SharedMemory(...)``
+    construction/attach."""
+    segs: dict[str, int] = {}
+    for stmt in walk_scope(func.node):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target, value = stmt.targets[0], stmt.value
+        if not (isinstance(target, ast.Name)
+                and isinstance(value, ast.Call)):
+            continue
+        f = value.func
+        leaf = (f.id if isinstance(f, ast.Name)
+                else f.attr if isinstance(f, ast.Attribute) else None)
+        if leaf == "SharedMemory":
+            segs[target.id] = stmt.lineno
+    return segs
+
+
+def _buf_views(func: FuncNode, segs: dict[str, int]) -> dict[str, str]:
+    """``view name -> segment name`` for locals built over ``seg.buf``."""
+    views: dict[str, str] = {}
+    for stmt in walk_scope(func.node):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target, value = stmt.targets[0], stmt.value
+        if not isinstance(target, ast.Name):
+            continue
+        for n in ast.walk(value):
+            if (isinstance(n, ast.Attribute) and n.attr == "buf"
+                    and isinstance(n.value, ast.Name)
+                    and n.value.id in segs):
+                views[target.id] = n.value.id
+                break
+    return views
+
+
+def _released_segments(func: FuncNode, segs: dict[str, int]) -> set[str]:
+    """Segments whose ``close()``/``unlink()`` runs in this scope."""
+    released: set[str] = set()
+    for node in walk_scope(func.node):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in segs):
+            released.add(node.func.value.id)
+    return released
+
+
+def _check_shm_views(graph: CallGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    for qualname in sorted(graph.functions):
+        func = graph.functions[qualname]
+        segs = _shm_segments(func)
+        if not segs:
+            continue
+        views = _buf_views(func, segs)
+        released = _released_segments(func, segs)
+        # Only views over a segment this scope tears down are unsafe to
+        # hand out; a long-lived attach (no close here) is the owner's
+        # business.
+        doomed = {v: s for v, s in views.items() if s in released}
+        if not doomed:
+            continue
+        path = func.module.path
+        local = _local_names(func)
+        short = qualname.rsplit(".", 1)[-1]
+
+        def flag(name: str, lineno: int, how: str) -> None:
+            findings.append(Finding(
+                "OWN002", Severity.ERROR, f"{path}:{lineno}",
+                f"shared-memory view {name!r} over segment "
+                f"{doomed[name]!r} {how} in {short!r} after the segment "
+                "is closed/unlinked",
+                detail="a view over SharedMemory.buf is valid only "
+                       "while the mapping is open; copy the data "
+                       "(view.copy()) before releasing the segment",
+            ))
+
+        for node in walk_scope(func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for name in sorted(_direct_names(node.value)
+                                   & doomed.keys()):
+                    flag(name, node.lineno, "is returned")
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)) \
+                    and node.value is not None:
+                for name in sorted(_direct_names(node.value)
+                                   & doomed.keys()):
+                    flag(name, node.lineno, "is yielded")
+            elif isinstance(node, (ast.Assign, ast.AugAssign,
+                                   ast.AnnAssign)):
+                targets = (list(node.targets)
+                           if isinstance(node, ast.Assign)
+                           else [node.target])
+                value = node.value
+                if value is None:
+                    continue
+                used = _direct_names(value) & doomed.keys()
+                if not used:
+                    continue
+                for target in targets:
+                    base = target
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if not isinstance(base, ast.Name):
+                        continue
+                    if isinstance(target, (ast.Subscript, ast.Attribute)) \
+                            and (base.id == "self"
+                                 or base.id not in local):
+                        for name in sorted(used):
+                            flag(name, node.lineno,
+                                 f"is stored on {ast.unparse(target)}")
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("append", "add", "insert",
+                                           "put", "extend"):
+                used: set[str] = set()
+                for arg in node.args:
+                    used |= _direct_names(arg) & doomed.keys()
+                if not used:
+                    continue
+                base = node.func.value
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if isinstance(base, ast.Name) and (base.id == "self"
+                                                   or base.id not in local):
+                    for name in sorted(used):
+                        flag(name, node.lineno,
+                             "is stored into a shared container")
+
+        escaping: set[str] = set()
+        for edge in graph.callees(qualname):
+            if edge.kind in ("executor", "process", "ref"):
+                escaping.add(edge.callee)
+        returned_names: set[str] = set()
+        for node in walk_scope(func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                returned_names |= _direct_names(node.value)
+        for nested_qn, nested in graph.functions.items():
+            if nested.parent is not func:
+                continue
+            loads = {n for stmt in nested.node.body
+                     for n in _names_in_stmt(stmt)}
+            captured = (loads - _local_names(nested)) & doomed.keys()
+            if not captured:
+                continue
+            if nested_qn in escaping or nested.name in returned_names:
+                for name in sorted(captured):
+                    flag(name, nested.lineno,
+                         f"is captured by escaping closure "
+                         f"{nested.name!r}")
     return findings
 
 

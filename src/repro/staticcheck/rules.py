@@ -140,6 +140,11 @@ _RULE_LIST: tuple[RuleInfo, ...] = (
              "yielded, stored on self/shared state, or captured by an "
              "escaping closure — aliases the next caller's arena after "
              "release"),
+    RuleInfo("OWN002", Severity.ERROR,
+             "shared-memory view escapes its segment's lifetime: a view "
+             "over SharedMemory.buf is returned/stored/captured after "
+             "the scope closes or unlinks the segment — it points into "
+             "a torn-down mapping"),
     # -- lint meta ----------------------------------------------------
     RuleInfo("LNT001", Severity.ERROR,
              "suppression without a reason: inline ignore comments must "

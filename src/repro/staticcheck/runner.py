@@ -31,6 +31,7 @@ SEED_DEFECTS: dict[str, str] = {
     "asy-blocking-coroutine": "ASY001",
     "lck-two-lock-cycle": "LCK001",
     "own-escaping-arena": "OWN001",
+    "shm-escaping-view": "OWN002",
     "num-silent-narrowing": "NUM003",
 }
 

@@ -4,8 +4,9 @@ Documentation rots when examples drift from the code.  This module
 keeps the two runnable guides honest:
 
 - every ```` ```python ```` fence in ``docs/USAGE.md``,
-  ``docs/OBSERVABILITY.md``, ``docs/ARCHITECTURE.md``, and
-  ``docs/SERVING.md`` is extracted
+  ``docs/OBSERVABILITY.md``, ``docs/ARCHITECTURE.md``,
+  ``docs/SERVING.md``, ``docs/LINTING.md``, and
+  ``docs/PARALLELISM.md`` is extracted
   and executed — fences within a
   file run **sequentially in one shared namespace** (later fences may
   use names an earlier fence defined), with the working directory in a
@@ -29,7 +30,7 @@ DOCS = REPO / "docs"
 
 #: Docs whose ``python`` fences must run end to end.
 RUNNABLE_DOCS = ("USAGE.md", "OBSERVABILITY.md", "ARCHITECTURE.md",
-                 "SERVING.md", "LINTING.md")
+                 "SERVING.md", "LINTING.md", "PARALLELISM.md")
 
 #: Docs whose relative links must resolve.
 LINKED_DOCS = [REPO / "README.md", *sorted(DOCS.glob("*.md"))]

@@ -1,0 +1,93 @@
+"""Tests for multi-socket placement and the thread-vs-process cost model.
+
+Everything here is pure arithmetic over the machine model, so the
+thread/process decision — including the crossover dimension — is pinned
+exactly and reproduces deterministically on the 1-core CI box.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import (
+    ExecutorCostModel,
+    ProcessPlacement,
+    default_cost_model,
+    paper_machine,
+    place_workers,
+)
+
+
+class TestPlacement:
+    def test_compact_pinning_fills_socket_zero_first(self):
+        spec = paper_machine()  # 2 sockets x 6 cores
+        assert place_workers(spec, 4).per_socket == (4, 0)
+        assert place_workers(spec, 6).per_socket == (6, 0)
+        assert place_workers(spec, 9).per_socket == (6, 3)
+        assert place_workers(spec, 12).per_socket == (6, 6)
+
+    def test_cross_socket_and_remote_fraction(self):
+        spec = paper_machine()
+        local = place_workers(spec, 6)
+        assert not local.cross_socket and local.remote_fraction == 0.0
+        spread = place_workers(spec, 12)
+        assert spread.cross_socket and spread.remote_fraction == 0.5
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            place_workers(paper_machine(), 0)
+        with pytest.raises(ValueError):
+            place_workers(paper_machine(), 13)  # beyond 2 x 6 cores
+
+    def test_placement_is_a_value(self):
+        assert (place_workers(paper_machine(), 9)
+                == ProcessPlacement(workers=9, per_socket=(6, 3)))
+
+
+class TestCostModel:
+    def test_single_rank_never_pays_process_overhead(self):
+        model = default_cost_model()
+        assert model.recommend_executor("strassen222", 256, 256, 256,
+                                        workers=1) == "thread"
+
+    def test_times_are_positive_and_ordered_small(self):
+        """At small dims staging + dispatch dominates: threads win."""
+        model = default_cost_model()
+        t = model.thread_time("smirnov444", 128, 128, 128, workers=12)
+        p = model.process_time("smirnov444", 128, 128, 128, workers=12)
+        assert 0 < t < p
+
+    def test_staging_pays_numa_penalty_across_sockets(self):
+        model = default_cost_model()
+        local = model.staging_time("strassen222", 512, 512, 512, workers=6)
+        spread = model.staging_time("strassen222", 512, 512, 512,
+                                    workers=12)
+        assert spread > local
+
+    def test_crossover_smirnov444_at_twelve_workers(self):
+        """The pinned decision: the GIL penalty on smirnov444's heavy
+        combinations makes processes win from dim 1024 on the paper's
+        dual-socket machine."""
+        model = default_cost_model()
+        assert model.crossover_dim("smirnov444", workers=12) == 1024
+        assert model.recommend_executor("smirnov444", 1024, 1024, 1024,
+                                        workers=12) == "process"
+        assert model.recommend_executor("smirnov444", 256, 256, 256,
+                                        workers=12) == "thread"
+
+    def test_strassen222_threads_always_win(self):
+        """Cheap combinations never amortize process dispatch + staging
+        in the scanned range."""
+        model = default_cost_model()
+        assert model.crossover_dim("strassen222", workers=12) is None
+
+    def test_deterministic(self):
+        a = default_cost_model().crossover_dim("smirnov444", workers=12)
+        b = default_cost_model().crossover_dim("smirnov444", workers=12)
+        assert a == b
+
+    def test_gil_fraction_zero_removes_thread_penalty(self):
+        """With no GIL penalty, threads dominate everywhere — the knob
+        is live, not decorative."""
+        model = ExecutorCostModel(paper_machine(), gil_fraction=0.0)
+        assert model.crossover_dim("smirnov444", workers=12) is None

@@ -106,6 +106,62 @@ def test_callgraph_unresolvable_calls_produce_no_edges():
     assert graph.callees("m.f") == []
 
 
+def test_callgraph_process_pool_submit_is_process_edge():
+    graph = build_graph({
+        "m.py": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "\n"
+            "def work(x):\n"
+            "    return x\n"
+            "\n"
+            "def dispatch(pool: ProcessPoolExecutor, x):\n"
+            "    return pool.submit(work, x)\n"),
+    })
+    assert ("m.work", "process") in edges_of(graph, "m.dispatch")
+
+
+def test_callgraph_mp_process_target_is_process_edge():
+    graph = build_graph({
+        "m.py": (
+            "import multiprocessing\n"
+            "\n"
+            "def work(x):\n"
+            "    return x\n"
+            "\n"
+            "def spawn(x):\n"
+            "    p = multiprocessing.Process(target=work, args=(x,))\n"
+            "    p.start()\n"
+            "    return p\n"),
+    })
+    assert ("m.work", "process") in edges_of(graph, "m.spawn")
+
+
+def test_callgraph_pool_apply_async_is_process_edge():
+    graph = build_graph({
+        "m.py": (
+            "def work(x):\n"
+            "    return x\n"
+            "\n"
+            "def dispatch(pool, x):\n"
+            "    return pool.apply_async(work, (x,))\n"),
+    })
+    assert ("m.work", "process") in edges_of(graph, "m.dispatch")
+
+
+def test_callgraph_bare_apply_is_not_a_process_edge():
+    # pandas-style .apply(fn) must NOT grow process edges — the
+    # zero-false-positive line holds.
+    graph = build_graph({
+        "m.py": (
+            "def score(row):\n"
+            "    return row\n"
+            "\n"
+            "def run(frame):\n"
+            "    return frame.apply(score)\n"),
+    })
+    assert ("m.score", "process") not in edges_of(graph, "m.run")
+
+
 # ----------------------------------------------------------------------
 # ASY: blocking ops reachable from coroutines
 # ----------------------------------------------------------------------
@@ -294,6 +350,74 @@ def test_own001_closure_to_executor():
     })
     assert rules_of(findings) == ["OWN001"]
     assert "closure" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# OWN002: shared-memory views escaping their segment's lifetime
+# ----------------------------------------------------------------------
+
+
+def test_own002_returned_view_after_unlink():
+    _, sources = FLOW_SEED_DEFECTS["shm-escaping-view"]
+    findings = analyze_sources(sources)
+    assert rules_of(findings) == ["OWN002"]
+    assert "is returned" in findings[0].message
+
+
+def test_own002_copy_before_release_is_clean():
+    findings = analyze_sources({
+        "a.py": (
+            "import numpy as np\n"
+            "from multiprocessing import shared_memory\n"
+            "\n"
+            "def stage(payload):\n"
+            "    seg = shared_memory.SharedMemory(create=True,\n"
+            "                                     size=payload.nbytes)\n"
+            "    view = np.ndarray(payload.shape, dtype=payload.dtype,\n"
+            "                      buffer=seg.buf)\n"
+            "    view[...] = payload\n"
+            "    result = view.copy()\n"
+            "    seg.close()\n"
+            "    seg.unlink()\n"
+            "    return result\n"),
+    })
+    assert findings == []
+
+
+def test_own002_unreleased_segment_view_is_clean():
+    # The segment stays open for the caller; returning the view is the
+    # whole point (this is what ShmSegment.view does).
+    findings = analyze_sources({
+        "a.py": (
+            "import numpy as np\n"
+            "from multiprocessing import shared_memory\n"
+            "\n"
+            "def attach(name, shape, dtype):\n"
+            "    seg = shared_memory.SharedMemory(name=name)\n"
+            "    view = np.ndarray(shape, dtype=dtype, buffer=seg.buf)\n"
+            "    return view\n"),
+    })
+    assert findings == []
+
+
+def test_own002_view_stored_on_self_after_close():
+    findings = analyze_sources({
+        "a.py": (
+            "import numpy as np\n"
+            "from multiprocessing import shared_memory\n"
+            "\n"
+            "class Stager:\n"
+            "    def stage(self, payload):\n"
+            "        seg = shared_memory.SharedMemory(create=True,\n"
+            "                                         size=payload.nbytes)\n"
+            "        view = np.ndarray(payload.shape,\n"
+            "                          dtype=payload.dtype,\n"
+            "                          buffer=seg.buf)\n"
+            "        self.last = view\n"
+            "        seg.close()\n"
+            "        seg.unlink()\n"),
+    })
+    assert rules_of(findings) == ["OWN002"]
 
 
 # ----------------------------------------------------------------------
