@@ -21,20 +21,26 @@ Failure contract (mirrors the threaded executor's ladder):
   future call;
 - a *crashed* worker (``BrokenProcessPool``) triggers the parent-side
   ladder: rebuild the pool, back off, resubmit up to ``retries`` times,
-  then classical fallback.
+  then classical fallback;
+- any other exception a worker raises (segment attach failure, closed
+  mapping, bad spec) reaches the parent, which recomputes the block
+  classically (``fallback``) and condemns the call's segments.
 
 Results are bit-identical to the interpreter and threaded paths: the
 staging, ``linear_combination`` calls, gemms, and W-combination are the
 same operations in the same order on the same values — only the address
 space they run in differs.
 
-Worker-side attaches patch ``resource_tracker.register`` to a no-op for
-the duration of the attach: on CPython 3.11 every POSIX attach
-registers the segment, and the tracker's cache is process-shared under
-fork — a worker-side unregister would erase the parent's sole
-registration (bpo-39959), while double registration makes the tracker
-spew KeyError tracebacks at exit.  The parent remains the single owner;
-its ``unlink`` (via :mod:`repro.parallel.shm`) is the single cleanup.
+Workers start via ``spawn``, never ``fork``: the parent is
+multithreaded (executor pool, tracer, BLAS), and forking it can copy
+held locks into workers.  Worker-side attaches
+patch ``resource_tracker.register`` to a no-op for the duration of the
+attach: on CPython 3.11 every POSIX attach registers the segment, and
+the tracker process is shared with the parent — a worker-side
+unregister would erase the parent's sole registration (bpo-39959),
+while double registration makes the tracker spew KeyError tracebacks
+at exit.  The parent remains the single owner; its ``unlink`` (via
+:mod:`repro.parallel.shm`) is the single cleanup.
 
 All module-global rebinds happen under ``_LOCK`` (lint rule PAR001).
 """
@@ -95,8 +101,15 @@ def _worker_init() -> None:
 
 
 def _make_pool(workers: int) -> ProcessPoolExecutor:
-    methods = mp.get_all_start_methods()
-    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    # Never fork: the parent is typically multithreaded (threaded
+    # executor pool, tracer, BLAS threads), and forking a multithreaded
+    # process can copy held locks into the worker and deadlock it.
+    # Task specs are fully picklable, so 'spawn' (available on every
+    # platform) works; it is preferred over 'forkserver' because the
+    # crash-recovery ladder rebuilds pools under churn, and the shared
+    # forkserver process is a single point of failure there (its fd
+    # handshake races when pools are torn down mid-spawn).
+    ctx = mp.get_context("spawn")
     return ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
                                initializer=_worker_init)
 
@@ -183,16 +196,29 @@ def _noop_register(name: str, rtype: str) -> None:
     """Stand-in for ``resource_tracker.register`` during attaches."""
 
 
-#: Per-worker attach cache: segment name -> live mapping.  Bounded so a
-#: long-lived worker cycling through many condemned segments does not
-#: accumulate mappings.  Single-threaded per worker; never rebound.
+#: Per-worker attach cache: segment name -> live mapping, in true LRU
+#: order (hits re-append).  Bounded so a long-lived worker cycling
+#: through many condemned segments does not accumulate mappings.
+#: Single-threaded per worker; never rebound.
 _WORKER_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
 _WORKER_SEGMENT_CAP = 16
 
 
-def _attach_segment(name: str) -> shared_memory.SharedMemory:
-    seg = _WORKER_SEGMENTS.get(name)
+def _attach_segment(
+    name: str,
+    protect: frozenset[str] = frozenset(),
+) -> shared_memory.SharedMemory:
+    """Attach (or re-use) one segment mapping, LRU-evicting old ones.
+
+    ``protect`` names segments the *current* task is about to view:
+    they are never evicted, so a cache miss cannot close a mapping a
+    sibling view of this task still needs (a closed mapping's ``buf``
+    is ``None``, and ``np.ndarray(..., buffer=None)`` would silently
+    allocate garbage instead of failing).
+    """
+    seg = _WORKER_SEGMENTS.pop(name, None)
     if seg is not None:
+        _WORKER_SEGMENTS[name] = seg  # cache hit: refresh LRU order
         return seg
     from multiprocessing import resource_tracker
 
@@ -203,8 +229,11 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     finally:
         resource_tracker.register = original
     while len(_WORKER_SEGMENTS) >= _WORKER_SEGMENT_CAP:
-        oldest = next(iter(_WORKER_SEGMENTS))
-        _WORKER_SEGMENTS.pop(oldest).close()
+        victim = next(
+            (n for n in _WORKER_SEGMENTS if n not in protect), None)
+        if victim is None:
+            break
+        _WORKER_SEGMENTS.pop(victim).close()
     _WORKER_SEGMENTS[name] = seg
     return seg
 
@@ -258,15 +287,21 @@ def _run_task(spec: _TaskSpec) -> tuple:
     """Worker body: S/T combination, gemm ladder, OUT write.
 
     Returns ``(mult, status, attempts, error_text, start, end, delays)``
-    with the threaded executor's status vocabulary.  All exception
-    handling happens here — the parent only ever sees a crashed process
-    or a timeout.
+    with the threaded executor's status vocabulary.  Gemm faults are
+    handled here with the retry → classical ladder; anything raised
+    outside that loop (attach failure, closed mapping) propagates and
+    the parent recomputes the block classically.
     """
     start = time.perf_counter()
     dtype = np.dtype(spec.dtype)
-    a_seg = _attach_segment(spec.a_name)
-    b_seg = _attach_segment(spec.b_name)
-    out_seg = _attach_segment(spec.out_name)
+    live = frozenset((spec.a_name, spec.b_name, spec.out_name))
+    a_seg = _attach_segment(spec.a_name, protect=live)
+    b_seg = _attach_segment(spec.b_name, protect=live)
+    out_seg = _attach_segment(spec.out_name, protect=live)
+    for seg in (a_seg, b_seg, out_seg):
+        if seg.buf is None:
+            raise RuntimeError(
+                f"shared-memory mapping {seg.name!r} is closed")
     Ap = np.ndarray(spec.a_shape, dtype=dtype, buffer=a_seg.buf)
     Bp = np.ndarray(spec.b_shape, dtype=dtype, buffer=b_seg.buf)
     OUT = np.ndarray(spec.out_shape, dtype=dtype, buffer=out_seg.buf)
@@ -528,8 +563,10 @@ def _process_matmul_impl(
                 try:
                     fut = fresh.submit(_run_task, make_spec(i, None))
                     return fut.result(timeout=timeout), attempt
-                except (BrokenProcessPool, FutureTimeoutError,
-                        OSError) as exc:
+                except Exception as exc:
+                    # Crash, timeout, or a worker-raised error — any of
+                    # them burns this rung of the ladder; exhaustion
+                    # means the caller's classical fallback.
                     _drop_broken_pool()
                     emit("worker-crash", i,
                          f"{type(exc).__name__}: {exc}",
@@ -550,9 +587,10 @@ def _process_matmul_impl(
                 tasks_counter.inc()
                 try:
                     fut = pool.submit(_run_task, spec)
-                except (BrokenProcessPool, RuntimeError):
+                except (BrokenProcessPool, RuntimeError, OSError):
                     # The pool died between phases (or was shut down
-                    # under us); rebuild once and resubmit.
+                    # under us), or a worker spawn failed; rebuild once
+                    # and resubmit.
                     _drop_broken_pool()
                     pool = get_process_pool(workers)
                     fut = pool.submit(_run_task, spec)
@@ -584,6 +622,21 @@ def _process_matmul_impl(
                     _drop_broken_pool()
                     pool = get_process_pool(workers)
                     outcome, crash_attempts = resubmit(mult)
+                except Exception as exc:
+                    # A worker raised outside its retry loop (segment
+                    # attach failure, closed mapping, bad spec).  The
+                    # contract is that the parent always has a
+                    # classical answer: condemn the segments and
+                    # recompute the block here.
+                    pooled = False
+                    emit("worker-error", mult,
+                         f"{type(exc).__name__}: {exc}; classical gemm "
+                         "recomputed the block in the parent")
+                    products[mult] = np.matmul(*operands(mult))
+                    record(JobOutcome(
+                        mult, "fallback", 1, t0, time.perf_counter(),
+                        error=f"{type(exc).__name__}: {exc}"))
+                    continue
                 if outcome is None:
                     emit("job-fallback", mult,
                          "classical gemm recomputed the block in the "
