@@ -1,0 +1,182 @@
+"""Autotuner benchmark: tuned dispatch vs the static default.
+
+Guards the PR-9 tuning stack with three gates, written to
+``benchmarks/out/BENCH_tune.json``:
+
+1. **never-slower** — every cell of a deterministic simulated tuning
+   run must satisfy ``cost_s <= classical_s`` (the tuner's argmin
+   includes the classical baseline, so a tuned table can never
+   recommend something it measured slower than the static default);
+2. **round-trip** — the persisted table reloads to exactly the JSON
+   it saved (version + catalog fingerprint accepted);
+3. **bit-identity** — for a synthetic table covering every decision
+   shape (classical, plain APA, steps > 1, tuned executor),
+   ``tuned=True`` must produce the bit-exact result of explicitly
+   requesting the cell's configuration: max |diff| 0 per chosen path.
+
+Wall-clock timings of tuned-vs-static on one mid-size product are
+reported in the artifact but not gated (CI runner noise).
+
+Run directly::
+
+    python benchmarks/bench_tune.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=256,
+                        help="dim of the reported tuned-vs-static timing")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller problem, fewer repeats (CI smoke)")
+    parser.add_argument("--out", type=Path,
+                        default=OUT_DIR / "BENCH_tune.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.n = min(args.n, 128)
+        args.repeats = min(args.repeats, 2)
+
+    from repro.core.engine import ExecutionEngine
+    from repro.parallel.procpool import shutdown_process_pool
+    from repro.tune import (
+        DispatchTable,
+        TuneGrid,
+        TunedCell,
+        install_dispatch_table,
+        load_dispatch_table,
+        tune_dispatch_table,
+    )
+    from repro.tune.table import cell_key
+
+    failed: list[str] = []
+
+    # --- gate 1: deterministic tuning run, tuned never slower ---------
+    grid = TuneGrid(dims=(256, 1024, 2048, 4096), threads=(1, 12))
+    table = tune_dispatch_table(grid, simulate=True)
+    never_slower = all(cell.cost_s <= cell.classical_s
+                       for cell in table.cells.values())
+    apa_cells = sum(1 for c in table.cells.values()
+                    if c.algorithm is not None)
+    if not never_slower:
+        failed.append("a tuned cell is slower than its classical baseline")
+
+    # --- gate 2: persisted table round-trips --------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = table.save(Path(tmp) / "dispatch_table.json")
+        reloaded = load_dispatch_table(path)
+        round_trip = reloaded.to_json() == table.to_json()
+    if not round_trip:
+        failed.append("table did not survive the save/load round trip")
+
+    # --- gate 3: bit-identity per chosen path -------------------------
+    # A synthetic table whose cells exercise every decision shape the
+    # tuner can emit; each tuned call must equal the explicit request.
+    n = args.n
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n)).astype(np.float32)
+    B = rng.standard_normal((n, n)).astype(np.float32)
+    cases = [
+        # (label, n, cell, dtype, threads, explicit kwargs) — each case
+        # keys a distinct cell (shape/dtype/threads all enter the key)
+        ("classical", n, TunedCell(None, 1, None, 1.0, 1.0),
+         np.float32, 1, {}),
+        ("apa", n, TunedCell("strassen222", 1, None, 0.5, 1.0),
+         np.float64, 1, dict(algorithm="strassen222")),
+        ("steps", 2 * n, TunedCell("laderman333", 2, None, 0.5, 1.0),
+         np.float32, 1, dict(algorithm="laderman333", steps=2)),
+        ("process", n, TunedCell("strassen222", 1, "process", 0.5, 1.0),
+         np.float32, 2, dict(algorithm="strassen222", executor="process")),
+    ]
+    cells = {}
+    for _, dim, cell, dtype, threads, _kw in cases:
+        cells[cell_key(dim, dim, dim, dtype, threads)] = cell
+    install_dispatch_table(DispatchTable(cells=cells, source="simulated"))
+    engine = ExecutionEngine()
+    identity = {}
+    try:
+        for case_idx, (label, dim, _cell, dtype, threads,
+                       kwargs) in enumerate(cases):
+            rng_c = np.random.default_rng(1000 + case_idx)
+            Ad = rng_c.standard_normal((dim, dim)).astype(dtype)
+            Bd = rng_c.standard_normal((dim, dim)).astype(dtype)
+            tuned_kw = {"tuned": True}
+            if threads > 1:
+                tuned_kw["threads"] = threads
+                kwargs = dict(kwargs, threads=threads)
+            C_tuned = engine.matmul(Ad, Bd, **tuned_kw)
+            C_explicit = (engine.matmul(Ad, Bd, **kwargs) if kwargs
+                          else np.matmul(Ad, Bd))
+            diff = float(np.max(np.abs(C_tuned - C_explicit)))
+            identity[label] = diff
+            if diff != 0.0:
+                failed.append(
+                    f"tuned path {label!r} diverged from the explicit "
+                    f"config (max |diff| {diff:g})")
+
+        # --- reported (not gated): tuned-vs-static wall clock ---------
+        t_static = _best_of(args.repeats, lambda: engine.matmul(A, B))
+        t_tuned = _best_of(args.repeats,
+                           lambda: engine.matmul(A, B, tuned=True))
+    finally:
+        install_dispatch_table(None)
+        shutdown_process_pool()
+
+    result = {
+        "n": args.n,
+        "grid_dims": list(grid.dims),
+        "grid_threads": list(grid.threads),
+        "cells": len(table),
+        "apa_cells": apa_cells,
+        "never_slower": never_slower,
+        "round_trip": round_trip,
+        "bit_identity_max_diff": identity,
+        "static_s": t_static,
+        "tuned_s": t_tuned,
+        "tuned_overhead": t_tuned / t_static - 1.0,
+    }
+
+    print(f"tuned dispatch over {len(table)} simulated cells "
+          f"({apa_cells} choose an APA rule)")
+    print(f"  never slower than classical: {never_slower}")
+    print(f"  table round-trips: {round_trip}")
+    for label, diff in identity.items():
+        print(f"  bit-identity[{label}]: max |diff| = {diff:g}")
+    print(f"  static {t_static * 1e3:8.3f} ms vs tuned "
+          f"{t_tuned * 1e3:8.3f} ms on n={args.n} "
+          f"(consultation overhead {result['tuned_overhead']:+.1%})")
+
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    for reason in failed:
+        print(f"FAIL: {reason}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

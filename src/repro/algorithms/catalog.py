@@ -22,6 +22,7 @@ from typing import Callable
 
 from repro.algorithms.bini import bini322_algorithm
 from repro.algorithms.classical import classical_algorithm
+from repro.algorithms.laderman import laderman333_algorithm
 from repro.algorithms.smirnov import SurrogateAlgorithm
 from repro.algorithms.spec import AlgorithmLike, BilinearAlgorithm
 from repro.algorithms.strassen import strassen_algorithm, strassen_winograd_algorithm
@@ -77,6 +78,12 @@ def _bini_stack522() -> BilinearAlgorithm:
     return stack_m(bini322_algorithm(), strassen_algorithm(), name="bini522")
 
 
+def _laderman_x_strassen() -> BilinearAlgorithm:
+    return tensor_product(
+        laderman333_algorithm(), strassen_algorithm(), name="laderman333xstrassen"
+    )
+
+
 def _strassen_cubed() -> BilinearAlgorithm:
     return tensor_product(
         strassen_algorithm(), _strassen_squared(), name="strassen888"
@@ -97,6 +104,11 @@ _REAL_FACTORIES: dict[str, Callable[[], AlgorithmLike]] = {
     "bini322": bini322_algorithm,
     "bini232": _bini232,
     "bini223": _bini223,
+    # <3,3,3>:23 exact — Laderman 1976, the rank-23 scheme revisited by
+    # arXiv 2508.03857 (60 additions); 17% per recursion step
+    "laderman333": laderman333_algorithm,
+    # <6,6,6>:161 exact — Laderman (x) Strassen (34%)
+    "laderman333xstrassen": _laderman_x_strassen,
     # <4,4,4>:49 exact — Strassen applied twice in one rule
     "strassen444": _strassen_squared,
     # <6,4,4>:70 APA, phi=1 — Bini (x) Strassen
@@ -272,6 +284,8 @@ EXPECTED_PROPERTIES: dict[str, AlgorithmProperties] = {
     "classical333": AlgorithmProperties((3, 3, 3), 27, 0, 0, 0),
     "strassen222": AlgorithmProperties((2, 2, 2), 7, 0, 0, 14),
     "winograd222": AlgorithmProperties((2, 2, 2), 7, 0, 0, 14),
+    "laderman333": AlgorithmProperties((3, 3, 3), 23, 0, 0, 17),
+    "laderman333xstrassen": AlgorithmProperties((6, 6, 6), 161, 0, 0, 34),
     "strassen422": AlgorithmProperties((4, 2, 2), 14, 0, 0, 14),
     "strassen444": AlgorithmProperties((4, 4, 4), 49, 0, 0, 31),
     "strassen888": AlgorithmProperties((8, 8, 8), 343, 0, 0, 49),

@@ -1,0 +1,132 @@
+"""Laderman's exact ⟨3,3,3⟩:23 algorithm (60 additions in the rank-23
+class; arXiv 2508.03857 revisits this scheme and shows 23 is the best
+known rank for 3×3 — the catalog carries it as the repo's rank-23 exact
+⟨3,3,3⟩ entry).
+
+Transcribed from Laderman, "A noncommutative algorithm for multiplying
+3×3 matrices using 23 multiplications", Bull. AMS 82 (1976), in the same
+paper-style combination form as :mod:`repro.algorithms.bini` so the
+symbolic verifier re-derives (σ, φ, rank, speedup) = (0, 0, 23, 17)
+from the coefficients themselves.
+
+All coefficients are ±1 (no λ): the scheme is exact, so ``phi == 0``
+and ``verify_algorithm`` must find a zero residual at order 0.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.dsl import rule_to_algorithm
+from repro.algorithms.spec import BilinearAlgorithm
+
+__all__ = ["laderman333_algorithm"]
+
+_SOURCE = (
+    "Laderman 1976, Bull. AMS 82(1):126-128; rank-23 exact <3,3,3> "
+    "(cf. arXiv 2508.03857 for the 60-addition form)"
+)
+
+
+def laderman333_algorithm() -> BilinearAlgorithm:
+    """Laderman's exact ⟨3,3,3⟩ rule with 23 multiplications.
+
+    Speedup over classical: ``round((27/23 - 1) * 100) = 17`` percent
+    per recursion step; exact, so it composes with any error budget.
+    """
+    a = [
+        # m1 = (a11 + a12 + a13 - a21 - a22 - a32 - a33) * b22
+        {(0, 0): 1, (0, 1): 1, (0, 2): 1, (1, 0): -1, (1, 1): -1,
+         (2, 1): -1, (2, 2): -1},
+        # m2 = (a11 - a21) * (-b12 + b22)
+        {(0, 0): 1, (1, 0): -1},
+        # m3 = a22 * (-b11 + b12 + b21 - b22 - b23 - b31 + b33)
+        {(1, 1): 1},
+        # m4 = (-a11 + a21 + a22) * (b11 - b12 + b22)
+        {(0, 0): -1, (1, 0): 1, (1, 1): 1},
+        # m5 = (a21 + a22) * (-b11 + b12)
+        {(1, 0): 1, (1, 1): 1},
+        # m6 = a11 * b11
+        {(0, 0): 1},
+        # m7 = (-a11 + a31 + a32) * (b11 - b13 + b23)
+        {(0, 0): -1, (2, 0): 1, (2, 1): 1},
+        # m8 = (-a11 + a31) * (b13 - b23)
+        {(0, 0): -1, (2, 0): 1},
+        # m9 = (a31 + a32) * (-b11 + b13)
+        {(2, 0): 1, (2, 1): 1},
+        # m10 = (a11 + a12 + a13 - a22 - a23 - a31 - a32) * b23
+        {(0, 0): 1, (0, 1): 1, (0, 2): 1, (1, 1): -1, (1, 2): -1,
+         (2, 0): -1, (2, 1): -1},
+        # m11 = a32 * (-b11 + b13 + b21 - b22 - b23 - b31 + b32)
+        {(2, 1): 1},
+        # m12 = (-a13 + a32 + a33) * (b22 + b31 - b32)
+        {(0, 2): -1, (2, 1): 1, (2, 2): 1},
+        # m13 = (a13 - a33) * (b22 - b32)
+        {(0, 2): 1, (2, 2): -1},
+        # m14 = a13 * b31
+        {(0, 2): 1},
+        # m15 = (a32 + a33) * (-b31 + b32)
+        {(2, 1): 1, (2, 2): 1},
+        # m16 = (-a13 + a22 + a23) * (b23 + b31 - b33)
+        {(0, 2): -1, (1, 1): 1, (1, 2): 1},
+        # m17 = (a13 - a23) * (b23 - b33)
+        {(0, 2): 1, (1, 2): -1},
+        # m18 = (a22 + a23) * (-b31 + b33)
+        {(1, 1): 1, (1, 2): 1},
+        # m19 = a12 * b21
+        {(0, 1): 1},
+        # m20 = a23 * b32
+        {(1, 2): 1},
+        # m21 = a21 * b13
+        {(1, 0): 1},
+        # m22 = a31 * b12
+        {(2, 0): 1},
+        # m23 = a33 * b33
+        {(2, 2): 1},
+    ]
+    b = [
+        {(1, 1): 1},                                         # m1
+        {(0, 1): -1, (1, 1): 1},                             # m2
+        {(0, 0): -1, (0, 1): 1, (1, 0): 1, (1, 1): -1,
+         (1, 2): -1, (2, 0): -1, (2, 2): 1},                 # m3
+        {(0, 0): 1, (0, 1): -1, (1, 1): 1},                  # m4
+        {(0, 0): -1, (0, 1): 1},                             # m5
+        {(0, 0): 1},                                         # m6
+        {(0, 0): 1, (0, 2): -1, (1, 2): 1},                  # m7
+        {(0, 2): 1, (1, 2): -1},                             # m8
+        {(0, 0): -1, (0, 2): 1},                             # m9
+        {(1, 2): 1},                                         # m10
+        {(0, 0): -1, (0, 2): 1, (1, 0): 1, (1, 1): -1,
+         (1, 2): -1, (2, 0): -1, (2, 1): 1},                 # m11
+        {(1, 1): 1, (2, 0): 1, (2, 1): -1},                  # m12
+        {(1, 1): 1, (2, 1): -1},                             # m13
+        {(2, 0): 1},                                         # m14
+        {(2, 0): -1, (2, 1): 1},                             # m15
+        {(1, 2): 1, (2, 0): 1, (2, 2): -1},                  # m16
+        {(1, 2): 1, (2, 2): -1},                             # m17
+        {(2, 0): -1, (2, 2): 1},                             # m18
+        {(1, 0): 1},                                         # m19
+        {(2, 1): 1},                                         # m20
+        {(0, 2): 1},                                         # m21
+        {(0, 1): 1},                                         # m22
+        {(2, 2): 1},                                         # m23
+    ]
+    c = {
+        # c11 = m6 + m14 + m19
+        (0, 0): {5: 1, 13: 1, 18: 1},
+        # c12 = m1 + m4 + m5 + m6 + m12 + m14 + m15
+        (0, 1): {0: 1, 3: 1, 4: 1, 5: 1, 11: 1, 13: 1, 14: 1},
+        # c13 = m6 + m7 + m9 + m10 + m14 + m16 + m18
+        (0, 2): {5: 1, 6: 1, 8: 1, 9: 1, 13: 1, 15: 1, 17: 1},
+        # c21 = m2 + m3 + m4 + m6 + m14 + m16 + m17
+        (1, 0): {1: 1, 2: 1, 3: 1, 5: 1, 13: 1, 15: 1, 16: 1},
+        # c22 = m2 + m4 + m5 + m6 + m20
+        (1, 1): {1: 1, 3: 1, 4: 1, 5: 1, 19: 1},
+        # c23 = m14 + m16 + m17 + m18 + m21
+        (1, 2): {13: 1, 15: 1, 16: 1, 17: 1, 20: 1},
+        # c31 = m6 + m7 + m8 + m11 + m12 + m13 + m14
+        (2, 0): {5: 1, 6: 1, 7: 1, 10: 1, 11: 1, 12: 1, 13: 1},
+        # c32 = m12 + m13 + m14 + m15 + m22
+        (2, 1): {11: 1, 12: 1, 13: 1, 14: 1, 21: 1},
+        # c33 = m6 + m7 + m8 + m9 + m23
+        (2, 2): {5: 1, 6: 1, 7: 1, 8: 1, 22: 1},
+    }
+    return rule_to_algorithm("laderman333", 3, 3, 3, a, b, c, source=_SOURCE)

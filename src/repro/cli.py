@@ -18,6 +18,7 @@ Commands
 ``trace``         — traced guarded run, Chrome/JSONL trace export
 ``metrics``       — process metrics (Prometheus text or JSON)
 ``obs-overhead``  — cost of dormant/live tracing on the warm hot path
+``tune``          — offline autotuner: run / show / explain dispatch tables
 ``serve``         — demo APA server with a live Prometheus endpoint
 ``loadtest``      — saturate the server; write BENCH_serve.json
 ``soak``          — chaos soak: injected faults, zero-silent-wrong gate
@@ -243,6 +244,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--armed-fraction", type=float, default=0.5,
                    help="fraction of the run with the injector armed "
                         "(the rest exercises breaker recovery)")
+
+    p = sub.add_parser(
+        "tune",
+        help="offline autotuner: build / inspect / explain dispatch tables")
+    tune_sub = p.add_subparsers(dest="tune_command", required=True)
+    q = tune_sub.add_parser(
+        "run", help="measure the grid and persist a dispatch table")
+    q.add_argument("--simulate", action="store_true",
+                   help="deterministic machine-model costs (the CI path) "
+                        "instead of wall-clock timings on this host")
+    q.add_argument("--dims", type=int, nargs="+", default=None,
+                   help="square product sizes (default: the TuneGrid grid)")
+    q.add_argument("--dtypes", nargs="+", default=None,
+                   help="numpy dtype names (default: float32)")
+    q.add_argument("--threads-list", type=int, nargs="+", default=None,
+                   dest="threads_list", help="thread counts (default: 1)")
+    q.add_argument("--steps-list", type=int, nargs="+", default=None,
+                   dest="steps_list", help="recursion steps (default: 1)")
+    q.add_argument("--max-error", type=float, default=None,
+                   help="exclude candidates above this §2.3 error floor")
+    q.add_argument("--repeats", type=int, default=3,
+                   help="wall-clock best-of repeats (ignored with "
+                        "--simulate)")
+    q.add_argument("--out", default="benchmarks/out/dispatch_table.json",
+                   help="table path (default: "
+                        "benchmarks/out/dispatch_table.json)")
+    q = tune_sub.add_parser(
+        "show", help="validate a table file and print its decisions")
+    q.add_argument("path", nargs="?",
+                   default="benchmarks/out/dispatch_table.json")
+    q = tune_sub.add_parser(
+        "explain", help="why does a tuned product of this shape run "
+                        "what it runs?")
+    q.add_argument("M", type=int)
+    q.add_argument("K", type=int)
+    q.add_argument("N", type=int)
+    q.add_argument("--dtype", default="float32")
+    q.add_argument("--threads", type=int, default=1)
+    q.add_argument("--table", default=None,
+                   help="table file (default: the installed table / "
+                        "$REPRO_DISPATCH_TABLE)")
 
     p = sub.add_parser("save", help="write an algorithm file")
     p.add_argument("name")
@@ -640,6 +682,52 @@ def _cmd_loadtest(args, out) -> int:
     return 0
 
 
+def _cmd_tune(args, out) -> int:
+    from repro.tune import (
+        TuneGrid,
+        explain,
+        install_dispatch_table,
+        load_dispatch_table,
+        tune_dispatch_table,
+    )
+
+    if args.tune_command == "run":
+        grid_kwargs = {}
+        if args.dims is not None:
+            grid_kwargs["dims"] = tuple(args.dims)
+        if args.dtypes is not None:
+            grid_kwargs["dtypes"] = tuple(args.dtypes)
+        if args.threads_list is not None:
+            grid_kwargs["threads"] = tuple(args.threads_list)
+        if args.steps_list is not None:
+            grid_kwargs["steps"] = tuple(args.steps_list)
+        if args.max_error is not None:
+            grid_kwargs["max_error"] = args.max_error
+        table = tune_dispatch_table(
+            TuneGrid(**grid_kwargs), simulate=args.simulate,
+            repeats=args.repeats,
+            progress=lambda line: print(f"  {line}", file=out))
+        path = table.save(args.out)
+        print(f"wrote {path} ({len(table)} cells, {table.source})", file=out)
+        return 0
+    if args.tune_command == "show":
+        from repro.tune.table import DispatchTableError
+
+        try:
+            table = load_dispatch_table(args.path)
+        except DispatchTableError as exc:
+            print(f"invalid dispatch table: {exc}", file=out)
+            return 1
+        print(table.summary(), file=out)
+        return 0
+    # explain
+    if args.table is not None:
+        install_dispatch_table(args.table)
+    print(explain(args.M, args.K, args.N, dtype=args.dtype,
+                  threads=args.threads), file=out)
+    return 0
+
+
 def _cmd_soak(args, out) -> int:
     from repro.serve import run_chaos_soak
 
@@ -701,6 +789,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "loadtest":
         return _cmd_loadtest(args, out)
+    if args.command == "tune":
+        return _cmd_tune(args, out)
     if args.command == "soak":
         return _cmd_soak(args, out)
     if args.command == "save":

@@ -10,8 +10,10 @@ This module holds the value object those layers share:
   tuple for non-stationary recursion), ``lam``, ``steps``, precision
   policy ``d``, base-case ``gemm``, threading (``threads`` /
   ``strategy`` / ``schedule``), ``plan_cache``, guard policy, fault
-  spec, per-job ``retries`` / ``timeout``, and the dispatch ``mode``
-  (interpreter vs plan vs kernel vs threaded).
+  spec, per-job ``retries`` / ``timeout``, the dispatch ``mode``
+  (interpreter vs plan vs kernel vs threaded), the worker ``executor``
+  and out-of-core ``shard`` geometry, and the ``tuned`` opt-in to the
+  learned dispatch table (:mod:`repro.tune`).
 - :func:`execution_context` — a process-wide context manager layering
   config overrides under every call that does not set them explicitly.
 - :func:`active_overrides` — the merged override mapping currently in
@@ -144,8 +146,17 @@ class ExecutionConfig:
     #: tile_k)``, or a :class:`repro.shard.ShardSpec`.  Setting it
     #: routes 2-D products through the sharded path.
     shard: Any = None
+    #: Consult the installed :class:`repro.tune.DispatchTable` for 2-D
+    #: products whose ``algorithm``/``executor`` are still unset after
+    #: all higher layers merged (precedence: below explicit kwargs and
+    #: the active context, above built-in defaults).  Uncovered cells
+    #: fall back to the static defaults (classical gemm).
+    tuned: bool | None = None
 
     def __post_init__(self) -> None:
+        if self.tuned is not None and not isinstance(self.tuned, bool):
+            raise TypeError(
+                f"tuned must be a bool, got {self.tuned!r}")
         if self.lam is not None and (
             not math.isfinite(self.lam) or self.lam <= 0
         ):

@@ -18,6 +18,8 @@ stack::
       ↓
     dispatch → plan | kernel | threaded | process | shard | interpreter
                | batched | non-stationary | surrogate | classical gemm
+               (``tuned=True`` first fills unset algorithm/steps/executor
+               from the learned dispatch table — :mod:`repro.tune`)
 
 The legacy entry points are now thin shims over this engine; the
 private implementations (``_apa_matmul_impl``, ``_threaded_matmul_impl``,
@@ -454,6 +456,17 @@ class ExecutionEngine:
     def _execute(self, A: np.ndarray, B: np.ndarray, cfg: ExecutionConfig,
                  report: Any = None) -> np.ndarray:
         """Inject layer: resolve the algorithm, wrap gemm in the fault spec."""
+        if (cfg.tuned and cfg.algorithm is None and cfg.shard is None
+                and getattr(A, "ndim", 2) == 2
+                and getattr(B, "ndim", 2) == 2):
+            # Learned dispatch: fill still-unset fields from the
+            # installed table.  Sits here — after every explicit layer
+            # merged, before dispatch — so kwargs/engine/context beat
+            # the table and the table beats the built-in defaults;
+            # uncovered cells leave cfg untouched (classical fallback).
+            from repro.tune.dispatch import consult
+
+            cfg = consult(A, B, cfg)
         alg = cfg.algorithm
         if isinstance(alg, (tuple, list)):
             alg = tuple(_resolve_algorithm(a) for a in alg)

@@ -1,0 +1,55 @@
+"""Offline autotuning: learned dispatch tables over the APA catalog.
+
+The paper leaves the choice of (algorithm, steps, executor) per product
+to the user; this package turns it into data.  An offline tuner
+(:mod:`repro.tune.tuner`) measures every (shape-class, dtype, threads)
+cell — real wall-clock on multicore hosts, the calibrated
+simulator/:class:`~repro.machine.numa.ExecutorCostModel` cost
+deterministically on 1-core CI — and persists a versioned
+:class:`~repro.tune.table.DispatchTable` (JSON, fingerprinted by host
+and catalog hash).  At run time the engine consults the installed
+table (:mod:`repro.tune.dispatch`) whenever ``tuned=True`` resolves
+and no explicit algorithm/executor was requested; cells the table does
+not cover fall back to the built-in static defaults (classical gemm).
+
+Precedence (highest wins)::
+
+    explicit kwarg > backend/engine field > execution_context
+        > dispatch table (tuned=True)  > built-in defaults
+
+CLI: ``repro tune run|show|explain`` (see :mod:`repro.cli`); the
+lifecycle walk-through lives in ``docs/TUNING.md``.
+"""
+
+from repro.tune.dispatch import (
+    active_dispatch_table,
+    consult,
+    explain,
+    install_dispatch_table,
+)
+from repro.tune.table import (
+    DispatchTable,
+    DispatchTableError,
+    DispatchTableWarning,
+    TunedCell,
+    catalog_fingerprint,
+    load_dispatch_table,
+    shape_bucket,
+)
+from repro.tune.tuner import TuneGrid, tune_dispatch_table
+
+__all__ = [
+    "DispatchTable",
+    "DispatchTableError",
+    "DispatchTableWarning",
+    "TunedCell",
+    "TuneGrid",
+    "active_dispatch_table",
+    "catalog_fingerprint",
+    "consult",
+    "explain",
+    "install_dispatch_table",
+    "load_dispatch_table",
+    "shape_bucket",
+    "tune_dispatch_table",
+]

@@ -1,0 +1,307 @@
+"""The persisted dispatch table: schema, fingerprints, (de)serialization.
+
+A :class:`DispatchTable` maps **cells** — ``(shape-class, dtype,
+threads)`` keys — to the tuner's winning :class:`TunedCell` decision.
+Tables are plain JSON so they can be diffed, committed, and shipped;
+every file carries
+
+- a **schema version** (``TABLE_VERSION``) — unknown versions are
+  rejected rather than misread;
+- a **catalog fingerprint** — a hash over every catalog entry's pinned
+  ``(dims, rank, sigma, phi, speedup)``; a table tuned against a
+  different catalog (entries added, removed, or re-derived) is stale
+  and must be rejected, not partially applied;
+- a **host fingerprint** — platform/cpu provenance of the measurement.
+  It is recorded for ``repro tune show`` but deliberately *not* an
+  acceptance gate: simulated tables are host-independent, and a
+  wall-clock table from a sibling host is better than nothing.  The
+  ``source`` field says which kind you are looking at.
+
+Load failures raise :class:`DispatchTableError`; the runtime layer
+(:mod:`repro.tune.dispatch`) turns them into a single
+:class:`DispatchTableWarning` plus static-default behavior, because a
+missing or stale tuning artifact must never break a correct program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "TABLE_VERSION",
+    "DispatchTable",
+    "DispatchTableError",
+    "DispatchTableWarning",
+    "TunedCell",
+    "catalog_fingerprint",
+    "cell_key",
+    "host_fingerprint",
+    "load_dispatch_table",
+    "shape_bucket",
+]
+
+#: Schema version of the JSON artifact.  Bump on incompatible change.
+TABLE_VERSION = 1
+
+#: Shape buckets span this closed range of powers of two.
+_BUCKET_MIN = 8
+_BUCKET_MAX = 16384
+
+
+class DispatchTableError(ValueError):
+    """A dispatch-table file is missing, corrupt, or stale."""
+
+
+class DispatchTableWarning(UserWarning):
+    """A dispatch table could not be used; static defaults apply."""
+
+
+def shape_bucket(dim: int) -> int:
+    """The power-of-two shape class of one dimension.
+
+    Tuned cells are keyed by bucketed dims so a table measured at 256
+    serves 200..362 too; geometric rounding keeps the bucket within
+    √2 of the true dimension.  Clamped to ``[8, 16384]``.
+    """
+    if dim < 1:
+        raise ValueError(f"dimension must be >= 1, got {dim}")
+    exp = round(math.log2(dim))
+    return min(max(2**exp, _BUCKET_MIN), _BUCKET_MAX)
+
+
+def cell_key(M: int, K: int, N: int, dtype: Any, threads: int) -> str:
+    """The table key of one product: bucketed ``MxKxN|dtype|tN``."""
+    import numpy as np
+
+    dt = np.dtype(dtype).name
+    return (f"{shape_bucket(M)}x{shape_bucket(K)}x{shape_bucket(N)}"
+            f"|{dt}|t{max(1, int(threads))}")
+
+
+def catalog_fingerprint() -> str:
+    """Hash of every catalog entry's pinned derived properties.
+
+    Uses :data:`~repro.algorithms.catalog.EXPECTED_PROPERTIES` — the
+    same contract ``repro lint`` re-derives symbolically — so any
+    catalog change that could shift tuning decisions (new entries,
+    removed entries, changed coefficients) changes the fingerprint.
+    """
+    from repro.algorithms.catalog import EXPECTED_PROPERTIES
+
+    parts = [
+        f"{name}:{p.dims}:{p.rank}:{p.sigma}:{p.phi}:{p.speedup_percent}"
+        for name, p in sorted(EXPECTED_PROPERTIES.items())
+    ]
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """Provenance of the measuring host (recorded, not enforced)."""
+    return {
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+    }
+
+
+@dataclass(frozen=True)
+class TunedCell:
+    """The tuner's decision for one cell, plus the evidence behind it.
+
+    ``algorithm is None`` means classical gemm won; ``executor is
+    None`` means the default thread executor.  ``candidates`` keeps
+    every ``(algorithm, steps, executor, cost_s)`` the tuner timed so
+    ``repro tune explain`` can show *why* the winner won.
+    """
+
+    algorithm: str | None
+    steps: int
+    executor: str | None
+    cost_s: float
+    classical_s: float
+    candidates: tuple[tuple[str | None, int, str | None, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+        if self.executor not in (None, "thread", "process"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+
+    @property
+    def speedup_vs_classical(self) -> float:
+        if self.cost_s <= 0:
+            return 1.0
+        return self.classical_s / self.cost_s
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "steps": self.steps,
+            "executor": self.executor,
+            "cost_s": self.cost_s,
+            "classical_s": self.classical_s,
+            "candidates": [list(c) for c in self.candidates],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "TunedCell":
+        try:
+            cands = tuple(
+                (c[0], int(c[1]), c[2], float(c[3]))
+                for c in data.get("candidates", ()))
+            return cls(
+                algorithm=data["algorithm"],
+                steps=int(data["steps"]),
+                executor=data.get("executor"),
+                cost_s=float(data["cost_s"]),
+                classical_s=float(data["classical_s"]),
+                candidates=cands,
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise DispatchTableError(f"malformed cell record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class DispatchTable:
+    """A versioned, fingerprinted map from cells to tuned decisions."""
+
+    cells: Mapping[str, TunedCell]
+    source: str  # 'simulated' | 'wallclock'
+    catalog: str = dataclasses.field(default_factory=catalog_fingerprint)
+    host: Mapping[str, Any] = dataclasses.field(
+        default_factory=host_fingerprint)
+    version: int = TABLE_VERSION
+
+    def __post_init__(self) -> None:
+        if self.source not in ("simulated", "wallclock"):
+            raise ValueError(f"unknown source {self.source!r}")
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.cells)
+
+    def lookup(self, M: int, K: int, N: int, dtype: Any,
+               threads: int = 1) -> TunedCell | None:
+        """The tuned decision for one product, or ``None`` (= fall back
+        to the static defaults) when the cell is not covered."""
+        return self.cells.get(cell_key(M, K, N, dtype, threads))
+
+    # -- (de)serialization ---------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "fingerprint": {"catalog": self.catalog, "host": dict(self.host),
+                            "source": self.source},
+            "cells": {key: cell.to_json()
+                      for key, cell in sorted(self.cells.items())},
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Write the table atomically (tmp + rename) and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def from_json(cls, data: Any) -> "DispatchTable":
+        """Validate a parsed JSON document into a table.
+
+        Raises :class:`DispatchTableError` on schema-version or
+        catalog-fingerprint mismatch and on malformed records — a stale
+        table must be rejected whole, never partially applied.
+        """
+        if not isinstance(data, dict):
+            raise DispatchTableError(
+                f"expected a JSON object, got {type(data).__name__}")
+        version = data.get("version")
+        if version != TABLE_VERSION:
+            raise DispatchTableError(
+                f"unsupported table version {version!r} "
+                f"(this build reads version {TABLE_VERSION})")
+        fp = data.get("fingerprint")
+        if not isinstance(fp, dict):
+            raise DispatchTableError("missing fingerprint block")
+        expected = catalog_fingerprint()
+        if fp.get("catalog") != expected:
+            raise DispatchTableError(
+                f"catalog fingerprint mismatch: table was tuned against "
+                f"{fp.get('catalog')!r} but this catalog hashes to "
+                f"{expected!r}; re-run `repro tune run`")
+        raw_cells = data.get("cells")
+        if not isinstance(raw_cells, dict):
+            raise DispatchTableError("missing cells mapping")
+        cells = {str(key): TunedCell.from_json(value)
+                 for key, value in raw_cells.items()}
+        known = None
+        for cell in cells.values():
+            if cell.algorithm is None:
+                continue
+            if known is None:
+                from repro.algorithms.catalog import list_algorithms
+
+                known = set(list_algorithms("all"))
+            if cell.algorithm not in known:
+                raise DispatchTableError(
+                    f"table references unknown algorithm "
+                    f"{cell.algorithm!r}")
+        return cls(cells=cells, source=str(fp.get("source", "simulated")),
+                   catalog=str(fp["catalog"]), host=dict(fp.get("host", {})),
+                   version=TABLE_VERSION)
+
+    def summary(self) -> str:
+        """Human-readable rendering for ``repro tune show``."""
+        host = dict(self.host)
+        lines = [
+            f"dispatch table v{self.version} · {self.source} · "
+            f"{len(self.cells)} cells",
+            f"catalog {self.catalog} · host {host.get('platform', '?')}/"
+            f"{host.get('machine', '?')} · {host.get('cpu_count', '?')} cpus",
+        ]
+        by_choice: dict[str, int] = {}
+        for cell in self.cells.values():
+            name = cell.algorithm or "classical"
+            by_choice[name] = by_choice.get(name, 0) + 1
+        chosen = ", ".join(f"{name}×{count}" for name, count
+                           in sorted(by_choice.items()))
+        lines.append(f"choices: {chosen}")
+        for key, cell in sorted(self.cells.items()):
+            exe = f" executor={cell.executor}" if cell.executor else ""
+            stp = f" steps={cell.steps}" if cell.steps != 1 else ""
+            lines.append(
+                f"  {key:<28} -> {cell.algorithm or 'classical':<22}"
+                f"{stp}{exe}  ({cell.speedup_vs_classical:.2f}x vs classical)")
+        return "\n".join(lines)
+
+
+def load_dispatch_table(path: str | Path) -> DispatchTable:
+    """Read and validate a table file.
+
+    Raises :class:`DispatchTableError` for every failure mode (missing
+    file, unparseable JSON, version/catalog mismatch, malformed cells)
+    so callers have exactly one error surface to map to a fallback.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise DispatchTableError(f"cannot read {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DispatchTableError(f"{path} is not valid JSON: {exc}") from exc
+    return DispatchTable.from_json(data)

@@ -1,0 +1,212 @@
+"""The offline tuner loop: measure every cell, keep the fastest.
+
+Two measurement backends share one loop (nebullvm's multi-compiler
+"try them all, keep the fastest" idiom):
+
+- **simulated** — the calibrated machine model.  Classical cost comes
+  from :func:`repro.parallel.simulator.simulate_classical`; candidate
+  cost from :class:`repro.machine.numa.ExecutorCostModel`, whose
+  thread/process split is exactly PR 8's cost model — this is the
+  "feed the cost model into automatic executor selection" follow-up.
+  Deterministic, so 1-core CI produces (and the tests pin) the same
+  table every run.
+- **wallclock** — real best-of-``repeats`` timings of
+  :meth:`ExecutionEngine.matmul` per candidate on this host, after a
+  warm-up call so plan construction and pool spin-up are amortized
+  like production traffic.
+
+Both backends always measure the classical baseline, and the winner is
+the argmin over ``candidates ∪ {classical}`` — a tuned table can never
+recommend something it measured slower than the static default.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.tune.table import DispatchTable, TunedCell, cell_key
+
+__all__ = ["TuneGrid", "tune_dispatch_table"]
+
+#: A candidate execution: (algorithm name or None, steps, executor or None).
+Candidate = tuple[str | None, int, str | None]
+
+
+def _default_candidates() -> tuple[str, ...]:
+    """Real (fully-coefficiented) catalog entries, skipping the
+    classical rules (the baseline already covers them) — surrogates
+    model their error but fake their speed, so a tuned table must
+    never select one."""
+    from repro.algorithms.catalog import list_algorithms
+
+    return tuple(name for name in list_algorithms("real")
+                 if not name.startswith("classical"))
+
+
+@dataclass(frozen=True)
+class TuneGrid:
+    """The cell grid and candidate space of one tuning run.
+
+    ``dims`` are square product sizes (cells are keyed by bucketed
+    shape anyway); ``max_error`` excludes candidates whose §2.3 error
+    floor at ``d`` bits exceeds the budget (classical is always
+    admissible, so a budget can only shrink the search space, never
+    empty it).
+    """
+
+    dims: tuple[int, ...] = (256, 512, 1024, 2048, 4096)
+    dtypes: tuple[str, ...] = ("float32",)
+    threads: tuple[int, ...] = (1,)
+    steps: tuple[int, ...] = (1,)
+    candidates: tuple[str, ...] = field(default_factory=_default_candidates)
+    executors: tuple[str, ...] = ("thread", "process")
+    max_error: float | None = None
+    d: int = 23
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(n < 1 for n in self.dims):
+            raise ValueError(f"dims must be positive, got {self.dims!r}")
+        if any(s < 1 for s in self.steps):
+            raise ValueError(f"steps must be >= 1, got {self.steps!r}")
+        if any(t < 1 for t in self.threads):
+            raise ValueError(f"threads must be >= 1, got {self.threads!r}")
+        bad = set(self.executors) - {"thread", "process"}
+        if bad:
+            raise ValueError(f"unknown executors {sorted(bad)}")
+
+    def cell_candidates(self, threads: int) -> Iterable[Candidate]:
+        """Admissible (algorithm, steps, executor) triples for one cell."""
+        from repro.algorithms.catalog import get_algorithm
+
+        for name in self.candidates:
+            alg = get_algorithm(name)
+            if alg.is_surrogate:
+                continue
+            for steps in self.steps:
+                if self.max_error is not None and alg.error_bound(
+                        d=self.d, steps=steps) > self.max_error:
+                    continue
+                for executor in self.executors:
+                    if executor == "process" and threads <= 1:
+                        continue  # single-rank calls never pay fork cost
+                    yield (name, steps, executor if executor != "thread"
+                           else None)
+
+
+def _simulated_measure(grid: TuneGrid, spec: Any) -> Callable[..., float]:
+    """Cost of one candidate under the machine model (deterministic)."""
+    import numpy as np
+
+    from repro.machine.numa import ExecutorCostModel
+    from repro.parallel.simulator import simulate_classical
+
+    model = ExecutorCostModel(spec)
+
+    def measure(candidate: Candidate, n: int, dtype: str,
+                threads: int) -> float:
+        name, steps, executor = candidate
+        dtype_bytes = np.dtype(dtype).itemsize
+        if name is None:
+            return simulate_classical(n, n, n, threads=threads,
+                                      spec=spec).total
+        if executor == "process":
+            return model.process_time(name, n, n, n, workers=threads,
+                                      steps=steps, dtype_bytes=dtype_bytes)
+        return model.thread_time(name, n, n, n, workers=max(1, threads),
+                                 steps=steps, dtype_bytes=dtype_bytes)
+
+    return measure
+
+
+def _wallclock_measure(grid: TuneGrid,
+                       repeats: int) -> Callable[..., float]:
+    """Best-of-``repeats`` wall time through the real engine."""
+    import numpy as np
+
+    from repro.core.engine import ExecutionEngine
+
+    engine = ExecutionEngine()
+    operands: dict[tuple[int, str], tuple[Any, Any]] = {}
+
+    def measure(candidate: Candidate, n: int, dtype: str,
+                threads: int) -> float:
+        name, steps, executor = candidate
+        key = (n, dtype)
+        if key not in operands:
+            rng = np.random.default_rng(20260807 + n)
+            operands[key] = (
+                rng.standard_normal((n, n)).astype(dtype),
+                rng.standard_normal((n, n)).astype(dtype))
+        A, B = operands[key]
+        kwargs: dict[str, Any] = {}
+        if name is not None:
+            kwargs["algorithm"] = name
+            kwargs["steps"] = steps
+            if threads > 1:
+                kwargs["threads"] = threads
+            if executor is not None:
+                kwargs["executor"] = executor
+        engine.matmul(A, B, **kwargs)  # warm plans / pools out of the timing
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            engine.matmul(A, B, **kwargs)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    return measure
+
+
+def tune_dispatch_table(
+    grid: TuneGrid | None = None,
+    *,
+    simulate: bool = False,
+    spec: Any = None,
+    repeats: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> DispatchTable:
+    """Measure every grid cell and return the winning table.
+
+    ``simulate=True`` is the deterministic CI path (machine-model costs
+    on ``spec``, default the paper's machine); otherwise candidates are
+    timed for real on this host.  Either way each cell's winner is the
+    argmin including the classical baseline, so ``cost_s <=
+    classical_s`` holds for every cell by construction — the invariant
+    ``benchmarks/bench_tune.py`` gates.
+    """
+    grid = grid or TuneGrid()
+    if simulate:
+        from repro.machine.spec import paper_machine
+
+        measure = _simulated_measure(grid, spec or paper_machine())
+    else:
+        measure = _wallclock_measure(grid, repeats)
+
+    cells: dict[str, TunedCell] = {}
+    for threads in grid.threads:
+        candidates = list(grid.cell_candidates(threads))
+        for dtype in grid.dtypes:
+            for n in grid.dims:
+                classical = measure((None, 1, None), n, dtype, threads)
+                timed: list[tuple[str | None, int, str | None, float]] = [
+                    (None, 1, None, classical)]
+                best: tuple[str | None, int, str | None] = (None, 1, None)
+                best_cost = classical
+                for cand in candidates:
+                    cost = measure(cand, n, dtype, threads)
+                    timed.append((cand[0], cand[1], cand[2], cost))
+                    if cost < best_cost:
+                        best, best_cost = cand, cost
+                key = cell_key(n, n, n, dtype, threads)
+                cells[key] = TunedCell(
+                    algorithm=best[0], steps=best[1], executor=best[2],
+                    cost_s=best_cost, classical_s=classical,
+                    candidates=tuple(sorted(timed, key=lambda c: c[3])))
+                if progress is not None:
+                    choice = best[0] or "classical"
+                    progress(f"{key} -> {choice} "
+                             f"({classical / best_cost:.2f}x vs classical)")
+    return DispatchTable(
+        cells=cells, source="simulated" if simulate else "wallclock")

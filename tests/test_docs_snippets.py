@@ -30,7 +30,8 @@ DOCS = REPO / "docs"
 
 #: Docs whose ``python`` fences must run end to end.
 RUNNABLE_DOCS = ("USAGE.md", "OBSERVABILITY.md", "ARCHITECTURE.md",
-                 "SERVING.md", "LINTING.md", "PARALLELISM.md")
+                 "SERVING.md", "LINTING.md", "PARALLELISM.md",
+                 "TUNING.md")
 
 #: Docs whose relative links must resolve.
 LINKED_DOCS = [REPO / "README.md", *sorted(DOCS.glob("*.md"))]
@@ -57,10 +58,12 @@ def _restore_globals(tmp_path, monkeypatch):
     from repro.core.plan import configure_plan_cache
     from repro.obs.registry import reset_registry
     from repro.obs.tracer import set_tracer
+    from repro.tune import install_dispatch_table
 
     set_tracer(None)
     reset_registry()
     configure_plan_cache()
+    install_dispatch_table(None)
 
 
 @pytest.mark.parametrize("doc", RUNNABLE_DOCS)

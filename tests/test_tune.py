@@ -1,0 +1,409 @@
+"""The autotuner: dispatch tables, runtime consultation, edge cases."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExecutionConfig, execution_context
+from repro.core.engine import ExecutionEngine
+from repro.tune import (
+    DispatchTable,
+    DispatchTableError,
+    DispatchTableWarning,
+    TuneGrid,
+    TunedCell,
+    active_dispatch_table,
+    catalog_fingerprint,
+    explain,
+    install_dispatch_table,
+    load_dispatch_table,
+    shape_bucket,
+    tune_dispatch_table,
+)
+from repro.tune.table import cell_key
+
+
+@pytest.fixture(autouse=True)
+def _no_installed_table():
+    """Every test starts and ends with no process-wide table."""
+    install_dispatch_table(None)
+    yield
+    install_dispatch_table(None)
+
+
+def _table(cells, source="simulated"):
+    return DispatchTable(cells=cells, source=source)
+
+
+def _cell(algorithm, steps=1, executor=None, cost=0.5, classical=1.0):
+    return TunedCell(algorithm=algorithm, steps=steps, executor=executor,
+                     cost_s=cost, classical_s=classical)
+
+
+# ---------------------------------------------------------------------
+# keys, buckets, schema
+# ---------------------------------------------------------------------
+
+
+class TestShapeClasses:
+    def test_bucket_rounds_geometrically(self):
+        assert shape_bucket(256) == 256
+        assert shape_bucket(200) == 256  # within sqrt(2)
+        assert shape_bucket(180) == 128
+        assert shape_bucket(2800) == 2048  # below the 2^11.5 midpoint
+        assert shape_bucket(3000) == 4096  # above it
+
+    def test_bucket_clamps(self):
+        assert shape_bucket(1) == 8
+        assert shape_bucket(10**6) == 16384
+
+    def test_bucket_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            shape_bucket(0)
+
+    def test_cell_key_includes_all_axes(self):
+        key = cell_key(256, 512, 128, np.float32, 4)
+        assert key == "256x512x128|float32|t4"
+        assert cell_key(256, 512, 128, np.float64, 4) != key
+        assert cell_key(256, 512, 128, np.float32, 1) != key
+
+
+class TestTableSchema:
+    def test_round_trip(self, tmp_path):
+        table = _table({cell_key(256, 256, 256, "float32", 1):
+                        _cell("strassen222")})
+        path = table.save(tmp_path / "t.json")
+        reloaded = load_dispatch_table(path)
+        assert reloaded.to_json() == table.to_json()
+        assert reloaded.lookup(256, 256, 256, "float32").algorithm == \
+            "strassen222"
+
+    def test_lookup_buckets_real_shapes(self):
+        table = _table({cell_key(256, 256, 256, "float32", 1):
+                        _cell("strassen222")})
+        # 200..362 land in the 256 bucket on every axis
+        assert table.lookup(230, 300, 250, "float32") is not None
+        assert table.lookup(64, 256, 256, "float32") is None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DispatchTableError, match="cannot read"):
+            load_dispatch_table(tmp_path / "absent.json")
+
+    def test_corrupt_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(DispatchTableError, match="not valid JSON"):
+            load_dispatch_table(bad)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        table = _table({})
+        doc = table.to_json()
+        doc["version"] = 999
+        path = tmp_path / "v.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(DispatchTableError, match="version"):
+            load_dispatch_table(path)
+
+    def test_catalog_hash_mismatch_rejected(self, tmp_path):
+        table = _table({cell_key(256, 256, 256, "float32", 1):
+                        _cell("strassen222")})
+        doc = table.to_json()
+        doc["fingerprint"]["catalog"] = "deadbeefdeadbeef"
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(DispatchTableError, match="catalog fingerprint"):
+            load_dispatch_table(path)
+
+    def test_unknown_algorithm_rejected(self, tmp_path):
+        doc = _table({cell_key(256, 256, 256, "float32", 1):
+                      _cell("strassen222")}).to_json()
+        doc["cells"][next(iter(doc["cells"]))]["algorithm"] = "nosuchalg"
+        path = tmp_path / "alien.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(DispatchTableError, match="unknown algorithm"):
+            load_dispatch_table(path)
+
+    def test_fingerprint_tracks_catalog_contract(self):
+        # The fingerprint is a pure function of EXPECTED_PROPERTIES, so
+        # two calls agree and the value is part of the saved artifact.
+        table = _table({})
+        assert table.catalog == catalog_fingerprint()
+        assert table.to_json()["fingerprint"]["catalog"] == table.catalog
+
+
+# ---------------------------------------------------------------------
+# runtime consultation: precedence, fallbacks, warnings
+# ---------------------------------------------------------------------
+
+
+class TestConsultation:
+    def _install(self, n=64, algorithm="strassen222", **cell_kw):
+        table = _table({cell_key(n, n, n, "float64", 1):
+                        _cell(algorithm, **cell_kw)})
+        install_dispatch_table(table)
+        return table
+
+    def test_tuned_applies_table_choice(self, rng):
+        self._install()
+        engine = ExecutionEngine()
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        tuned = engine.matmul(A, B, tuned=True)
+        explicit = engine.matmul(A, B, algorithm="strassen222")
+        np.testing.assert_array_equal(tuned, explicit)
+        # ...and the tuned result is the APA product, not the gemm
+        assert not np.array_equal(tuned, A @ B)
+
+    def test_bit_identity_with_steps(self, rng):
+        self._install(n=128, algorithm="laderman333", steps=2)
+        engine = ExecutionEngine()
+        A = rng.standard_normal((128, 128))
+        B = rng.standard_normal((128, 128))
+        np.testing.assert_array_equal(
+            engine.matmul(A, B, tuned=True),
+            engine.matmul(A, B, algorithm="laderman333", steps=2))
+
+    def test_explicit_kwarg_beats_table(self, rng):
+        self._install()
+        engine = ExecutionEngine()
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        np.testing.assert_array_equal(
+            engine.matmul(A, B, algorithm="winograd222", tuned=True),
+            engine.matmul(A, B, algorithm="winograd222"))
+
+    def test_context_beats_table(self, rng):
+        self._install()
+        engine = ExecutionEngine()
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        with execution_context(algorithm="winograd222"):
+            tuned = engine.matmul(A, B, tuned=True)
+        np.testing.assert_array_equal(
+            tuned, engine.matmul(A, B, algorithm="winograd222"))
+
+    def test_uncovered_cell_falls_back_to_classical(self, rng):
+        self._install(n=64)
+        engine = ExecutionEngine()
+        A = rng.standard_normal((512, 512))  # bucket 512: not covered
+        B = rng.standard_normal((512, 512))
+        np.testing.assert_array_equal(
+            engine.matmul(A, B, tuned=True), np.matmul(A, B))
+
+    def test_classical_cell_runs_gemm(self, rng):
+        self._install(algorithm=None)
+        engine = ExecutionEngine()
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        np.testing.assert_array_equal(
+            engine.matmul(A, B, tuned=True), np.matmul(A, B))
+
+    def test_tuned_via_context_and_engine_config(self, rng):
+        self._install()
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        expected = ExecutionEngine().matmul(A, B, algorithm="strassen222")
+        with execution_context(tuned=True):
+            np.testing.assert_array_equal(
+                ExecutionEngine().matmul(A, B), expected)
+        engine = ExecutionEngine(ExecutionConfig(tuned=True))
+        np.testing.assert_array_equal(engine.matmul(A, B), expected)
+
+    def test_missing_file_warns_once_then_static(self, rng, tmp_path):
+        install_dispatch_table(tmp_path / "never_written.json")
+        engine = ExecutionEngine()
+        A = rng.standard_normal((32, 32))
+        B = rng.standard_normal((32, 32))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = engine.matmul(A, B, tuned=True)
+            second = engine.matmul(A, B, tuned=True)
+        np.testing.assert_array_equal(first, np.matmul(A, B))
+        np.testing.assert_array_equal(second, np.matmul(A, B))
+        tuned_warnings = [w for w in caught
+                          if issubclass(w.category, DispatchTableWarning)]
+        assert len(tuned_warnings) == 1
+        assert "rejected" in str(tuned_warnings[0].message)
+
+    def test_corrupt_file_warns_once_then_static(self, rng, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("]]]")
+        install_dispatch_table(path)
+        engine = ExecutionEngine()
+        A = rng.standard_normal((32, 32))
+        B = rng.standard_normal((32, 32))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                np.testing.assert_array_equal(
+                    engine.matmul(A, B, tuned=True), np.matmul(A, B))
+        assert sum(issubclass(w.category, DispatchTableWarning)
+                   for w in caught) == 1
+
+    def test_no_table_at_all_warns_once(self, rng, monkeypatch):
+        monkeypatch.delenv("REPRO_DISPATCH_TABLE", raising=False)
+        engine = ExecutionEngine()
+        A = rng.standard_normal((32, 32))
+        B = rng.standard_normal((32, 32))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine.matmul(A, B, tuned=True)
+            engine.matmul(A, B, tuned=True)
+        assert sum(issubclass(w.category, DispatchTableWarning)
+                   for w in caught) == 1
+
+    def test_reinstall_resets_the_warning(self, rng, tmp_path):
+        install_dispatch_table(tmp_path / "a.json")
+        engine = ExecutionEngine()
+        A = rng.standard_normal((32, 32))
+        B = rng.standard_normal((32, 32))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine.matmul(A, B, tuned=True)
+            install_dispatch_table(tmp_path / "b.json")
+            engine.matmul(A, B, tuned=True)
+        assert sum(issubclass(w.category, DispatchTableWarning)
+                   for w in caught) == 2
+
+    def test_env_var_auto_installs(self, rng, tmp_path, monkeypatch):
+        table = _table({cell_key(64, 64, 64, "float64", 1):
+                        _cell("strassen222")})
+        path = table.save(tmp_path / "env.json")
+        monkeypatch.setenv("REPRO_DISPATCH_TABLE", str(path))
+        install_dispatch_table(None)  # re-arm resolution under the env var
+        engine = ExecutionEngine()
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        np.testing.assert_array_equal(
+            engine.matmul(A, B, tuned=True),
+            engine.matmul(A, B, algorithm="strassen222"))
+
+    def test_active_table_resolves_without_warning(self, tmp_path):
+        table = _table({})
+        install_dispatch_table(table)
+        assert active_dispatch_table() is table
+        install_dispatch_table(tmp_path / "missing.json")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert active_dispatch_table() is None
+
+    def test_tuned_false_pins_off_against_context(self, rng):
+        self._install()
+        engine = ExecutionEngine()
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        with execution_context(tuned=True):
+            untouched = engine.matmul(A, B, tuned=False)
+        np.testing.assert_array_equal(untouched, np.matmul(A, B))
+
+    def test_tuned_validates_type(self):
+        with pytest.raises(TypeError, match="tuned must be a bool"):
+            ExecutionConfig(tuned=1)
+
+    def test_explain_names_fallbacks_and_choices(self):
+        assert "no dispatch table" in explain(256, 256, 256)
+        self._install()
+        text = explain(64, 64, 64, dtype="float64")
+        assert "strassen222" in text
+        assert "not covered" in explain(4096, 4096, 4096, dtype="float64")
+
+
+# ---------------------------------------------------------------------
+# the tuner loop
+# ---------------------------------------------------------------------
+
+
+class TestTuner:
+    def test_simulated_run_is_deterministic(self):
+        grid = TuneGrid(dims=(256, 2048), threads=(1, 12))
+        t1 = tune_dispatch_table(grid, simulate=True)
+        t2 = tune_dispatch_table(grid, simulate=True)
+        assert t1.cells == t2.cells
+        assert t1.source == "simulated"
+
+    def test_tuned_never_slower_than_classical(self):
+        table = tune_dispatch_table(
+            TuneGrid(dims=(256, 1024, 2048, 4096), threads=(1, 12)),
+            simulate=True)
+        for key, cell in table.cells.items():
+            assert cell.cost_s <= cell.classical_s, key
+            # classical is always among the recorded candidates
+            assert any(c[0] is None for c in cell.candidates), key
+
+    def test_large_cells_choose_apa(self):
+        table = tune_dispatch_table(
+            TuneGrid(dims=(256, 4096), threads=(1,)), simulate=True)
+        assert table.lookup(256, 256, 256, "float32").algorithm is None
+        assert table.lookup(4096, 4096, 4096, "float32").algorithm \
+            is not None
+
+    def test_error_budget_filters_candidates(self):
+        # A tight budget excludes every APA rule (error floor ~3.5e-4
+        # at best), leaving exact rules and classical only.
+        table = tune_dispatch_table(
+            TuneGrid(dims=(4096,), threads=(1,), max_error=1e-6),
+            simulate=True)
+        cell = table.lookup(4096, 4096, 4096, "float32")
+        from repro.algorithms.catalog import get_algorithm
+
+        assert cell.algorithm is None or \
+            get_algorithm(cell.algorithm).is_exact
+        for name, _steps, _exe, _cost in cell.candidates:
+            assert name is None or get_algorithm(name).is_exact
+
+    def test_surrogates_never_tuned(self):
+        grid = TuneGrid(dims=(4096,), threads=(1,),
+                        candidates=("smirnov444", "strassen222"))
+        table = tune_dispatch_table(grid, simulate=True)
+        cell = table.lookup(4096, 4096, 4096, "float32")
+        assert all(name != "smirnov444"
+                   for name, _s, _e, _c in cell.candidates)
+
+    def test_wallclock_run_smoke(self):
+        grid = TuneGrid(dims=(48,), dtypes=("float32",), threads=(1,),
+                        candidates=("strassen222",), executors=("thread",))
+        table = tune_dispatch_table(grid, repeats=1)
+        assert table.source == "wallclock"
+        assert len(table) == 1
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            TuneGrid(dims=())
+        with pytest.raises(ValueError):
+            TuneGrid(steps=(0,))
+        with pytest.raises(ValueError):
+            TuneGrid(executors=("fork",))
+
+
+# ---------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------
+
+
+class TestTuneCLI:
+    def test_run_show_explain_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "table.json"
+        assert main(["tune", "run", "--simulate", "--dims", "256", "4096",
+                     "--out", str(path)]) == 0
+        assert main(["tune", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch table v1" in out
+        assert main(["tune", "explain", "4096", "4096", "4096",
+                     "--table", str(path)]) == 0
+        assert "chosen" in capsys.readouterr().out
+
+    def test_show_rejects_stale_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        doc = _table({}).to_json()
+        doc["fingerprint"]["catalog"] = "0" * 16
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(doc))
+        assert main(["tune", "show", str(path)]) == 1
+        assert "invalid dispatch table" in capsys.readouterr().out
