@@ -9,7 +9,9 @@ Feeds the CLI ``info`` command and the catalog report table.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from fractions import Fraction
 
 from repro.algorithms.spec import AlgorithmLike
 from repro.bench.tables import format_table
@@ -18,6 +20,8 @@ __all__ = [
     "AlgorithmReport",
     "analyze_algorithm",
     "catalog_report",
+    "frobenius_growth",
+    "growth_product_squared",
     "predicted_error_bound",
 ]
 
@@ -49,6 +53,47 @@ def predicted_error_bound(
 
         algorithm = get_algorithm(algorithm)
     return max(algorithm.error_bound(d=d, steps=steps), classical)
+
+
+def growth_product_squared(
+    algorithm: AlgorithmLike | str, lam: Fraction | int = 1
+) -> Fraction:
+    """Exact squared Frobenius growth product ``(||U|| ||V|| ||W||)^2``.
+
+    The coefficient-growth measure Dumas–Pernet–Sedoglavic (arXiv
+    2402.05630) minimize over the basis-change orbit of a rule: the
+    accumulated roundoff of a recursive bilinear algorithm scales with
+    the magnitude of its coefficients, and the product of factor
+    Frobenius norms is the orbit-optimizable proxy for it (Strassen's
+    published coefficients give ``1728``; the accuracy-optimal variant
+    reaches ``531441/512``).  Returned as the *squared* product so the
+    comparison stays exact rational; Laurent entries are evaluated at
+    ``lam`` (default 1, i.e. the nominal coefficient including every
+    order of the APA perturbation).
+    """
+    if isinstance(algorithm, str):
+        from repro.algorithms.catalog import get_algorithm
+
+        algorithm = get_algorithm(algorithm)
+    if algorithm.is_surrogate:
+        raise ValueError(
+            f"{algorithm.name!r} is a surrogate; growth needs coefficients")
+    lam = Fraction(lam)
+    product = Fraction(1)
+    for M in (algorithm.U, algorithm.V, algorithm.W):
+        sq = Fraction(0)
+        for entry in M.flat:
+            if entry and not entry.is_zero():
+                sq += entry.evaluate_exact(lam) ** 2
+        product *= sq
+    return product
+
+
+def frobenius_growth(algorithm: AlgorithmLike | str,
+                     lam: Fraction | int = 1) -> float:
+    """``||U||_F * ||V||_F * ||W||_F`` as a float (see
+    :func:`growth_product_squared` for the exact squared value)."""
+    return math.sqrt(float(growth_product_squared(algorithm, lam=lam)))
 
 
 @dataclass(frozen=True)

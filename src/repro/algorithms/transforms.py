@@ -14,13 +14,21 @@ algorithm for <n,m,k> and any other reordering").  We implement:
   with phi adding);
 - :func:`stack_m` — direct sum along the first dimension
   ``<m1,n,k>:r1 (+) <m2,n,k>:r2 = <m1+m2,n,k>:r1+r2``;
-- :func:`substitute_lambda` — regrade ``lambda -> lambda**t``.
+- :func:`substitute_lambda` — regrade ``lambda -> lambda**t``;
+- :func:`sandwich` — the basis-change (de Groote) orbit
+  ``(A, B) -> (X A Y, Y^-1 B Z)``: rank, sigma, phi, and exactness are
+  all preserved, but the coefficient *growth factor* governing roundoff
+  is not — Dumas–Pernet–Sedoglavic (arXiv 2402.05630) pick the orbit
+  element minimizing it.
 
 Every transform preserves validity; the test suite re-verifies all outputs
 symbolically.
 """
 
 from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
 
 import numpy as np
 
@@ -34,6 +42,7 @@ __all__ = [
     "tensor_product",
     "stack_m",
     "substitute_lambda",
+    "sandwich",
 ]
 
 
@@ -279,6 +288,139 @@ def substitute_lambda(
         V=_sub(alg.V),
         W=_sub(alg.W),
         source=f"lambda -> lambda**{power} regrade of {alg.name}",
+    )
+
+
+def _fraction_matrix(M: Sequence[Sequence[object]], size: int,
+                     label: str) -> list[list[Fraction]]:
+    """Validate and convert a basis-change matrix to exact Fractions.
+
+    Entries may be ints, Fractions, or floats; floats convert exactly
+    (binary floats are dyadic rationals), which is precisely the class
+    of matrices that keeps Laurent coefficients exact.
+    """
+    rows = [list(row) for row in M]
+    if len(rows) != size or any(len(row) != size for row in rows):
+        raise ValueError(
+            f"{label} must be {size}x{size}, got "
+            f"{len(rows)}x{len(rows[0]) if rows else 0}")
+    return [[Fraction(x) for x in row] for row in rows]
+
+
+def _fraction_inverse(M: list[list[Fraction]],
+                      label: str) -> list[list[Fraction]]:
+    """Exact inverse by Gauss–Jordan elimination over the rationals."""
+    size = len(M)
+    aug = [list(row) + [Fraction(int(i == j)) for j in range(size)]
+           for i, row in enumerate(M)]
+    for col in range(size):
+        pivot = next((r for r in range(col, size) if aug[r][col] != 0), None)
+        if pivot is None:
+            raise ValueError(f"{label} is singular; sandwich needs an "
+                             f"invertible basis change")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv = Fraction(1) / aug[col][col]
+        aug[col] = [x * inv for x in aug[col]]
+        for r in range(size):
+            if r != col and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [a - factor * b for a, b in zip(aug[r], aug[col])]
+    return [row[size:] for row in aug]
+
+
+def _fraction_transpose(M: list[list[Fraction]]) -> list[list[Fraction]]:
+    return [list(col) for col in zip(*M)]
+
+
+def _fraction_kron(P: list[list[Fraction]],
+                   Q: list[list[Fraction]]) -> list[list[Fraction]]:
+    """Kronecker product of two exact matrices (row-major block order)."""
+    p, q = len(P), len(Q)
+    out = [[Fraction(0)] * (p * q) for _ in range(p * q)]
+    for i in range(p):
+        for j in range(p):
+            pij = P[i][j]
+            if pij == 0:
+                continue
+            for a in range(q):
+                for b in range(q):
+                    if Q[a][b] != 0:
+                        out[i * q + a][j * q + b] = pij * Q[a][b]
+    return out
+
+
+def _apply_left(F: list[list[Fraction]], M: np.ndarray) -> np.ndarray:
+    """Exact matrix product ``F @ M`` of a Fraction matrix with a
+    Laurent coefficient matrix."""
+    rows, r = M.shape
+    if len(F) != rows or any(len(row) != rows for row in F):
+        raise AssertionError("basis-change factor shape mismatch")
+    out = coeff_matrix(rows, r)
+    for i in range(rows):
+        Fi = F[i]
+        for t in range(r):
+            acc = Laurent.zero()
+            for j in range(rows):
+                c = Fi[j]
+                if c == 0:
+                    continue
+                entry = M[j, t]
+                if entry and not entry.is_zero():
+                    acc = acc + entry.scale(c)
+            out[i, t] = acc
+    return out
+
+
+def sandwich(
+    alg: BilinearAlgorithm,
+    X: Sequence[Sequence[object]],
+    Y: Sequence[Sequence[object]],
+    Z: Sequence[Sequence[object]],
+    name: str | None = None,
+) -> BilinearAlgorithm:
+    """Basis-change orbit: run ``alg`` on ``(X A Y, Y^-1 B Z)``.
+
+    From ``(X A Y)(Y^-1 B Z) = X (A B) Z``: feeding transformed
+    operands to the original rule yields ``X C Z``, and undoing the
+    outer factors recovers ``C``.  Folding the (exact, rational)
+    transforms into the coefficient tensors — row-major ``vec``, so
+    ``vec(XAY) = (X (x) Y^T) vec(A)`` —
+
+    - ``U' = (X (x) Y^T)^T U``
+    - ``V' = (Y^-1 (x) Z^T)^T V``
+    - ``W' = (X^-1 (x) (Z^-1)^T) W``
+
+    produces an equivalent rule: same dims, rank, sigma, phi, and
+    exactness (the suite re-verifies symbolically), but a different
+    coefficient **growth factor** — the de Groote orbit degree of
+    freedom Dumas–Pernet–Sedoglavic (arXiv 2402.05630) optimize to cut
+    the accumulated roundoff of Strassen-like rules.
+
+    ``X`` is ``m x m``, ``Y`` is ``n x n``, ``Z`` is ``k x k``; entries
+    must be rational (ints, Fractions, or binary floats) and each
+    matrix invertible.
+    """
+    m, n, k = alg.dims
+    Xf = _fraction_matrix(X, m, "X")
+    Yf = _fraction_matrix(Y, n, "Y")
+    Zf = _fraction_matrix(Z, k, "Z")
+    Xinv = _fraction_inverse(Xf, "X")
+    Yinv = _fraction_inverse(Yf, "Y")
+    Zinv = _fraction_inverse(Zf, "Z")
+
+    U_map = _fraction_transpose(_fraction_kron(Xf, _fraction_transpose(Yf)))
+    V_map = _fraction_transpose(_fraction_kron(Yinv, _fraction_transpose(Zf)))
+    W_map = _fraction_kron(Xinv, _fraction_transpose(Zinv))
+
+    return BilinearAlgorithm(
+        name=name or f"{alg.name}_sandwich",
+        m=m,
+        n=n,
+        k=k,
+        U=_apply_left(U_map, alg.U),
+        V=_apply_left(V_map, alg.V),
+        W=_apply_left(W_map, alg.W),
+        source=f"basis-change (sandwich) orbit of {alg.name}",
     )
 
 

@@ -1,0 +1,129 @@
+"""Stage registry: names, canonical order, and config-driven selection.
+
+The registry is deliberately small: a name → stage-class map plus
+:data:`STAGE_ORDER`, the one place the composition order
+outermost-to-innermost is written down.  The order is semantic, not
+cosmetic:
+
+``guard`` → ``randomized`` → ``trace`` → ``inject``
+
+- The **guard** is outermost so its residual probe checks the product
+  the caller actually receives — with randomization active, that means
+  the probe confirms the variance reduction instead of being blind to
+  it (the ISSUE's composability requirement).
+- **randomized** sits above tracing so a traced span covers the
+  un-transformed recursion, matching the spans emitted today.
+- **inject** is innermost because faults model *hardware/worker*
+  failures: everything above must observe (and recover from) them.
+
+``ExecutionConfig.stages`` names come from here too — config.py keeps
+a literal copy (:data:`repro.core.config.STAGE_NAMES`) to avoid an
+import cycle, and :func:`_check_stage_names_in_sync` asserts at import
+time that the two never drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.backends.base import BackendStage
+
+__all__ = [
+    "STAGE_ORDER",
+    "register_stage",
+    "get_stage",
+    "stage_names",
+    "active_stage_names",
+    "build_stages",
+]
+
+#: Canonical composition order, outermost first.
+STAGE_ORDER: tuple[str, ...] = ("guard", "randomized", "trace", "inject")
+
+_FACTORIES: dict[str, type[BackendStage]] = {}
+
+
+def register_stage(cls: type[BackendStage]) -> type[BackendStage]:
+    """Class decorator adding a stage to the registry.
+
+    Every registered stage must have a position in :data:`STAGE_ORDER`
+    — an orderless stage would make composition ambiguous.
+    """
+    name = cls.name
+    if not name:
+        raise ValueError(f"stage class {cls.__name__} has no name")
+    if name not in STAGE_ORDER:
+        raise ValueError(
+            f"stage {name!r} has no position in STAGE_ORDER {STAGE_ORDER!r}")
+    if name in _FACTORIES and _FACTORIES[name] is not cls:
+        raise ValueError(f"stage {name!r} already registered")
+    _FACTORIES[name] = cls
+    return cls
+
+
+def get_stage(name: str) -> type[BackendStage]:
+    """Look up a stage class by registry name."""
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {name!r}; registered: "
+            f"{', '.join(stage_names())}") from None
+
+
+def stage_names() -> tuple[str, ...]:
+    """Registered stage names in canonical order."""
+    return tuple(n for n in STAGE_ORDER if n in _FACTORIES)
+
+
+def active_stage_names(config: Any) -> tuple[str, ...]:
+    """Stage names a resolved config activates, in canonical order.
+
+    The sugar knobs are forced spellings of the same thing:
+    ``guarded=True`` ≡ ``"guard" in stages``, ``randomized=True`` ≡
+    ``"randomized" in stages``.  Randomization also activates the trace
+    stage (a transformed product should say so in its span stream);
+    tracing stays per-call free when no tracer is installed.
+
+    Fault injection is *not* listed here: ``fault=`` acts on the gemm
+    seam inside the terminal backend (see
+    :meth:`~repro.backends.stages.InjectStage.wrap_gemm` and the
+    engine's ``_execute``), not on the product seam this function
+    feeds, so adding it would double-inject.
+    """
+    named: set[str] = set(getattr(config, "stages", None) or ())
+    if getattr(config, "guarded", None):
+        named.add("guard")
+    if getattr(config, "randomized", None):
+        named.add("randomized")
+    if "randomized" in named:
+        named.add("trace")
+    return tuple(n for n in STAGE_ORDER if n in named)
+
+
+def build_stages(config: Any,
+                 names: Iterable[str] | None = None) -> list[BackendStage]:
+    """Instantiate the stages ``config`` activates, in canonical order."""
+    selected = tuple(names) if names is not None else active_stage_names(config)
+    stages: list[BackendStage] = []
+    for name in selected:
+        cls = get_stage(name)
+        if not cls.applies(config):
+            raise ValueError(
+                f"stage {name!r} cannot activate for this config "
+                f"(missing prerequisite knobs)")
+        stages.append(cls(config))
+    return stages
+
+
+def _check_stage_names_in_sync() -> None:
+    """Assert config.py's literal STAGE_NAMES matches STAGE_ORDER."""
+    from repro.core.config import STAGE_NAMES
+
+    if tuple(STAGE_NAMES) != STAGE_ORDER:
+        raise AssertionError(
+            f"repro.core.config.STAGE_NAMES {STAGE_NAMES!r} is out of sync "
+            f"with repro.backends.registry.STAGE_ORDER {STAGE_ORDER!r}")
+
+
+_check_stage_names_in_sync()

@@ -1,0 +1,59 @@
+"""One name-resolution path for every backend constructor.
+
+``make_backend`` and the engine previously each parsed algorithm-name
+lists with their own copy of the catalog lookup (and their own error
+messages).  Both now call here.  This module stays import-light on
+purpose — no stack/registry imports — so the engine can bind
+:func:`resolve_algorithm` at module scope without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["resolve_algorithm", "resolve_backend_algorithm"]
+
+
+def resolve_algorithm(algorithm: Any) -> Any:
+    """Catalog name → ``BilinearAlgorithm``; anything else passes through.
+
+    Raises the catalog's own ``KeyError`` (``"unknown algorithm ..."``)
+    for a bad name — the spelling engine call sites are pinned to.
+    """
+    if isinstance(algorithm, str):
+        from repro.algorithms.catalog import get_algorithm
+
+        return get_algorithm(algorithm)
+    return algorithm
+
+
+def resolve_backend_algorithm(
+    algorithm_name: Any,
+) -> Any:
+    """Backend-name(s) → algorithm object(s); ``None`` means classical.
+
+    ``None`` / ``'classical'`` → ``None`` (caller builds the gemm
+    baseline); a single name → one algorithm; a tuple/list of names →
+    a tuple (non-stationary level list).  Unknown names raise
+    ``KeyError`` with the ``"unknown backend"`` spelling and the full
+    list of known names — the contract ``make_backend`` has always had.
+    """
+    if algorithm_name is None or algorithm_name == "classical":
+        return None
+    from repro.algorithms.catalog import get_algorithm, list_algorithms
+
+    is_seq = isinstance(algorithm_name, (tuple, list))
+    names = list(algorithm_name) if is_seq else [algorithm_name]
+    resolved = []
+    for name in names:
+        if not isinstance(name, str):
+            resolved.append(name)  # already an algorithm object
+            continue
+        try:
+            resolved.append(get_algorithm(name))
+        except KeyError:
+            raise KeyError(
+                f"unknown backend {name!r}; known names: "
+                f"classical, {', '.join(list_algorithms('all'))}"
+            ) from None
+    return tuple(resolved) if is_seq else resolved[0]

@@ -141,13 +141,48 @@ class APABackend:
         if self.min_dim and min(A.shape[0], A.shape[1], B.shape[1]) < self.min_dim:
             self.fallback_calls += 1
             return A @ B
-        if isinstance(self.algorithm, tuple):
+        return self._stack().matmul(A, B)
+
+    def _stack(self):
+        """The (empty) backend stack this class is a shim over.
+
+        An empty :class:`~repro.backends.stack.BackendStack` composes
+        no stages, so its ``matmul`` *is* the target's — bit-identical
+        to the pre-stack code — while keeping one construction path for
+        everything that wraps a matmul.  The target reads this
+        backend's live knobs per call, so escalation write-backs
+        (``lam``/``steps``) keep working through the stack.
+        """
+        stack = getattr(self, "_stack_obj", None)
+        if stack is None:
+            from repro.backends.stack import BackendStack
+
+            stack = BackendStack((), target=_APATarget(self))
+            self._stack_obj = stack
+        return stack
+
+
+class _APATarget:
+    """Terminal adapter running an :class:`APABackend`'s live knobs."""
+
+    __slots__ = ("_backend",)
+
+    def __init__(self, backend: "APABackend") -> None:
+        self._backend = backend
+
+    @property
+    def name(self) -> str:
+        return self._backend.name
+
+    def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        b = self._backend
+        if isinstance(b.algorithm, tuple):
             return apa_matmul_nonstationary(
-                A, B, list(self.algorithm), lam=self.lam, gemm=self.gemm,
-                plan_cache=self.plan_cache)
-        return apa_matmul(A, B, self.algorithm, lam=self.lam,
-                          steps=self.steps, gemm=self.gemm,
-                          plan_cache=self.plan_cache)
+                A, B, list(b.algorithm), lam=b.lam, gemm=b.gemm,
+                plan_cache=b.plan_cache)
+        return apa_matmul(A, B, b.algorithm, lam=b.lam,
+                          steps=b.steps, gemm=b.gemm,
+                          plan_cache=b.plan_cache)
 
 
 def make_backend(
@@ -170,27 +205,14 @@ def make_backend(
     per-call health checks and escalation ``policy`` (an
     :class:`~repro.robustness.policy.EscalationPolicy`, defaulted).
     """
-    if algorithm_name is None or algorithm_name == "classical":
+    from repro.backends.resolve import resolve_backend_algorithm
+
+    resolved = resolve_backend_algorithm(algorithm_name)
+    if resolved is None:
         backend: MatmulBackend = ClassicalBackend()
     else:
-        from repro.algorithms.catalog import get_algorithm, list_algorithms
-
-        names = (list(algorithm_name)
-                 if isinstance(algorithm_name, (tuple, list))
-                 else [algorithm_name])
-        resolved = []
-        for name in names:
-            try:
-                resolved.append(get_algorithm(name))
-            except KeyError:
-                raise KeyError(
-                    f"unknown backend {name!r}; known names: "
-                    f"classical, {', '.join(list_algorithms('all'))}"
-                ) from None
         backend = APABackend(
-            algorithm=(tuple(resolved)
-                       if isinstance(algorithm_name, (tuple, list))
-                       else resolved[0]),
+            algorithm=resolved,
             lam=lam,
             steps=steps,
             min_dim=min_dim,
@@ -199,5 +221,5 @@ def make_backend(
     if guarded:
         from repro.robustness.guard import GuardedBackend
 
-        return GuardedBackend(backend, policy=policy)
+        return GuardedBackend(backend, policy=policy)  # lint: ignore[ENG002]: legacy shim pinned bit-identical; wraps an APABackend, not an engine config
     return backend

@@ -51,6 +51,7 @@ __all__ = [
     "BATCH_MODES",
     "EXECUTION_MODES",
     "EXECUTORS",
+    "STAGE_NAMES",
     "ExecutionConfig",
     "active_overrides",
     "execution_context",
@@ -68,6 +69,19 @@ BATCH_MODES = ("stacked", "loop")
 #: GIL) or worker processes over shared memory (the combinations scale
 #: too; see :mod:`repro.parallel.procpool`).
 EXECUTORS = ("thread", "process")
+
+#: Backend-stack stage names in canonical composition order (outermost
+#: first).  A literal copy of
+#: :data:`repro.backends.registry.STAGE_ORDER` — config cannot import
+#: the registry (the registry's stages need config-resolved knobs), so
+#: the registry asserts the two stay in sync at import time.
+STAGE_NAMES = ("guard", "randomized", "trace", "inject")
+
+#: Stage names accepted in ``ExecutionConfig.stages``.  ``inject`` is
+#: excluded: fault injection acts on the gemm seam inside the terminal
+#: backend and is requested with the ``fault=`` knob — naming it on the
+#: product seam as well would double-inject.
+SETTABLE_STAGES = ("guard", "randomized", "trace")
 
 
 def _validate_shard(shard: Any) -> None:
@@ -152,6 +166,22 @@ class ExecutionConfig:
     #: the active context, above built-in defaults).  Uncovered cells
     #: fall back to the static defaults (classical gemm).
     tuned: bool | None = None
+    #: Seeded signed-permutation operand transform before the product
+    #: (Malik & Becker, arXiv 1905.07439): debiases APA error, shrinking
+    #: its variance at the same lambda.  Composable with ``guarded`` —
+    #: the guard is stacked outside, so its residual probe checks the
+    #: randomized product.
+    randomized: bool | None = None
+    #: Seed of the randomized stage's transform stream (resolved
+    #: default 0; each call draws fresh from the seeded stream).
+    rand_seed: int | None = None
+    #: Explicit backend-stack stage names, a subset of
+    #: :data:`SETTABLE_STAGES`.  Sugar equivalences: ``"guard"`` ≡
+    #: ``guarded=True``, ``"randomized"`` ≡ ``randomized=True``;
+    #: ``"trace"`` adds the per-call ``backend-stack`` span on its own.
+    #: Order is irrelevant — composition always follows
+    #: :data:`STAGE_NAMES`.
+    stages: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.tuned is not None and not isinstance(self.tuned, bool):
@@ -188,6 +218,31 @@ class ExecutionConfig:
                 f"{EXECUTORS}")
         if self.shard is not None:
             _validate_shard(self.shard)
+        if self.randomized is not None and not isinstance(
+                self.randomized, bool):
+            raise TypeError(
+                f"randomized must be a bool, got {self.randomized!r}")
+        if self.rand_seed is not None and (
+                isinstance(self.rand_seed, bool)
+                or not isinstance(self.rand_seed, int)):
+            raise TypeError(
+                f"rand_seed must be an int, got {self.rand_seed!r}")
+        if self.stages is not None:
+            if isinstance(self.stages, str) or not isinstance(
+                    self.stages, (tuple, list)):
+                raise TypeError(
+                    f"stages must be a tuple of stage names, got "
+                    f"{self.stages!r}")
+            object.__setattr__(self, "stages", tuple(self.stages))
+            unknown = [s for s in self.stages if s not in SETTABLE_STAGES]
+            if unknown:
+                raise ValueError(
+                    f"unknown stage name(s) {unknown!r}; expected a subset "
+                    f"of {SETTABLE_STAGES} (fault injection is requested "
+                    f"with the fault= knob)")
+            if len(set(self.stages)) != len(self.stages):
+                raise ValueError(
+                    f"duplicate stage names in {self.stages!r}")
         self._check_combinations()
 
     def _check_combinations(self) -> None:
@@ -240,6 +295,23 @@ class ExecutionConfig:
                 raise ValueError(
                     "executor='process' runs gemms in worker processes; "
                     "the gemm/fault seams are thread-executor only")
+        if self.randomized and self.shard is not None:
+            raise ValueError(
+                "randomized=True transforms in-memory operands; the "
+                "sharded out-of-core path cannot compose with it")
+        if self.stages:
+            if "guard" in self.stages and self.guarded is False:
+                raise ValueError(
+                    "stages names 'guard' but guarded=False; drop one "
+                    "(they are two spellings of the same stage)")
+            if "randomized" in self.stages and self.randomized is False:
+                raise ValueError(
+                    "stages names 'randomized' but randomized=False; drop "
+                    "one (they are two spellings of the same stage)")
+            if "randomized" in self.stages and self.shard is not None:
+                raise ValueError(
+                    "randomized stage transforms in-memory operands; the "
+                    "sharded out-of-core path cannot compose with it")
 
     # -- merge helpers -------------------------------------------------
 

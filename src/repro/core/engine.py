@@ -88,11 +88,16 @@ def _load_impls() -> None:
 
 
 def _resolve_algorithm(algorithm: Any) -> Any:
-    """Catalog name → ``BilinearAlgorithm``; anything else passes through."""
-    if isinstance(algorithm, str):
-        from repro.algorithms.catalog import get_algorithm
+    """Catalog name → ``BilinearAlgorithm``; anything else passes through.
 
-        return get_algorithm(algorithm)
+    The str check stays inline (this sits on the fast lanes; non-string
+    algorithms must not pay an import), but name lookup delegates to the
+    shared resolver so the engine and ``make_backend`` can never drift.
+    """
+    if isinstance(algorithm, str):
+        from repro.backends.resolve import resolve_algorithm
+
+        return resolve_algorithm(algorithm)
     return algorithm
 
 
@@ -156,7 +161,11 @@ class EngineBackend:
 
     def __init__(self, engine: "ExecutionEngine",
                  config: ExecutionConfig) -> None:
-        cfg = config.replace(guarded=None, guard_policy=None)
+        # Strip every stack-owned knob: this is the stack's *terminal*
+        # backend, so guard/randomized/trace are applied above it and
+        # must not be re-applied inside.
+        cfg = config.replace(guarded=None, guard_policy=None,
+                             randomized=None, rand_seed=None, stages=None)
         alg = cfg.algorithm
         if isinstance(alg, (tuple, list)):
             alg = tuple(_resolve_algorithm(a) for a in alg)
@@ -164,14 +173,15 @@ class EngineBackend:
             alg = _resolve_algorithm(alg)
         cfg = cfg.replace(algorithm=alg)
         if cfg.fault is not None:
-            # Materialize the injector once: persistent across calls
-            # (its call counter advances like a FaultyBackend's), and
-            # visible to the guard's recompute via the gemm attribute.
-            from repro.robustness.inject import GemmFaultInjector
+            # Materialize the injector once via the inject stage's gemm
+            # seam: persistent across calls (its call counter advances
+            # like a FaultyBackend's), and visible to the guard's
+            # recompute via the gemm attribute.
+            from repro.backends.stages import InjectStage
 
             cfg = cfg.replace(
                 fault=None,
-                gemm=GemmFaultInjector(gemm=cfg.gemm, spec=config.fault))
+                gemm=InjectStage(config).wrap_gemm(cfg.gemm))
         self._engine = engine
         self._cfg = cfg
         #: The resolved algorithm — a tuple for non-stationary configs
@@ -201,7 +211,8 @@ class EngineBackend:
         cfg = base
         if active_overrides() is not None:
             cfg = self._engine.resolve(base).replace(
-                guarded=None, guard_policy=None)
+                guarded=None, guard_policy=None,
+                randomized=None, rand_seed=None, stages=None)
         changes: dict[str, Any] = {}
         if self.lam is not None and self.lam != base.lam:
             changes["lam"] = self.lam
@@ -218,7 +229,7 @@ class EngineBackend:
 
 
 def _guard_key(cfg: ExecutionConfig) -> tuple[Any, ...]:
-    """Hashable identity key for one config's guard instance.
+    """Hashable identity key for one config's backend-stack instance.
 
     ``BilinearAlgorithm`` is a dataclass over coefficient arrays, so
     dataclass equality on configs would compare arrays (ambiguous
@@ -238,11 +249,12 @@ def _guard_key(cfg: ExecutionConfig) -> tuple[Any, ...]:
     return tuple(parts)
 
 
-#: Guard instances cached per config (circuit-breaker and escalation
-#: state must persist across calls with the same config).  Bounded so
-#: per-call closures in a config (e.g. lambda gemms) cannot grow the
-#: cache without limit; eviction drops that config's breaker history.
-_GUARD_CACHE_MAX = 32
+#: Backend stacks cached per config (circuit-breaker, escalation, and
+#: randomized-draw state must persist across calls with the same
+#: config).  Bounded so per-call closures in a config (e.g. lambda
+#: gemms) cannot grow the cache without limit; eviction drops that
+#: config's breaker history and draw counter.
+_STACK_CACHE_MAX = 32
 
 
 class ExecutionEngine:
@@ -261,8 +273,8 @@ class ExecutionEngine:
         self.config = config if config is not None else ExecutionConfig()
         self._overrides = self.config.overrides()
         self._configured = bool(self._overrides)
-        self._guard_lock = threading.Lock()
-        self._guards: dict[tuple[Any, ...], Any] = {}
+        self._stack_lock = threading.Lock()
+        self._stacks: dict[tuple[Any, ...], Any] = {}
         self._arenas = threading.local()
 
     # -- config resolution ---------------------------------------------
@@ -304,14 +316,21 @@ class ExecutionEngine:
                 **overrides: Any) -> Any:
         """A reusable :class:`MatmulBackend` for the resolved config.
 
-        ``guarded=True`` configs return the engine's cached
-        :class:`~repro.robustness.guard.GuardedBackend` (escalation and
-        breaker state persist); everything else gets a fresh
-        :class:`EngineBackend`.
+        Staged configs (``guarded`` / ``randomized`` / ``stages``)
+        return the engine's cached stack — escalation, breaker, and
+        randomized-draw state persist across calls.  Guarded stacks
+        hand back the :class:`~repro.backends.guard.GuardedBackend`
+        itself (the guard is outermost, so its ``matmul`` *is* the
+        composed stack) to keep the familiar
+        ``violations``/``fallback_calls`` surface; everything else gets
+        the :class:`~repro.backends.stack.BackendStack`, or a fresh
+        :class:`EngineBackend` when no stage is active.
         """
         cfg = self.resolve(config, **overrides)
-        if cfg.guarded:
-            return self._guard_for(cfg)
+        if cfg.guarded or cfg.randomized or cfg.stages:
+            stack = self._stack_for(cfg)
+            guard = stack.guard
+            return guard if guard is not None else stack
         return EngineBackend(self, cfg)
 
     def execute(self, A: np.ndarray, B: np.ndarray,
@@ -352,11 +371,11 @@ class ExecutionEngine:
                 caches.append(cache.stats())
 
         add(self.config.plan_cache)
-        with self._guard_lock:
-            guards = list(self._guards.values())
-        for guard in guards:
-            inner = getattr(guard, "inner", guard)
-            add(getattr(inner, "plan_cache", None))
+        with self._stack_lock:
+            stacks = list(self._stacks.values())
+        for stack in stacks:
+            target = getattr(stack, "target", stack)
+            add(getattr(target, "plan_cache", None))
         return {"plan_caches": caches, "pool": pool_stats(),
                 "process_pool": process_pool_stats(), "shm": shm_stats()}
 
@@ -440,17 +459,28 @@ class ExecutionEngine:
 
     def _run(self, A: np.ndarray, B: np.ndarray, cfg: ExecutionConfig,
              report: Any = None) -> np.ndarray:
-        """Guard layer: route guarded configs through their cached guard."""
-        if cfg.guarded:
+        """Stack layer: route staged configs through their cached stack."""
+        if cfg.guarded or cfg.randomized or cfg.stages:
             if report is not None:
+                if cfg.guarded:
+                    raise ValueError(
+                        "report capture is not supported through the "
+                        "guarded path; guard events land in the backend's "
+                        "EventLog")
                 raise ValueError(
-                    "report capture is not supported through the guarded "
-                    "path; guard events land in the backend's EventLog")
-            if getattr(A, "ndim", 2) != 2 or getattr(B, "ndim", 2) != 2:
-                raise ValueError(
-                    "guarded execution supports 2-D products only")
-            guard = self._guard_for(cfg)
-            return guard.matmul(A, B)  # type: ignore[no-any-return]
+                    "report capture is not supported through the staged "
+                    "path; drop stages/randomized or capture spans via "
+                    "the tracer")
+            if cfg.guarded or cfg.randomized or "randomized" in (
+                    cfg.stages or ()):
+                if getattr(A, "ndim", 2) != 2 or getattr(B, "ndim", 2) != 2:
+                    if cfg.guarded:
+                        raise ValueError(
+                            "guarded execution supports 2-D products only")
+                    raise ValueError(
+                        "randomized execution supports 2-D products only")
+            stack = self._stack_for(cfg)
+            return stack.matmul(A, B)  # type: ignore[no-any-return]
         return self._execute(A, B, cfg, report)
 
     def _execute(self, A: np.ndarray, B: np.ndarray, cfg: ExecutionConfig,
@@ -474,9 +504,11 @@ class ExecutionEngine:
             alg = _resolve_algorithm(alg)
         gemm = cfg.gemm
         if cfg.fault is not None:
-            from repro.robustness.inject import GemmFaultInjector
+            # The inject stage acts on the gemm seam: a fresh injector
+            # per call, exactly like the pre-stack code built inline.
+            from repro.backends.stages import InjectStage
 
-            gemm = GemmFaultInjector(gemm=gemm, spec=cfg.fault)
+            gemm = InjectStage(cfg).wrap_gemm(gemm)
         return self._dispatch(A, B, cfg, alg, gemm, report)
 
     def _dispatch(self, A: np.ndarray, B: np.ndarray, cfg: ExecutionConfig,
@@ -715,21 +747,28 @@ class ExecutionEngine:
             self._arenas.arena = arena
         return fn(A, B, lam=lam, gemm=gemm, arena=arena)  # type: ignore[no-any-return]
 
-    # -- guard instance cache ------------------------------------------
+    # -- backend-stack instance cache ----------------------------------
+
+    def _stack_for(self, cfg: ExecutionConfig) -> Any:
+        """The cached :class:`BackendStack` for one staged config."""
+        key = _guard_key(cfg)
+        with self._stack_lock:
+            stack = self._stacks.get(key)
+            if stack is None:
+                from repro.backends.stack import BackendStack
+
+                stack = BackendStack.from_config(cfg, engine=self)
+                if len(self._stacks) >= _STACK_CACHE_MAX:
+                    self._stacks.pop(next(iter(self._stacks)))
+                self._stacks[key] = stack
+            return stack
 
     def _guard_for(self, cfg: ExecutionConfig) -> Any:
-        key = _guard_key(cfg.replace(guarded=None))
-        with self._guard_lock:
-            guard = self._guards.get(key)
-            if guard is None:
-                from repro.robustness.guard import GuardedBackend
-
-                inner = EngineBackend(self, cfg)
-                guard = GuardedBackend(inner, policy=cfg.guard_policy)
-                if len(self._guards) >= _GUARD_CACHE_MAX:
-                    self._guards.pop(next(iter(self._guards)))
-                self._guards[key] = guard
-            return guard
+        """Legacy accessor: the guard of the config's cached stack."""
+        guard = self._stack_for(cfg).guard
+        if guard is None:
+            raise ValueError("config has no guard stage")
+        return guard
 
 
 _DEFAULT_ENGINE = ExecutionEngine()

@@ -40,6 +40,11 @@ from repro.experiments.hardware import (
     run_hardware_sensitivity,
     format_hardware_sensitivity,
 )
+from repro.experiments.randomized_stability import (
+    run_variance_study,
+    format_variance_studies,
+    run_fig5_randomized,
+)
 
 __all__ = [
     "run_table1", "format_table1",
@@ -61,4 +66,6 @@ __all__ = [
     "run_bad_lambda_study",
     "run_guarded_recovery_study", "format_guarded_recovery_study",
     "run_hardware_sensitivity", "format_hardware_sensitivity",
+    "run_variance_study", "format_variance_studies",
+    "run_fig5_randomized",
 ]

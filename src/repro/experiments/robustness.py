@@ -190,7 +190,7 @@ def run_guarded_recovery_study(
     def run(faulted: bool, guarded: bool):
         backend = make_backend(None)
         if faulted:
-            backend = FaultyBackend(
+            backend = FaultyBackend(  # lint: ignore[ENG002]: divergence study arms/disarms whole-product faults mid-training via the wrapper's .active toggle
                 make_backend(None),
                 FaultSpec(kind="nan", probability=1.0, seed=seed),
             )

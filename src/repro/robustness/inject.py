@@ -174,9 +174,15 @@ class FaultyBackend:
     """
 
     def __init__(self, inner, spec: FaultSpec) -> None:
+        # Built through the inject stage's seam so this class stays a
+        # shim over the backend-stack subsystem: same injector object,
+        # whole-product granularity (the product seam wraps
+        # inner.matmul, not the base-case gemm).
+        from repro.backends.stages import InjectStage
+
         self.inner = inner
         self.name = f"faulty:{inner.name}"
-        self.injector = GemmFaultInjector(gemm=inner.matmul, spec=spec)
+        self.injector = InjectStage(spec).wrap_gemm(inner.matmul)
 
     @property
     def active(self) -> bool:

@@ -21,10 +21,14 @@ __all__ = ["QoSClass", "ERROR_BUDGETS", "default_qos_classes"]
 
 #: Named error budgets, strictest first.  ``strict`` buys certainty
 #: (guarded execution: NaN scan + residual probe + escalation ladder),
+#: ``stabilized`` adds the seeded signed-permutation randomization
+#: *inside* the guard — same analytic bound, lower error variance on
+#: adversarially aligned operands (Malik & Becker, arXiv 1905.07439) —
 #: ``balanced`` takes the single-step APA error bound on faith, and
 #: ``relaxed`` accepts the deeper-recursion bound for more speed.
 ERROR_BUDGETS: dict[str, ExecutionConfig] = {
     "strict": ExecutionConfig(guarded=True, steps=1),
+    "stabilized": ExecutionConfig(guarded=True, randomized=True, steps=1),
     "balanced": ExecutionConfig(steps=1),
     "relaxed": ExecutionConfig(steps=2),
 }

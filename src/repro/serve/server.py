@@ -52,7 +52,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import ExecutionConfig
-from repro.core.engine import EngineBackend, ExecutionEngine, default_engine
+from repro.core.engine import ExecutionEngine, default_engine
 from repro.obs import metrics as obs_metrics
 from repro.obs.export import render_prometheus
 from repro.obs.registry import default_registry
@@ -178,7 +178,8 @@ def _coalesce_key(cfg: ExecutionConfig, A: np.ndarray,
     and ``min_dim`` must be unset (the batched lane has no classical
     small-product shortcut).
     """
-    if (cfg.guarded or cfg.fault is not None or cfg.gemm is not None
+    if (cfg.guarded or cfg.randomized or cfg.stages
+            or cfg.fault is not None or cfg.gemm is not None
             or cfg.schedule is not None or (cfg.threads or 1) > 1
             or cfg.mode not in (None, "auto") or (cfg.steps or 1) > 1
             or cfg.batch_mode not in (None, "stacked")
@@ -394,14 +395,23 @@ class APAServer:
 
     def _guard_for(self, qos: str, cfg: ExecutionConfig) -> GuardedBackend:
         """Server-owned guard per (class, algorithm): its escalation
-        events and breaker land in *this* server's ring buffer."""
+        events and breaker land in *this* server's ring buffer.
+
+        Built through the backend-stack subsystem so every stage the
+        config activates below the guard (randomized, trace) is in
+        place — the ``stabilized`` error budget's signed-permutation
+        transform runs *inside* the guard's residual probe.
+        """
         key = (qos, _alg_name(cfg))
         guard = self._guards.get(key)
         if guard is None:
-            inner = EngineBackend(
-                self._engine, cfg.replace(guarded=None, guard_policy=None))
-            guard = GuardedBackend(inner, policy=cfg.guard_policy,
-                                   log=self.log)
+            from repro.backends.stack import BackendStack
+
+            stack = BackendStack.from_config(
+                cfg, engine=self._engine, log=self.log)
+            guard = stack.guard
+            if guard is None:  # pragma: no cover - guarded cfg guaranteed
+                raise ValueError("config has no guard stage")
             self._guards[key] = guard
         return guard
 

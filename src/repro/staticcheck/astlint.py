@@ -442,6 +442,67 @@ def lint_engine_boundary(source: str, path: str = "<string>") -> list[Finding]:
                 int(f.location.rsplit(":", 1)[1]), f.rule_id)]
 
 
+# ----------------------------------------------------------------------
+# wrapper-construction linter (ENG002)
+# ----------------------------------------------------------------------
+
+#: Wrapper classes owned by the ``repro.backends`` stack subsystem.
+#: Constructing one by hand bypasses the canonical stage order, the
+#: stack's plan-key/error-bound contracts, and the config knobs that
+#: activate the same behavior declaratively.
+WRAPPER_CLASS_NAMES = frozenset({"GuardedBackend", "FaultyBackend"})
+
+
+def _is_backends_module(path: str) -> bool:
+    return "backends" in Path(path).parts
+
+
+def lint_wrapper_construction(source: str,
+                              path: str = "<string>") -> list[Finding]:
+    """``ENG002`` findings for one module's source text.
+
+    Flags every direct construction of a :data:`WRAPPER_CLASS_NAMES`
+    wrapper outside ``repro/backends/`` — stages compose through
+    :class:`~repro.backends.stack.BackendStack` (or the config knobs
+    ``guarded=`` / ``fault=``), not by hand-nesting wrapper objects.
+    The sanctioned shims carry reasoned inline ignores.
+    """
+    if _is_backends_module(path):
+        return []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []  # lint_source reports the parse failure as NUM001
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name not in WRAPPER_CLASS_NAMES:
+            continue
+        findings.append(Finding(
+            "ENG002", Severity.ERROR, f"{path}:{node.lineno}",
+            f"constructs wrapper {name!r} directly outside "
+            "repro/backends/",
+            detail="compose stages through BackendStack.from_config "
+                   "(or the guarded=/fault= config knobs) so stage "
+                   "order, plan keys, and error-bound folding stay "
+                   "uniform",
+        ))
+    unique: dict[tuple[str, str, str], Finding] = {
+        (f.rule_id, f.location, f.message): f for f in findings
+    }
+    index = SuppressionIndex(path, source, tree)
+    return [f for f in unique.values()
+            if not index.is_suppressed(
+                int(f.location.rsplit(":", 1)[1]), f.rule_id)]
+
+
 def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
     files: list[Path] = []
     for entry in paths:
@@ -456,7 +517,7 @@ def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
 def lint_engine_paths(
     paths: Sequence[str | Path],
 ) -> tuple[list[Finding], int]:
-    """``ENG001``-lint every ``*.py`` file under ``paths``.
+    """``ENG001``/``ENG002``-lint every ``*.py`` file under ``paths``.
 
     Returns the findings plus the number of files scanned (the
     ``repro lint`` work counter).
@@ -464,5 +525,7 @@ def lint_engine_paths(
     findings: list[Finding] = []
     files = _collect_files(paths)
     for file in files:
-        findings.extend(lint_engine_boundary(file.read_text(), str(file)))
+        source = file.read_text()
+        findings.extend(lint_engine_boundary(source, str(file)))
+        findings.extend(lint_wrapper_construction(source, str(file)))
     return findings, len(files)

@@ -113,6 +113,12 @@ _RULE_LIST: tuple[RuleInfo, ...] = (
              "_batched_matmul_impl) imported or called outside "
              "core/engine.py — go through a public shim or the "
              "ExecutionEngine"),
+    RuleInfo("ENG002", Severity.ERROR,
+             "direct wrapper construction: a backend wrapper class "
+             "(GuardedBackend / FaultyBackend) instantiated outside "
+             "repro/backends/ — compose stages through "
+             "BackendStack.from_config or the guarded=/fault= config "
+             "knobs"),
     # -- whole-program async safety -----------------------------------
     RuleInfo("ASY001", Severity.ERROR,
              "blocking wait reachable from a coroutine: time.sleep, "

@@ -121,11 +121,12 @@ def consult(A: Any, B: Any, cfg: "ExecutionConfig") -> "ExecutionConfig":
 
     Called by the engine for 2-D products whose resolved config has
     ``tuned=True`` and no explicit algorithm.  Only ``algorithm``,
-    ``steps``, and ``executor`` may be filled, each only while unset;
-    ``lam`` is never touched (the §2.3 optimum depends on the chosen
-    algorithm and resolves downstream exactly as it would for an
-    explicit request — the bit-identity contract).  Returns ``cfg``
-    unchanged when no table, no cell, or nothing to fill.
+    ``steps``, ``executor``, and ``randomized`` may be filled, each
+    only while unset; ``lam`` is never touched (the §2.3 optimum
+    depends on the chosen algorithm and resolves downstream exactly as
+    it would for an explicit request — the bit-identity contract).
+    Returns ``cfg`` unchanged when no table, no cell, or nothing to
+    fill.
     """
     if cfg.algorithm is not None:
         return cfg  # explicit algorithm: the table never overrides it
@@ -153,6 +154,10 @@ def consult(A: Any, B: Any, cfg: "ExecutionConfig") -> "ExecutionConfig":
         # forced sequential modes; an explicit conflict means the user
         # pinned those knobs, so the tuned executor quietly yields.
         changes["executor"] = cell.executor
+    if cell.randomized and cfg.randomized is None and cfg.shard is None:
+        # randomized is incompatible with sharded out-of-core execution,
+        # and an explicit randomized=False must win over the table.
+        changes["randomized"] = True
     return cfg.replace(**changes)
 
 
@@ -175,6 +180,9 @@ def explain(M: int, K: int, N: int, dtype: Any = "float32",
         return (f"{key}: not covered by the installed table "
                 f"({len(table)} cells) -> classical fallback")
     lines = [f"{key} ({table.source} costs):"]
+    chosen_name = cell.algorithm
+    if chosen_name is not None and cell.randomized:
+        chosen_name += "+rand"  # evidence rows carry the suffix
     for name, steps, executor, cost in cell.candidates:
         label = name or "classical"
         if steps != 1:
@@ -182,7 +190,7 @@ def explain(M: int, K: int, N: int, dtype: Any = "float32",
         if executor:
             label += f" executor={executor}"
         marker = " <- chosen" if (name, steps, executor) == (
-            cell.algorithm, cell.steps, cell.executor) else ""
+            chosen_name, cell.steps, cell.executor) else ""
         lines.append(f"  {cost * 1e3:10.3f} ms  {label}{marker}")
     lines.append(
         f"  -> {cell.algorithm or 'classical'} is "

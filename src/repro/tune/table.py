@@ -118,9 +118,13 @@ class TunedCell:
     """The tuner's decision for one cell, plus the evidence behind it.
 
     ``algorithm is None`` means classical gemm won; ``executor is
-    None`` means the default thread executor.  ``candidates`` keeps
-    every ``(algorithm, steps, executor, cost_s)`` the tuner timed so
-    ``repro tune explain`` can show *why* the winner won.
+    None`` means the default thread executor.  ``randomized`` records
+    whether the winner ran under the signed-permutation operand
+    transform (only tuned when the grid's ``randomized`` axis includes
+    ``True``; randomized variants appear in the evidence with a
+    ``+rand`` suffix).  ``candidates`` keeps every ``(algorithm, steps,
+    executor, cost_s)`` the tuner timed so ``repro tune explain`` can
+    show *why* the winner won.
     """
 
     algorithm: str | None
@@ -129,6 +133,7 @@ class TunedCell:
     cost_s: float
     classical_s: float
     candidates: tuple[tuple[str | None, int, str | None, float], ...] = ()
+    randomized: bool = False
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -143,7 +148,7 @@ class TunedCell:
         return self.classical_s / self.cost_s
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        record = {
             "algorithm": self.algorithm,
             "steps": self.steps,
             "executor": self.executor,
@@ -151,6 +156,11 @@ class TunedCell:
             "classical_s": self.classical_s,
             "candidates": [list(c) for c in self.candidates],
         }
+        if self.randomized:
+            # Emitted only when set so default-grid tables stay
+            # byte-identical to pre-randomization artifacts.
+            record["randomized"] = True
+        return record
 
     @classmethod
     def from_json(cls, data: Mapping[str, Any]) -> "TunedCell":
@@ -165,6 +175,7 @@ class TunedCell:
                 cost_s=float(data["cost_s"]),
                 classical_s=float(data["classical_s"]),
                 candidates=cands,
+                randomized=bool(data.get("randomized", False)),
             )
         except (KeyError, TypeError, ValueError, IndexError) as exc:
             raise DispatchTableError(f"malformed cell record: {exc}") from exc
@@ -282,9 +293,11 @@ class DispatchTable:
         for key, cell in sorted(self.cells.items()):
             exe = f" executor={cell.executor}" if cell.executor else ""
             stp = f" steps={cell.steps}" if cell.steps != 1 else ""
+            rnd = " rand" if cell.randomized else ""
             lines.append(
                 f"  {key:<28} -> {cell.algorithm or 'classical':<22}"
-                f"{stp}{exe}  ({cell.speedup_vs_classical:.2f}x vs classical)")
+                f"{stp}{exe}{rnd}  "
+                f"({cell.speedup_vs_classical:.2f}x vs classical)")
         return "\n".join(lines)
 
 

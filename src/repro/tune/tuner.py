@@ -53,7 +53,15 @@ class TuneGrid:
     shape anyway); ``max_error`` excludes candidates whose §2.3 error
     floor at ``d`` bits exceeds the budget (classical is always
     admissible, so a budget can only shrink the search space, never
-    empty it).
+    empty it).  ``randomized`` is the signed-permutation axis: the
+    default ``(False,)`` keeps default-grid tables bit-identical to
+    pre-randomization runs; ``(True,)`` pins the transform on — the
+    table then decides APA-vs-classical *including* the transform's
+    cost, for deployments that want the variance stabilization
+    whenever an APA rule runs (the transform is an accuracy knob, so a
+    speed-minimizing ``(False, True)`` sweep will never pick it).
+    Classical is never randomized — it is exact, so the transform buys
+    nothing.
     """
 
     dims: tuple[int, ...] = (256, 512, 1024, 2048, 4096)
@@ -62,6 +70,7 @@ class TuneGrid:
     steps: tuple[int, ...] = (1,)
     candidates: tuple[str, ...] = field(default_factory=_default_candidates)
     executors: tuple[str, ...] = ("thread", "process")
+    randomized: tuple[bool, ...] = (False,)
     max_error: float | None = None
     d: int = 23
 
@@ -75,6 +84,11 @@ class TuneGrid:
         bad = set(self.executors) - {"thread", "process"}
         if bad:
             raise ValueError(f"unknown executors {sorted(bad)}")
+        if not self.randomized or any(
+                not isinstance(r, bool) for r in self.randomized):
+            raise ValueError(
+                f"randomized must be a non-empty tuple of bools, "
+                f"got {self.randomized!r}")
 
     def cell_candidates(self, threads: int) -> Iterable[Candidate]:
         """Admissible (algorithm, steps, executor) triples for one cell."""
@@ -105,17 +119,23 @@ def _simulated_measure(grid: TuneGrid, spec: Any) -> Callable[..., float]:
     model = ExecutorCostModel(spec)
 
     def measure(candidate: Candidate, n: int, dtype: str,
-                threads: int) -> float:
+                threads: int, randomized: bool = False) -> float:
         name, steps, executor = candidate
         dtype_bytes = np.dtype(dtype).itemsize
         if name is None:
             return simulate_classical(n, n, n, threads=threads,
                                       spec=spec).total
         if executor == "process":
-            return model.process_time(name, n, n, n, workers=threads,
+            cost = model.process_time(name, n, n, n, workers=threads,
                                       steps=steps, dtype_bytes=dtype_bytes)
-        return model.thread_time(name, n, n, n, workers=max(1, threads),
-                                 steps=steps, dtype_bytes=dtype_bytes)
+        else:
+            cost = model.thread_time(name, n, n, n, workers=max(1, threads),
+                                     steps=steps, dtype_bytes=dtype_bytes)
+        if randomized:
+            # Signed-permutation transform: stream both operands once
+            # (read + write each), single-threaded, bandwidth-bound.
+            cost += 4.0 * n * n * dtype_bytes / spec.bw_core
+        return cost
 
     return measure
 
@@ -131,7 +151,7 @@ def _wallclock_measure(grid: TuneGrid,
     operands: dict[tuple[int, str], tuple[Any, Any]] = {}
 
     def measure(candidate: Candidate, n: int, dtype: str,
-                threads: int) -> float:
+                threads: int, randomized: bool = False) -> float:
         name, steps, executor = candidate
         key = (n, dtype)
         if key not in operands:
@@ -148,6 +168,8 @@ def _wallclock_measure(grid: TuneGrid,
                 kwargs["threads"] = threads
             if executor is not None:
                 kwargs["executor"] = executor
+            if randomized:
+                kwargs["randomized"] = True
         engine.matmul(A, B, **kwargs)  # warm plans / pools out of the timing
         best = float("inf")
         for _ in range(max(1, repeats)):
@@ -194,18 +216,25 @@ def tune_dispatch_table(
                     (None, 1, None, classical)]
                 best: tuple[str | None, int, str | None] = (None, 1, None)
                 best_cost = classical
+                best_rand = False
                 for cand in candidates:
-                    cost = measure(cand, n, dtype, threads)
-                    timed.append((cand[0], cand[1], cand[2], cost))
-                    if cost < best_cost:
-                        best, best_cost = cand, cost
+                    for rand in grid.randomized:
+                        cost = measure(cand, n, dtype, threads,
+                                       randomized=rand)
+                        label = f"{cand[0]}+rand" if rand else cand[0]
+                        timed.append((label, cand[1], cand[2], cost))
+                        if cost < best_cost:
+                            best, best_cost, best_rand = cand, cost, rand
                 key = cell_key(n, n, n, dtype, threads)
                 cells[key] = TunedCell(
                     algorithm=best[0], steps=best[1], executor=best[2],
                     cost_s=best_cost, classical_s=classical,
-                    candidates=tuple(sorted(timed, key=lambda c: c[3])))
+                    candidates=tuple(sorted(timed, key=lambda c: c[3])),
+                    randomized=best_rand)
                 if progress is not None:
                     choice = best[0] or "classical"
+                    if best_rand:
+                        choice += "+rand"
                     progress(f"{key} -> {choice} "
                              f"({classical / best_cost:.2f}x vs classical)")
     return DispatchTable(

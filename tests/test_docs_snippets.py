@@ -31,7 +31,7 @@ DOCS = REPO / "docs"
 #: Docs whose ``python`` fences must run end to end.
 RUNNABLE_DOCS = ("USAGE.md", "OBSERVABILITY.md", "ARCHITECTURE.md",
                  "SERVING.md", "LINTING.md", "PARALLELISM.md",
-                 "TUNING.md")
+                 "TUNING.md", "BACKENDS.md")
 
 #: Docs whose relative links must resolve.
 LINKED_DOCS = [REPO / "README.md", *sorted(DOCS.glob("*.md"))]

@@ -9,6 +9,7 @@ from repro.staticcheck.astlint import (
     lint_engine_paths,
     lint_paths,
     lint_source,
+    lint_wrapper_construction,
 )
 from repro.staticcheck.findings import Severity
 
@@ -310,3 +311,65 @@ def test_repo_engine_boundary_is_clean():
     findings, scanned = lint_engine_paths([root])
     assert findings == []
     assert scanned > 50  # the whole repro package, not a subtree
+
+
+# ----------------------------------------------------------------------
+# ENG002 — wrapper construction outside repro/backends/
+# ----------------------------------------------------------------------
+
+
+def test_wrapper_construction_flagged():
+    source = """
+from repro.robustness.guard import GuardedBackend
+
+def build(inner):
+    return GuardedBackend(inner)
+"""
+    findings = lint_wrapper_construction(source, "src/repro/nn/train.py")
+    assert len(findings) == 1
+    f = findings[0]
+    assert f.rule_id == "ENG002" and f.severity is Severity.ERROR
+    assert "GuardedBackend" in f.message
+
+
+def test_wrapper_attribute_construction_flagged():
+    source = """
+import repro.robustness.inject as inject
+
+def build(inner, spec):
+    return inject.FaultyBackend(inner, spec)
+"""
+    findings = lint_wrapper_construction(source, "src/repro/bench/thing.py")
+    assert [f.rule_id for f in findings] == ["ENG002"]
+    assert "FaultyBackend" in findings[0].message
+
+
+def test_wrapper_construction_inside_backends_exempt():
+    source = ("from repro.backends.guard import GuardedBackend\n"
+              "backend = GuardedBackend(None)\n")
+    assert lint_wrapper_construction(
+        source, "src/repro/backends/stages.py") == []
+
+
+def test_wrapper_import_alone_not_flagged():
+    # Importing (e.g. for isinstance checks or annotations) is fine;
+    # only *constructing* bypasses the stack.
+    source = ("from repro.robustness.guard import GuardedBackend\n"
+              "def check(b):\n"
+              "    return isinstance(b, GuardedBackend)\n")
+    assert lint_wrapper_construction(source, "src/repro/serve/server.py") == []
+
+
+def test_wrapper_inline_suppression():
+    source = ("from repro.robustness.guard import GuardedBackend\n"
+              "b = GuardedBackend(None)"
+              "  # lint: ignore[ENG002]: test fixture\n")
+    assert lint_wrapper_construction(source, "src/repro/obs/demo.py") == []
+
+
+def test_repo_wrapper_boundary_is_clean():
+    """Every in-tree wrapper construction is either in repro/backends/
+    or carries a reasoned suppression."""
+    root = Path(parallel_pkg.__file__).parent.parent
+    findings, _ = lint_engine_paths([root])
+    assert [f for f in findings if f.rule_id == "ENG002"] == []
